@@ -1,0 +1,86 @@
+//! Per-round cost of the skeleton-estimator update (Algorithm 1 lines
+//! 14–25) as a function of `n` and skeleton density — ablation for
+//! DESIGN.md §5.1.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sskel_bench::ring_skeleton;
+use sskel_graph::{Digraph, LabeledDigraph, ProcessId, Round};
+use sskel_kset::SkeletonEstimator;
+
+/// Builds the steady-state broadcast graphs of every process after `warm`
+/// rounds on a fixed skeleton, then measures one more update at process 0.
+fn steady_state(
+    skeleton: &Digraph,
+    warm: Round,
+) -> (Vec<SkeletonEstimator>, Vec<LabeledDigraph>) {
+    let n = skeleton.n();
+    let mut ests: Vec<SkeletonEstimator> = (0..n)
+        .map(|i| SkeletonEstimator::new(n, ProcessId::from_usize(i)))
+        .collect();
+    let mut broadcast: Vec<LabeledDigraph> =
+        ests.iter().map(|e| e.graph().clone()).collect();
+    for r in 1..=warm {
+        let prev = broadcast;
+        for (i, est) in ests.iter_mut().enumerate() {
+            let me = ProcessId::from_usize(i);
+            let pt = skeleton.in_neighbors(me).clone();
+            est.update(r, &pt, pt.iter().map(|q| (q, &prev[q.index()])));
+        }
+        broadcast = ests.iter().map(|e| e.graph().clone()).collect();
+    }
+    (ests, broadcast)
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_update");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &n in &[8usize, 16, 32, 64] {
+        for (density, skeleton) in [
+            ("dense", Digraph::complete(n)),
+            ("sparse", ring_skeleton(n)),
+        ] {
+            let warm = 2 * n as Round;
+            let (ests, broadcast) = steady_state(&skeleton, warm);
+            let me = ProcessId::new(0);
+            let pt = skeleton.in_neighbors(me).clone();
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new(density, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut est = ests[0].clone();
+                    est.update(
+                        warm + 1,
+                        &pt,
+                        pt.iter().map(|q| (q, &broadcast[q.index()])),
+                    );
+                    std::hint::black_box(est.graph().edge_count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decision_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_test");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &n in &[8usize, 16, 32, 64] {
+        let (ests, _) = steady_state(&Digraph::complete(n), 2 * n as Round);
+        group.bench_with_input(BenchmarkId::new("strongly_connected", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(ests[0].is_strongly_connected()))
+        });
+        group.bench_with_input(BenchmarkId::new("coherently_fresh", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(ests[0].is_coherently_fresh(2 * n as Round)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_decision_test);
+criterion_main!(benches);

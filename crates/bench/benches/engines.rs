@@ -1,0 +1,88 @@
+//! Lockstep vs threaded engine, and the spin barrier vs `std::sync::Barrier`
+//! — ablation for DESIGN.md §5.4.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use std::sync::Arc;
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sskel_bench::inputs;
+use sskel_kset::KSetAgreement;
+use sskel_model::sync::SpinBarrier;
+use sskel_model::{run_lockstep, run_threaded, FixedSchedule, RunUntil};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &n in &[4usize, 8, 16] {
+        let s = FixedSchedule::synchronous(n);
+        let ins = inputs(n);
+        let until = RunUntil::AllDecided {
+            max_rounds: 2 * n as u32 + 2,
+        };
+        group.bench_with_input(BenchmarkId::new("lockstep", n), &n, |b, _| {
+            b.iter(|| run_lockstep(&s, KSetAgreement::spawn_all(n, &ins), until).0.rounds_executed)
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", n), &n, |b, _| {
+            b.iter(|| run_threaded(&s, KSetAgreement::spawn_all(n, &ins), until).0.rounds_executed)
+        });
+    }
+    group.finish();
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    const ROUNDS: usize = 1000;
+    let mut group = c.benchmark_group("barrier_1000_rounds");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &threads in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("spin", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let barrier = Arc::new(SpinBarrier::new(threads));
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let bar = Arc::clone(&barrier);
+                            scope.spawn(move || {
+                                for _ in 0..ROUNDS {
+                                    bar.wait();
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("std", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let barrier = Arc::new(std::sync::Barrier::new(threads));
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let bar = Arc::clone(&barrier);
+                            scope.spawn(move || {
+                                for _ in 0..ROUNDS {
+                                    bar.wait();
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_barriers);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! End-to-end Algorithm 1 runs: wall-clock per complete run (all processes
+//! decided) across system shapes and sizes.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sskel_bench::{inputs, ring_skeleton, std_schedule, SEED};
+use sskel_kset::{lemma11_bound, KSetAgreement};
+use sskel_model::{run_lockstep, FixedSchedule, RunUntil};
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    for &n in &[8usize, 16, 32] {
+        let sync = FixedSchedule::synchronous(n);
+        let ring = FixedSchedule::new(ring_skeleton(n));
+        let planted = std_schedule(SEED, n, 3.min(n));
+        let ins = inputs(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("synchronous", n), &n, |b, _| {
+            b.iter(|| {
+                let algs = KSetAgreement::spawn_all(n, &ins);
+                run_lockstep(
+                    &sync,
+                    algs,
+                    RunUntil::AllDecided {
+                        max_rounds: lemma11_bound(&sync) + 2,
+                    },
+                )
+                .0
+                .rounds_executed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, _| {
+            b.iter(|| {
+                let algs = KSetAgreement::spawn_all(n, &ins);
+                run_lockstep(
+                    &ring,
+                    algs,
+                    RunUntil::AllDecided {
+                        max_rounds: lemma11_bound(&ring) + 2,
+                    },
+                )
+                .0
+                .rounds_executed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("planted_noisy", n), &n, |b, _| {
+            b.iter(|| {
+                let algs = KSetAgreement::spawn_all(n, &ins);
+                run_lockstep(
+                    &planted,
+                    algs,
+                    RunUntil::AllDecided {
+                        max_rounds: lemma11_bound(&planted) + 2,
+                    },
+                )
+                .0
+                .rounds_executed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Bitset graph primitives: the word-parallel operations everything else
+//! is built on (skeleton intersection, reachability, set algebra).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sskel_graph::{rand_graph, reach, ProcessId, ProcessSet};
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_intersection");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = rand_graph::gnp(&mut rng, n, 0.3, true);
+        let b = rand_graph::gnp(&mut rng, n, 0.3, true);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut g = a.clone();
+                g.intersect_with(&b);
+                std::hint::black_box(g.edge_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = rand_graph::gnp(&mut rng, n, 3.0 / n as f64, true);
+        let full = ProcessSet::full(n);
+        group.bench_with_input(BenchmarkId::new("descendants", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(reach::descendants(&g, ProcessId::new(0), &full).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("ancestors", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(reach::ancestors(&g, ProcessId::new(0), &full).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("process_set");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &n in &[256usize, 4096] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = rand_graph::random_subset(&mut rng, n, 0.5);
+        let b = rand_graph::random_subset(&mut rng, n, 0.5);
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut s = a.clone();
+                s.intersect_with(&b);
+                std::hint::black_box(s.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("iterate", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.iter().map(|p| p.index()).sum::<usize>()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection, bench_reachability, bench_set_ops);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Message codec: encode/decode throughput and wire sizes of Algorithm 1
+//! round messages (§V: bit complexity polynomial in n).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sskel_bench::ring_skeleton;
+use sskel_graph::{Digraph, LabeledDigraph, ProcessId};
+use sskel_kset::{KSetMsg, MsgKind};
+use sskel_model::{Wire, WireSized};
+
+fn msg_for(skeleton: &Digraph, label: u32) -> KSetMsg {
+    let n = skeleton.n();
+    let mut g = LabeledDigraph::new(n);
+    for u in 0..n {
+        for v in skeleton.out_neighbors(ProcessId::from_usize(u)).iter() {
+            g.set_edge_max(ProcessId::from_usize(u), v, label);
+        }
+    }
+    KSetMsg {
+        kind: MsgKind::Prop,
+        x: 123,
+        graph: g,
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &n in &[8usize, 32, 128] {
+        for (shape, skel) in [("dense", Digraph::complete(n)), ("sparse", ring_skeleton(n))] {
+            let msg = msg_for(&skel, 17);
+            let bytes = msg.to_bytes();
+            group.throughput(Throughput::Bytes(bytes.len() as u64));
+            let id = format!("{shape}_n{n}");
+            group.bench_function(BenchmarkId::new("encode", &id), |b| {
+                b.iter(|| std::hint::black_box(msg.to_bytes().len()))
+            });
+            group.bench_function(BenchmarkId::new("decode", &id), |b| {
+                b.iter(|| {
+                    let mut rd = bytes.clone();
+                    std::hint::black_box(KSetMsg::decode(&mut rd).unwrap().wire_bytes())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **E7** — engine equivalence and scaling: the threaded engine (one OS
+//! thread per process, channels, spin barrier) produces identical traces to
+//! the lockstep engine; wall-clock comparison shows where real threading
+//! pays off (it doesn't at simulation scale — the point is fidelity, not
+//! speed, exactly the "doable with channels" reproduction hint).
+
+use std::time::Instant;
+
+use sskel_bench::{inputs, std_schedule, SEED};
+use sskel_kset::{lemma11_bound, KSetAgreement};
+use sskel_model::{run_lockstep, run_threaded, RunUntil};
+
+fn main() {
+    println!("E7: lockstep vs threaded engine (identical traces asserted)\n");
+    println!(
+        "{:>4} | {:>12} {:>12} {:>8} | {:>10}",
+        "n", "lockstep", "threaded", "ratio", "rounds"
+    );
+    println!("{}", "-".repeat(56));
+    for n in [2usize, 4, 8, 16, 32] {
+        let s = std_schedule(SEED ^ n as u64, n, 2.min(n));
+        let ins = inputs(n);
+        let until = RunUntil::AllDecided {
+            max_rounds: lemma11_bound(&s) + 2,
+        };
+
+        let t0 = Instant::now();
+        let (a, _) = run_lockstep(&s, KSetAgreement::spawn_all(n, &ins), until);
+        let lock = t0.elapsed();
+
+        let t0 = Instant::now();
+        let (b, _) = run_threaded(&s, KSetAgreement::spawn_all(n, &ins), until);
+        let thr = t0.elapsed();
+
+        assert_eq!(a.decisions, b.decisions, "trace divergence at n={n}");
+        assert_eq!(a.msg_stats, b.msg_stats);
+        println!(
+            "{:>4} | {:>12?} {:>12?} {:>7.1}x | {:>10}",
+            n,
+            lock,
+            thr,
+            thr.as_secs_f64() / lock.as_secs_f64().max(1e-9),
+            a.rounds_executed
+        );
+    }
+    println!(
+        "\ntraces identical on every row ✓ (threading overhead dominates at\n\
+         simulation scale — the threaded engine is a fidelity check, not an\n\
+         optimization)"
+    );
+}

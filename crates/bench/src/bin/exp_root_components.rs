@@ -1,0 +1,56 @@
+//! **T1** — Monte-Carlo validation of Theorem 1: in every run admissible in
+//! `Psrcs(k)`, the stable skeleton has at most `k` root components.
+//!
+//! Sweeps n and k over seeded random planted-`Psrcs(k)` skeletons and
+//! reports the distribution of root-component counts vs both the planted
+//! `k` and the tight `min_k` of each sample.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sskel_bench::SEED;
+use sskel_model::parallel::{default_threads, par_map};
+use sskel_predicates::{min_k_on_skeleton, planted_psrcs_skeleton, root_component_count};
+
+fn main() {
+    const SAMPLES_PER_CELL: usize = 300;
+    println!("T1: Theorem 1 — root components ≤ k under Psrcs(k)");
+    println!("{} samples per (n, k) cell\n", SAMPLES_PER_CELL);
+    println!(
+        "{:>4} {:>3} | {:>10} {:>10} {:>10} {:>12}",
+        "n", "k", "max roots", "max min_k", "violations", "tight cells %"
+    );
+    println!("{}", "-".repeat(60));
+
+    for n in [8usize, 16, 24, 48] {
+        for k in [1usize, 2, 3, 6] {
+            if k > n {
+                continue;
+            }
+            let jobs: Vec<u64> = (0..SAMPLES_PER_CELL as u64).collect();
+            let rows = par_map(jobs, default_threads(16), |i, _| {
+                let mut rng =
+                    StdRng::seed_from_u64(SEED ^ ((n as u64) << 32) ^ ((k as u64) << 16) ^ i as u64);
+                let (skel, _) = planted_psrcs_skeleton(&mut rng, n, k, 0.06);
+                let roots = root_component_count(&skel);
+                let mk = min_k_on_skeleton(&skel);
+                assert!(mk <= k, "planted certificate violated");
+                assert!(roots <= mk, "THEOREM 1 VIOLATED: {roots} roots > min_k {mk}");
+                (roots, mk)
+            });
+            let max_roots = rows.iter().map(|&(r, _)| r).max().unwrap();
+            let max_mk = rows.iter().map(|&(_, m)| m).max().unwrap();
+            let tight = rows.iter().filter(|&&(r, m)| r == m).count();
+            println!(
+                "{:>4} {:>3} | {:>10} {:>10} {:>10} {:>11.1}%",
+                n,
+                k,
+                max_roots,
+                max_mk,
+                0,
+                100.0 * tight as f64 / SAMPLES_PER_CELL as f64
+            );
+        }
+    }
+    println!("\nall samples satisfy roots ≤ min_k ≤ k  (Theorem 1) ✓");
+}

@@ -1,0 +1,350 @@
+//! Algorithm 1: approximating the stable skeleton graph and solving k-set
+//! agreement with `Psrcs(k)`.
+//!
+//! Faithful implementation of the paper's pseudocode. Per round `r`, each
+//! process `p`:
+//!
+//! * **send (lines 5–8)** — broadcasts `(prop|decide, x_p, G_p)`;
+//! * **line 9** — `PT_p ← PT_p ∩ HO(p, r)` (eq. (7));
+//! * **lines 10–13** — adopts a received decide value from some
+//!   `q ∈ PT_p` and decides (when several arrive simultaneously, the
+//!   smallest `(x_q, q)` is adopted; the paper leaves the choice open and
+//!   its proofs work for any);
+//! * **lines 14–25** — runs the [`SkeletonEstimator`];
+//! * **line 27** — `x_p ← min { x_q | q ∈ PT_p }` over the values received
+//!   this round (this includes `p`'s own broadcast value, as `p ∈ PT_p`);
+//! * **lines 28–30** — if `r ≥ n` and `G_p` is strongly connected, decides
+//!   on `x_p`.
+//!
+//! Note on line 28: the arXiv rendering prints the guard as `r > n`, but it
+//! is `r ⩾ n` in context — Lemma 11 has root-component members decide at
+//! round `rST + n − 1`, which equals `n` for runs that are stable from
+//! round 1, and Lemma 14's "no process can pass the check in Line 28 before
+//! round n" is consistent with `⩾`. See DESIGN.md ("Reading notes").
+
+use sskel_graph::{ProcessId, ProcessSet, Round};
+use sskel_model::{ProcessCtx, Received, RoundAlgorithm, Value};
+
+use crate::approx::SkeletonEstimator;
+use crate::msg::{KSetMsg, MsgKind};
+
+/// Which line-28 decision test to apply.
+///
+/// Reproducing the paper surfaced a soundness gap in its Lemma 15 (see
+/// `tests/counterexample.rs` and EXPERIMENTS.md E8): the literal rule can
+/// decide at round `r ∈ [n, 2n)` based on transient edges observed in the
+/// first rounds of the run — which are too old to be perpetual but too
+/// young to be purged — and thereby exceed `k` decision values in runs
+/// where `Psrcs(k)` holds. [`DecisionRule::FreshnessGuarded`] additionally
+/// requires every edge label to be as fresh as its propagation distance
+/// allows (`s + dist(v → p) ≥ r`, the exact freshness Lemma 4 guarantees
+/// for perpetual edges), which blocks the counterexample while preserving
+/// the Lemma-11 termination bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DecisionRule {
+    /// Line 28 verbatim: `r ≥ n` and `G_p` strongly connected.
+    #[default]
+    Paper,
+    /// Line 28 plus the coherent-freshness condition of
+    /// [`SkeletonEstimator::is_coherently_fresh`].
+    FreshnessGuarded,
+}
+
+/// How a process decided — useful for experiments and tests, not part of
+/// the paper's interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionPath {
+    /// Passed the strong-connectivity test (line 29).
+    StronglyConnected,
+    /// Adopted a decide message from its timely neighborhood (line 12).
+    Relay,
+}
+
+/// One process's instance of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct KSetAgreement {
+    me: ProcessId,
+    n: usize,
+    /// `PT_p` (line 1; initially `Π`).
+    pt: ProcessSet,
+    /// Estimated decision value `x_p` (line 2; initially `v_p`).
+    x: Value,
+    /// `decided_p` (line 4).
+    decided: bool,
+    decision: Option<Value>,
+    path: Option<DecisionPath>,
+    rule: DecisionRule,
+    est: SkeletonEstimator,
+}
+
+impl KSetAgreement {
+    /// A fresh instance for the given process context, with the paper's
+    /// literal decision rule.
+    pub fn new(ctx: ProcessCtx) -> Self {
+        Self::with_rule(ctx, DecisionRule::Paper)
+    }
+
+    /// A fresh instance using the chosen decision rule.
+    pub fn with_rule(ctx: ProcessCtx, rule: DecisionRule) -> Self {
+        KSetAgreement {
+            me: ctx.id,
+            n: ctx.n,
+            pt: ProcessSet::full(ctx.n),
+            x: ctx.input,
+            decided: false,
+            decision: None,
+            path: None,
+            rule,
+            est: SkeletonEstimator::new(ctx.n, ctx.id),
+        }
+    }
+
+    /// Instantiates the whole system: one instance per process, with
+    /// `inputs[p]` as `v_p`.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != n`.
+    pub fn spawn_all(n: usize, inputs: &[Value]) -> Vec<Self> {
+        Self::spawn_all_with(n, inputs, DecisionRule::Paper)
+    }
+
+    /// [`KSetAgreement::spawn_all`] with an explicit decision rule.
+    pub fn spawn_all_with(n: usize, inputs: &[Value], rule: DecisionRule) -> Vec<Self> {
+        assert_eq!(inputs.len(), n, "need one input per process");
+        ProcessId::all(n)
+            .map(|id| {
+                KSetAgreement::with_rule(
+                    ProcessCtx {
+                        id,
+                        n,
+                        input: inputs[id.index()],
+                    },
+                    rule,
+                )
+            })
+            .collect()
+    }
+
+    /// The decision rule in effect.
+    pub fn rule(&self) -> DecisionRule {
+        self.rule
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The current timely neighborhood `PT_p`.
+    pub fn pt(&self) -> &ProcessSet {
+        &self.pt
+    }
+
+    /// The current estimate `x_p`.
+    pub fn estimate(&self) -> Value {
+        self.x
+    }
+
+    /// The current approximation graph `G_p`.
+    pub fn approx_graph(&self) -> &sskel_graph::LabeledDigraph {
+        self.est.graph()
+    }
+
+    /// `decided_p` (line 4).
+    pub fn has_decided(&self) -> bool {
+        self.decided
+    }
+
+    /// How this process decided, if it has.
+    pub fn decision_path(&self) -> Option<DecisionPath> {
+        self.path
+    }
+}
+
+impl RoundAlgorithm for KSetAgreement {
+    type Msg = KSetMsg;
+
+    // Lines 5–8.
+    fn send(&self, _r: Round) -> KSetMsg {
+        KSetMsg {
+            kind: if self.decided {
+                MsgKind::Decide
+            } else {
+                MsgKind::Prop
+            },
+            x: self.x,
+            graph: self.est.graph().clone(),
+        }
+    }
+
+    fn receive(&mut self, r: Round, received: &Received<KSetMsg>) {
+        // Line 9: PT_p ← PT_p ∩ HO(p, r).
+        self.pt.intersect_with(received.senders());
+
+        // Lines 10–13: adopt a decide message from PT_p.
+        if !self.decided {
+            let mut adopted: Option<Value> = None;
+            for q in self.pt.iter() {
+                if let Some(m) = received.get(q) {
+                    if m.is_decide() {
+                        adopted = Some(adopted.map_or(m.x, |cur: Value| cur.min(m.x)));
+                    }
+                }
+            }
+            if let Some(v) = adopted {
+                self.x = v;
+                self.decided = true;
+                self.decision = Some(v);
+                self.path = Some(DecisionPath::Relay);
+            }
+        }
+
+        // Lines 14–25: approximate the stable skeleton (runs every round,
+        // decided or not — decided processes keep serving the approximation).
+        self.est.update(
+            r,
+            &self.pt,
+            self.pt
+                .iter()
+                .filter_map(|q| received.get(q).map(|m| (q, &m.graph))),
+        );
+
+        // Lines 26–30.
+        if !self.decided {
+            // Line 27: x_p ← min { x_q | q ∈ PT_p } (from this round's
+            // messages; includes p's own value since p ∈ PT_p).
+            for q in self.pt.iter() {
+                if let Some(m) = received.get(q) {
+                    self.x = self.x.min(m.x);
+                }
+            }
+            // Line 28: decide once the approximation is strongly connected
+            // (plus the freshness guard when the repaired rule is active).
+            let fresh_ok = match self.rule {
+                DecisionRule::Paper => true,
+                DecisionRule::FreshnessGuarded => self.est.is_coherently_fresh(r),
+            };
+            if r >= self.n as Round && self.est.is_strongly_connected() && fresh_ok {
+                self.decided = true;
+                self.decision = Some(self.x);
+                self.path = Some(DecisionPath::StronglyConnected);
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_model::{run_lockstep, FixedSchedule, RunUntil};
+    use sskel_predicates::Theorem2Schedule;
+
+    #[test]
+    fn synchronous_run_reaches_consensus_at_round_n() {
+        for n in [1usize, 2, 4, 7] {
+            let inputs: Vec<Value> = (0..n as Value).map(|i| 100 - i).collect();
+            let s = FixedSchedule::synchronous(n);
+            let algs = KSetAgreement::spawn_all(n, &inputs);
+            let (trace, finals) = run_lockstep(
+                &s,
+                algs,
+                RunUntil::AllDecided {
+                    max_rounds: 4 * n as Round + 4,
+                },
+            );
+            assert!(trace.all_decided(), "n={n}");
+            // consensus on the minimum input
+            let min = *inputs.iter().min().unwrap();
+            assert_eq!(trace.distinct_decision_values(), vec![min], "n={n}");
+            // decision exactly at round n (skeleton is complete from round 1)
+            assert_eq!(trace.last_decision_round(), Some(n as Round), "n={n}");
+            assert!(finals
+                .iter()
+                .all(|a| a.decision_path() == Some(DecisionPath::StronglyConnected)));
+            assert!(trace.anomalies.is_empty());
+        }
+    }
+
+    #[test]
+    fn theorem2_run_yields_exactly_k_values() {
+        for (n, k) in [(5usize, 2usize), (6, 3), (8, 4)] {
+            let s = Theorem2Schedule::new(n, k);
+            let inputs: Vec<Value> = (0..n as Value).collect(); // pairwise distinct
+            let algs = KSetAgreement::spawn_all(n, &inputs);
+            let (trace, finals) = run_lockstep(
+                &s,
+                algs,
+                RunUntil::AllDecided {
+                    max_rounds: 4 * n as Round + 4,
+                },
+            );
+            assert!(trace.all_decided(), "n={n} k={k}");
+            let distinct = trace.distinct_decision_values();
+            assert_eq!(distinct.len(), k, "n={n} k={k}: {distinct:?}");
+            // L ∪ {s} decide their own values via strong connectivity;
+            // everyone else relays s's decision
+            for p in s.forced_own_value().iter() {
+                assert_eq!(
+                    trace.decision_of(p).unwrap().value,
+                    inputs[p.index()],
+                    "forced process {p}"
+                );
+            }
+            for a in finals {
+                let expected = if s.forced_own_value().contains(a.id()) {
+                    DecisionPath::StronglyConnected
+                } else {
+                    DecisionPath::Relay
+                };
+                assert_eq!(a.decision_path(), Some(expected), "process {}", a.id());
+            }
+        }
+    }
+
+    #[test]
+    fn no_decision_before_round_n() {
+        let n = 5;
+        let s = FixedSchedule::synchronous(n);
+        let algs = KSetAgreement::spawn_all(n, &vec![7; n]);
+        let (trace, _) = run_lockstep(&s, algs, RunUntil::Rounds(n as Round - 1));
+        assert_eq!(trace.decided_count(), 0, "Lemma 14: no decision before round n");
+    }
+
+    #[test]
+    fn estimates_are_monotone_while_undecided() {
+        // Observation 2 on the line-27 path.
+        let n = 4;
+        let s = FixedSchedule::synchronous(n);
+        let algs = KSetAgreement::spawn_all(n, &[9, 3, 7, 5]);
+        let mut last: Vec<Value> = vec![Value::MAX; n];
+        let (_, _) = sskel_model::run_lockstep_observed(
+            &s,
+            algs,
+            RunUntil::Rounds(8),
+            |_r, states: &[KSetAgreement]| {
+                for (i, a) in states.iter().enumerate() {
+                    if a.decision_path() != Some(DecisionPath::Relay) {
+                        assert!(a.estimate() <= last[i], "estimate increased");
+                    }
+                    last[i] = a.estimate();
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn validity_values_come_from_inputs() {
+        let n = 6;
+        let inputs: Vec<Value> = vec![11, 22, 33, 44, 55, 66];
+        let s = Theorem2Schedule::new(n, 3);
+        let algs = KSetAgreement::spawn_all(n, &inputs);
+        let (trace, _) = run_lockstep(&s, algs, RunUntil::AllDecided { max_rounds: 40 });
+        for d in trace.decisions.iter().flatten() {
+            assert!(inputs.contains(&d.value), "decided {d:?} not an input");
+        }
+    }
+}

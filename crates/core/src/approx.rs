@@ -1,0 +1,307 @@
+//! The generic stable-skeleton estimator — Algorithm 1, lines 14–25.
+//!
+//! Every process `p` maintains a weighted digraph `G_p` approximating the
+//! run's stable skeleton `G∩∞`. Each round `r`, after updating its timely
+//! neighborhood `PT_p`:
+//!
+//! * **line 15** — reset `G_p ← ⟨{p}, ∅⟩` (no information is lost: `p`'s own
+//!   previous graph arrives back through `p`'s own broadcast, since
+//!   `p ∈ PT_p`);
+//! * **lines 16–18** — for every `q ∈ PT_p`, add the fresh edge
+//!   `(q --r--> p)` and union `q`'s node set `V_q` into `V_p`;
+//! * **lines 19–23** — for every node pair, keep the **maximum** round label
+//!   over all received graphs (so each pair has at most one labelled edge,
+//!   Lemma 3(c));
+//! * **line 24** — discard edges whose label is `≤ r − n` (information
+//!   older than `n − 1` rounds can no longer be confirmed, Observation 1);
+//! * **line 25** — discard nodes from which `p` is unreachable.
+//!
+//! The paper emphasizes that this estimator is correct in *all* runs,
+//! regardless of any communication predicate (Lemmas 3–8): it is exposed
+//! standalone here so it can be reused to monitor perpetual synchrony even
+//! when no agreement is being solved (see `examples/skeleton_monitor.rs`).
+
+use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet, Round};
+
+/// Per-process stable-skeleton estimator.
+///
+/// ```
+/// use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet};
+/// use sskel_kset::approx::SkeletonEstimator;
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let mut est = SkeletonEstimator::new(2, p0);
+/// // round 1: p0 hears itself and p1; p1's graph is still ⟨{p1}, ∅⟩
+/// let pt = ProcessSet::from_indices(2, [0, 1]);
+/// let own = est.graph().clone();
+/// let other = LabeledDigraph::with_node(2, p1);
+/// est.update(1, &pt, [(p0, &own), (p1, &other)].into_iter());
+/// assert_eq!(est.graph().label(p1, p0), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SkeletonEstimator {
+    me: ProcessId,
+    n: usize,
+    g: LabeledDigraph,
+}
+
+impl SkeletonEstimator {
+    /// Fresh estimator for process `me` in a universe of size `n`:
+    /// `G_p = ⟨{p}, ∅⟩` (line 3 of Algorithm 1).
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        assert!(me.index() < n, "process out of universe");
+        SkeletonEstimator {
+            me,
+            n,
+            g: LabeledDigraph::with_node(n, me),
+        }
+    }
+
+    /// The current approximation `G_p^r`.
+    #[inline]
+    pub fn graph(&self) -> &LabeledDigraph {
+        &self.g
+    }
+
+    /// The owning process.
+    #[inline]
+    pub fn owner(&self) -> ProcessId {
+        self.me
+    }
+
+    /// One round of approximation (lines 14–25).
+    ///
+    /// * `r` — the current round;
+    /// * `pt` — `PT(p, r)`, already updated for round `r` (line 9);
+    /// * `received` — the approximation graph carried by the round-`r`
+    ///   message of each `q ∈ PT_p` (i.e. `G_q^{r−1}`). Senders outside
+    ///   `PT_p` must not be passed; passing fewer senders than `pt` models
+    ///   the (never occurring, but defensively handled) case of a timely
+    ///   process whose graph was not delivered.
+    pub fn update<'a>(
+        &mut self,
+        r: Round,
+        pt: &ProcessSet,
+        received: impl Iterator<Item = (ProcessId, &'a LabeledDigraph)>,
+    ) {
+        debug_assert!(pt.contains(self.me), "p must always perceive itself timely");
+        // line 15
+        self.g = LabeledDigraph::with_node(self.n, self.me);
+        // lines 16–23
+        for (q, gq) in received {
+            debug_assert!(pt.contains(q), "received a graph from outside PT_p");
+            debug_assert_eq!(gq.universe(), self.n, "foreign universe");
+            self.g.set_edge_max(q, self.me, r); // line 17
+            self.g.merge_max(gq); // lines 18–23 (max-combine keeps r on (q→p))
+        }
+        // line 24: discard labels ≤ r − n
+        let cutoff = r.saturating_sub(self.n as Round);
+        if cutoff >= 1 {
+            self.g.purge_labels_le(cutoff);
+        }
+        // line 25: discard nodes from which p is unreachable
+        self.g.retain_reaching(self.me);
+    }
+
+    /// Algorithm 1's decision test (line 28): is `G_p` strongly connected?
+    #[inline]
+    pub fn is_strongly_connected(&self) -> bool {
+        self.g.is_strongly_connected()
+    }
+
+    /// Coherent-freshness test for the repaired decision rule
+    /// ([`crate::alg1::DecisionRule::FreshnessGuarded`]).
+    ///
+    /// Information in `G_p` about the in-edges of a node `v` is necessarily
+    /// `d` rounds stale, where `d` is `v`'s distance to `p`: by Lemma 4, a
+    /// *perpetually* timely edge `(u → v)` always carries a label
+    /// `s ≥ r − d`. A label older than that can only stem from an edge that
+    /// has already left the skeleton — exactly the stale-noise situation
+    /// that breaks the paper's Lemma 15 (see `tests/counterexample.rs`).
+    /// This predicate therefore accepts `G_p` only if
+    ///
+    /// ```text
+    /// ∀ (u --s--> v) ∈ G_p :  s + dist(v → p) ≥ r
+    /// ```
+    ///
+    /// In runs whose skeleton has stabilized it holds with equality from
+    /// round `rST + n − 1` on, so the Lemma-11 termination bound is
+    /// unaffected.
+    pub fn is_coherently_fresh(&self, r: Round) -> bool {
+        let n = self.n;
+        // BFS levels: dist[v] = length of the shortest path v → me in G_p.
+        let mut dist = vec![u32::MAX; n];
+        dist[self.me.index()] = 0;
+        let mut visited = ProcessSet::singleton(n, self.me);
+        let mut frontier = visited.clone();
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let mut next = ProcessSet::empty(n);
+            for v in frontier.iter() {
+                next.union_with_masked(sskel_graph::Adjacency::in_row(&self.g, v), self.g.nodes());
+            }
+            next.difference_with(&visited);
+            for w in next.iter() {
+                dist[w.index()] = level;
+            }
+            visited.union_with(&next);
+            frontier = next;
+        }
+        self.g.edges().all(|(_, v, s)| {
+            let d = dist[v.index()];
+            d != u32::MAX && s.saturating_add(d) >= r
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    /// Drives a set of estimators through rounds of a fixed skeleton by
+    /// hand (simulating the broadcast of each estimator's previous graph).
+    fn step_all(
+        ests: &mut [SkeletonEstimator],
+        r: Round,
+        pt_of: &[ProcessSet],
+        hears: impl Fn(usize, usize) -> bool,
+    ) {
+        let n = ests.len();
+        let broadcast: Vec<LabeledDigraph> = ests.iter().map(|e| e.graph().clone()).collect();
+        for (i, est) in ests.iter_mut().enumerate() {
+            let rcv: Vec<(ProcessId, &LabeledDigraph)> = (0..n)
+                .filter(|&q| hears(i, q))
+                .map(|q| (p(q), &broadcast[q]))
+                .collect();
+            est.update(r, &pt_of[i], rcv.into_iter());
+        }
+    }
+
+    #[test]
+    fn initial_state_is_single_node() {
+        let est = SkeletonEstimator::new(4, p(2));
+        assert_eq!(est.graph().node_count(), 1);
+        assert!(est.graph().contains_node(p(2)));
+        assert!(est.is_strongly_connected()); // singleton convention
+    }
+
+    #[test]
+    fn two_process_cycle_becomes_strongly_connected() {
+        // skeleton: p0 ↔ p1 (plus self-loops): both timely to each other
+        let n = 2;
+        let pt_full = vec![ProcessSet::full(n), ProcessSet::full(n)];
+        let mut ests = vec![SkeletonEstimator::new(n, p(0)), SkeletonEstimator::new(n, p(1))];
+        step_all(&mut ests, 1, &pt_full, |_, _| true);
+        // after round 1 each knows the inbound edges but not the reverse
+        assert_eq!(ests[0].graph().label(p(1), p(0)), Some(1));
+        step_all(&mut ests, 2, &pt_full, |_, _| true);
+        // after round 2, p0 learned (p0 → p1) from p1's round-1 graph
+        assert_eq!(ests[0].graph().label(p(0), p(1)), Some(1));
+        assert!(ests[0].is_strongly_connected());
+        assert!(ests[1].is_strongly_connected());
+    }
+
+    #[test]
+    fn chain_receiver_never_strongly_connected() {
+        // skeleton: p0 → p1 (p1 hears p0, not vice versa)
+        let n = 2;
+        let pts = vec![
+            ProcessSet::from_indices(n, [0]),
+            ProcessSet::from_indices(n, [0, 1]),
+        ];
+        let mut ests = vec![SkeletonEstimator::new(n, p(0)), SkeletonEstimator::new(n, p(1))];
+        for r in 1..=6 {
+            step_all(&mut ests, r, &pts, |i, q| pts[i].contains(p(q)));
+            // p0 sees only itself: SC (singleton). p1 sees p0 → p1 but no
+            // path back: nodes {p0, p1} with only the inbound edge — not SC.
+            assert!(ests[0].is_strongly_connected());
+            assert!(!ests[1].is_strongly_connected(), "round {r}");
+            assert_eq!(ests[1].graph().label(p(0), p(1)), Some(r));
+        }
+    }
+
+    #[test]
+    fn fresh_timely_edges_always_carry_the_current_round() {
+        // Lemma 3(b): after update(r), (q --r--> p) for every q ∈ PT(p, r).
+        let n = 3;
+        let pts: Vec<ProcessSet> = (0..n).map(|_| ProcessSet::full(n)).collect();
+        let mut ests: Vec<SkeletonEstimator> =
+            (0..n).map(|i| SkeletonEstimator::new(n, p(i))).collect();
+        for r in 1..=5 {
+            step_all(&mut ests, r, &pts, |_, _| true);
+            for (i, est) in ests.iter().enumerate() {
+                for q in 0..n {
+                    assert_eq!(est.graph().label(p(q), p(i)), Some(r), "round {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observation_1_no_stale_labels_survive() {
+        let n = 3;
+        let pts: Vec<ProcessSet> = (0..n).map(|_| ProcessSet::full(n)).collect();
+        let mut ests: Vec<SkeletonEstimator> =
+            (0..n).map(|i| SkeletonEstimator::new(n, p(i))).collect();
+        for r in 1..=10 {
+            step_all(&mut ests, r, &pts, |_, _| true);
+            for est in &ests {
+                if let Some(min) = est.graph().min_label() {
+                    assert!(min > r.saturating_sub(n as u32), "round {r}");
+                }
+                assert!(est.graph().contains_node(est.owner()));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_are_pruned() {
+        // p0's PT = {p0, p1}; p1 delivers a graph naming node p2 with no
+        // path to p0 ⇒ p2 must be pruned from p0's approximation.
+        let mut est = SkeletonEstimator::new(3, p(0));
+        let mut foreign = LabeledDigraph::with_node(3, p(1));
+        foreign.insert_node(p(2));
+        foreign.set_edge_max(p(0), p(2), 1); // edge AWAY from p0
+        let own = est.graph().clone();
+        let pt = ProcessSet::from_indices(3, [0, 1]);
+        est.update(2, &pt, [(p(0), &own), (p(1), &foreign)].into_iter());
+        assert!(!est.graph().contains_node(p(2)));
+        assert!(est.graph().contains_node(p(1)));
+        assert_eq!(est.graph().label(p(1), p(0)), Some(2));
+    }
+
+    #[test]
+    fn stale_information_ages_out_after_n_rounds() {
+        // p0 hears p1 only in round 1 (edge enters PT then leaves):
+        // PT(p0, 1) = {p0, p1}, later PT = {p0}. The (p1 --1--> p0) edge
+        // must be gone by round n + 1 = 4 at the latest (here it vanishes as
+        // soon as the label ages out).
+        let n = 3;
+        let mut est = SkeletonEstimator::new(n, p(0));
+        let other = LabeledDigraph::with_node(n, p(1));
+        let own1 = est.graph().clone();
+        est.update(
+            1,
+            &ProcessSet::from_indices(n, [0, 1]),
+            [(p(0), &own1), (p(1), &other)].into_iter(),
+        );
+        assert_eq!(est.graph().label(p(1), p(0)), Some(1));
+        for r in 2..=6 {
+            let own = est.graph().clone();
+            est.update(
+                r,
+                &ProcessSet::from_indices(n, [0]),
+                [(p(0), &own)].into_iter(),
+            );
+            if r > n as u32 + 1 {
+                assert!(!est.graph().contains_node(p(1)), "round {r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! FloodMin: the classic synchronous k-set agreement algorithm for the
+//! crash-fault model (Chaudhuri's problem setting; the algorithm is
+//! standard, see e.g. Lynch, *Distributed Algorithms*, §7/23).
+//!
+//! With at most `f` crash faults, every process floods the minimum value it
+//! has seen for `⌊f/k⌋ + 1` rounds and then decides it. Correctness rests
+//! on a round in which no process crashes ("clean round") existing in every
+//! window of `⌊f/k⌋ + 1` rounds — a property of crash schedules that
+//! general `Psrcs(k)` schedules do **not** have, which is exactly what the
+//! baseline experiments demonstrate.
+
+use sskel_graph::Round;
+use sskel_model::{ProcessCtx, Received, RoundAlgorithm, Value};
+
+/// One process's FloodMin instance.
+#[derive(Clone, Debug)]
+pub struct FloodMin {
+    x: Value,
+    horizon: Round,
+    decision: Option<Value>,
+}
+
+impl FloodMin {
+    /// FloodMin for a system tolerating `f` crashes while allowing `k`
+    /// distinct decisions: runs `⌊f/k⌋ + 1` rounds.
+    pub fn new(ctx: ProcessCtx, f: usize, k: usize) -> Self {
+        assert!(k >= 1, "k ≥ 1");
+        FloodMin {
+            x: ctx.input,
+            horizon: (f / k) as Round + 1,
+            decision: None,
+        }
+    }
+
+    /// The whole system.
+    pub fn spawn_all(n: usize, inputs: &[Value], f: usize, k: usize) -> Vec<Self> {
+        assert_eq!(inputs.len(), n);
+        sskel_graph::ProcessId::all(n)
+            .map(|id| {
+                FloodMin::new(
+                    ProcessCtx {
+                        id,
+                        n,
+                        input: inputs[id.index()],
+                    },
+                    f,
+                    k,
+                )
+            })
+            .collect()
+    }
+
+    /// The number of rounds this instance runs before deciding.
+    pub fn horizon(&self) -> Round {
+        self.horizon
+    }
+}
+
+impl RoundAlgorithm for FloodMin {
+    type Msg = Value;
+
+    fn send(&self, _r: Round) -> Value {
+        self.x
+    }
+
+    fn receive(&mut self, r: Round, received: &Received<Value>) {
+        for (_, &v) in received.iter() {
+            self.x = self.x.min(v);
+        }
+        if r >= self.horizon && self.decision.is_none() {
+            self.decision = Some(self.x);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_graph::ProcessId;
+    use sskel_model::{run_lockstep, RunUntil};
+    use sskel_predicates::CrashSchedule;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    fn run(n: usize, f: usize, k: usize, crashes: Vec<(ProcessId, Round)>) -> Vec<Value> {
+        let inputs: Vec<Value> = (1..=n as Value).collect();
+        let s = CrashSchedule::new(n, crashes);
+        let algs = FloodMin::spawn_all(n, &inputs, f, k);
+        let (trace, _) = run_lockstep(&s, algs, RunUntil::AllDecided { max_rounds: 50 });
+        assert!(trace.all_decided());
+        trace.distinct_decision_values()
+    }
+
+    #[test]
+    fn fault_free_reaches_consensus_in_one_round() {
+        let vals = run(5, 0, 1, vec![]);
+        assert_eq!(vals, vec![1]);
+    }
+
+    #[test]
+    fn consensus_with_f_crashes_needs_f_plus_1_rounds() {
+        // f = 2, k = 1 ⇒ horizon 3; worst-case staggered crashes
+        let vals = run(5, 2, 1, vec![(p(0), 1), (p(1), 2)]);
+        assert_eq!(vals.len(), 1, "consensus must hold: {vals:?}");
+    }
+
+    #[test]
+    fn k_set_agreement_with_fewer_rounds() {
+        // f = 4, k = 2 ⇒ horizon 3 rounds; at most 2 values
+        let vals = run(
+            6,
+            4,
+            2,
+            vec![(p(0), 1), (p(1), 1), (p(2), 2), (p(3), 3)],
+        );
+        assert!(vals.len() <= 2, "k-agreement violated: {vals:?}");
+    }
+
+    #[test]
+    fn adversarial_staggered_crash_can_split_without_enough_rounds() {
+        // With f = 1 but horizon computed for f = 0 (1 round), a crash mid-
+        // broadcast is *not* modeled here (clean crashes), so one crashed
+        // sender in round 1 already shows the dependence on the horizon:
+        // p1 (holding the minimum) crashes after round 1 delivered its value
+        // to everyone — consensus still holds in this benign case.
+        let vals = run(4, 1, 1, vec![(p(0), 1)]);
+        assert_eq!(vals.len(), 1);
+    }
+
+    #[test]
+    fn horizon_formula() {
+        let mk = |f, k| {
+            FloodMin::new(
+                ProcessCtx {
+                    id: p(0),
+                    n: 4,
+                    input: 0,
+                },
+                f,
+                k,
+            )
+            .horizon()
+        };
+        assert_eq!(mk(0, 1), 1);
+        assert_eq!(mk(3, 1), 4);
+        assert_eq!(mk(3, 2), 2);
+        assert_eq!(mk(4, 2), 3);
+        assert_eq!(mk(5, 3), 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! Baseline algorithms for comparison with Algorithm 1.
+//!
+//! The paper implements no comparison system, but positioning Algorithm 1
+//! requires concrete alternatives:
+//!
+//! * [`floodmin::FloodMin`] — the classic synchronous k-set agreement
+//!   algorithm for the crash model (`⌊f/k⌋ + 1` rounds of flooding the
+//!   minimum). Faster in benign crash runs, but **unsound** under general
+//!   `Psrcs(k)` schedules, which admit non-crash omission patterns;
+//! * [`naive_min::NaiveMinHorizon`] — flood-min with a fixed `n − 1` round
+//!   horizon and no graph reasoning. Solves consensus in fully synchronous
+//!   runs, yet violates k-agreement on `Psrcs(k)`-admissible runs —
+//!   demonstrating why Algorithm 1's skeleton approximation is necessary.
+
+pub mod floodmin;
+pub mod naive_min;
+
+pub use floodmin::FloodMin;
+pub use naive_min::NaiveMinHorizon;

@@ -1,0 +1,118 @@
+//! NaiveMinHorizon: flood the minimum for `n − 1` rounds, then decide.
+//!
+//! In a fully synchronous system this solves consensus (every value reaches
+//! everyone within `n − 1` rounds). Under `Psrcs(k)` schedules it is
+//! *unsound*: with no skeleton reasoning, a process cannot tell whether the
+//! values it saw are all it will ever see, and the tests demonstrate runs
+//! where it emits **more than `k`** distinct decisions while Algorithm 1
+//! stays within `k` — the motivating failure that Algorithm 1's
+//! strongly-connected-approximation test repairs.
+
+use sskel_graph::Round;
+use sskel_model::{ProcessCtx, Received, RoundAlgorithm, Value};
+
+/// One process's naive flood-min instance.
+#[derive(Clone, Debug)]
+pub struct NaiveMinHorizon {
+    x: Value,
+    horizon: Round,
+    decision: Option<Value>,
+}
+
+impl NaiveMinHorizon {
+    /// Horizon defaults to `max(n − 1, 1)` rounds.
+    pub fn new(ctx: ProcessCtx) -> Self {
+        NaiveMinHorizon {
+            x: ctx.input,
+            horizon: (ctx.n as Round - 1).max(1),
+            decision: None,
+        }
+    }
+
+    /// The whole system.
+    pub fn spawn_all(n: usize, inputs: &[Value]) -> Vec<Self> {
+        assert_eq!(inputs.len(), n);
+        sskel_graph::ProcessId::all(n)
+            .map(|id| {
+                NaiveMinHorizon::new(ProcessCtx {
+                    id,
+                    n,
+                    input: inputs[id.index()],
+                })
+            })
+            .collect()
+    }
+}
+
+impl RoundAlgorithm for NaiveMinHorizon {
+    type Msg = Value;
+
+    fn send(&self, _r: Round) -> Value {
+        self.x
+    }
+
+    fn receive(&mut self, r: Round, received: &Received<Value>) {
+        for (_, &v) in received.iter() {
+            self.x = self.x.min(v);
+        }
+        if r >= self.horizon && self.decision.is_none() {
+            self.decision = Some(self.x);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg1::KSetAgreement;
+    use sskel_model::{run_lockstep, FixedSchedule, RunUntil};
+    use sskel_predicates::Theorem2Schedule;
+
+    #[test]
+    fn solves_consensus_in_synchronous_runs() {
+        let n = 5;
+        let inputs = vec![9, 8, 7, 6, 5];
+        let s = FixedSchedule::synchronous(n);
+        let (trace, _) = run_lockstep(
+            &s,
+            NaiveMinHorizon::spawn_all(n, &inputs),
+            RunUntil::AllDecided { max_rounds: 20 },
+        );
+        assert_eq!(trace.distinct_decision_values(), vec![5]);
+    }
+
+    /// The motivating failure: on a `Psrcs(2)`-admissible run the naive
+    /// algorithm produces 3 distinct values where Algorithm 1 produces 2.
+    #[test]
+    fn violates_k_agreement_where_algorithm_1_does_not() {
+        let n = 4;
+        let k = 2;
+        // L = {p1}, s = p2, p3/p4 hear {self, s}
+        let s = Theorem2Schedule::new(n, k);
+        // inputs chosen so that min(v_s, v_p3) ≠ v_s: p3's own value is
+        // smaller than the source's
+        let inputs: Vec<Value> = vec![0, 5, 1, 9];
+
+        let (naive, _) = run_lockstep(
+            &s,
+            NaiveMinHorizon::spawn_all(n, &inputs),
+            RunUntil::AllDecided { max_rounds: 20 },
+        );
+        let naive_vals = naive.distinct_decision_values();
+        assert!(
+            naive_vals.len() > k,
+            "expected a k-agreement violation, got {naive_vals:?}"
+        );
+
+        let (alg1, _) = run_lockstep(
+            &s,
+            KSetAgreement::spawn_all(n, &inputs),
+            RunUntil::AllDecided { max_rounds: 20 },
+        );
+        assert!(alg1.distinct_decision_values().len() <= k);
+    }
+}

@@ -1,0 +1,62 @@
+//! Consensus as the `k = 1` special case.
+//!
+//! Algorithm 1 takes no `k` parameter — the number of decision values is
+//! bounded by the *system*: under `Psrcs(k)` at most `k` values emerge
+//! (Theorem 16), so under `Psrcs(1)` the very same algorithm solves
+//! consensus ("the algorithm actually solves consensus in sufficiently
+//! well-behaved runs", §V). This module provides the predicate-side helpers
+//! for that reading.
+
+use sskel_model::Schedule;
+use sskel_predicates::{min_k_on_skeleton, CommPredicate, Psrcs};
+
+/// `true` iff Algorithm 1 is guaranteed to reach *consensus* (one decision
+/// value) on this schedule: `Psrcs(1)` holds on its stable skeleton.
+pub fn guarantees_consensus<S: Schedule + ?Sized>(schedule: &S) -> bool {
+    Psrcs::new(1).holds_on_skeleton(&schedule.stable_skeleton())
+}
+
+/// The strongest agreement guarantee for this schedule: the smallest `k`
+/// with `Psrcs(k)`, i.e. Algorithm 1 decides at most this many values.
+pub fn guaranteed_k<S: Schedule + ?Sized>(schedule: &S) -> usize {
+    min_k_on_skeleton(&schedule.stable_skeleton())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg1::KSetAgreement;
+    use sskel_graph::ProcessId;
+    use sskel_model::{run_lockstep, FixedSchedule, RunUntil, Value};
+    use sskel_predicates::{CrashSchedule, PartitionSchedule, Theorem2Schedule};
+
+    #[test]
+    fn synchronous_and_crash_runs_guarantee_consensus() {
+        assert!(guarantees_consensus(&FixedSchedule::synchronous(5)));
+        assert_eq!(guaranteed_k(&FixedSchedule::synchronous(5)), 1);
+        // crashes with at least one survivor keep a perpetual common source
+        let s = CrashSchedule::new(5, vec![(ProcessId::new(0), 1), (ProcessId::new(1), 3)]);
+        assert!(guarantees_consensus(&s));
+    }
+
+    #[test]
+    fn partitions_and_theorem2_do_not() {
+        assert_eq!(guaranteed_k(&PartitionSchedule::even(9, 3, 1)), 3);
+        assert!(!guarantees_consensus(&PartitionSchedule::even(9, 3, 1)));
+        assert_eq!(guaranteed_k(&Theorem2Schedule::new(7, 4)), 4);
+    }
+
+    #[test]
+    fn guarantee_is_achieved_by_algorithm_1() {
+        // run Algorithm 1 on a guaranteed-consensus crash schedule
+        let s = CrashSchedule::new(4, vec![(ProcessId::new(2), 2)]);
+        let inputs: Vec<Value> = vec![4, 3, 2, 1];
+        let (trace, _) = run_lockstep(
+            &s,
+            KSetAgreement::spawn_all(4, &inputs),
+            RunUntil::AllDecided { max_rounds: 30 },
+        );
+        assert!(trace.all_decided());
+        assert_eq!(trace.distinct_decision_values().len(), 1);
+    }
+}

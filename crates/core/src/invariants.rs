@@ -1,0 +1,264 @@
+//! Round-by-round checkers for the paper's approximation lemmas.
+//!
+//! [`InvariantChecker`] is fed every round of a run (via
+//! [`sskel_model::run_lockstep_observed`]) together with the algorithm
+//! states, and validates, against the ground-truth skeleton it tracks
+//! itself:
+//!
+//! * **Observation 1** — `p ∈ G_p^r` and no edge label `s ≤ r − n`;
+//! * **Lemma 3** — `q ∈ PT(p, r)` iff `G_p^r` has the edge `(q --r--> p)`
+//!   (with that exact label, uniquely);
+//! * **Lemma 5** — for `r ≥ n`: `C^r_p ⊆ G_p^r` (nodes and edges);
+//! * **Lemma 6** — every edge `(q' --s--> q) ∈ G_p^r` satisfies
+//!   `q' ∈ PT(q, s)`;
+//! * **Lemma 7 / Theorem 8** — if `G_p^r` is strongly connected (`r ≥ n`),
+//!   then `G_p^r ⊆ C^{r−n+1}_p`, and `G_p^r` is closed under the stable
+//!   skeleton's strongly connected components;
+//! * **Observation 2** — estimates never increase while undecided.
+//!
+//! These checks are *independent* of the algorithm's own data structures:
+//! the checker recomputes skeletons from the schedule's graphs.
+
+use sskel_graph::{
+    is_strongly_connected, tarjan, Digraph, ProcessId, ProcessSet, Round,
+};
+use sskel_model::{SkeletonTracker, Value};
+
+use crate::alg1::{DecisionPath, KSetAgreement};
+
+/// Accumulates violations of the paper's lemmas over a run.
+#[derive(Debug)]
+pub struct InvariantChecker {
+    n: usize,
+    tracker: SkeletonTracker,
+    /// `skeleton_history[r - 1]` = `G∩r` (ground truth).
+    skeleton_history: Vec<Digraph>,
+    /// Declared stable skeleton, for the Theorem 8 closure check.
+    stable: Digraph,
+    last_estimate: Vec<Value>,
+    violations: Vec<String>,
+}
+
+impl InvariantChecker {
+    /// A checker for a universe of size `n` with the given declared stable
+    /// skeleton.
+    pub fn new(n: usize, stable_skeleton: Digraph) -> Self {
+        InvariantChecker {
+            n,
+            tracker: SkeletonTracker::new(n),
+            skeleton_history: Vec::new(),
+            stable: stable_skeleton,
+            last_estimate: vec![Value::MAX; n],
+            violations: Vec::new(),
+        }
+    }
+
+    /// The violations found so far (empty = all invariants hold).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Panics if any violation was recorded.
+    #[track_caller]
+    pub fn assert_ok(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "lemma invariants violated:\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.violations.push(msg);
+    }
+
+    /// Feeds one completed round: the round number, that round's
+    /// communication graph, and the post-transition algorithm states.
+    pub fn observe_round(&mut self, r: Round, g_r: &Digraph, algs: &[KSetAgreement]) {
+        assert_eq!(algs.len(), self.n);
+        self.tracker.observe(g_r);
+        self.skeleton_history.push(self.tracker.current().clone());
+        let skel_r = self.tracker.current().clone();
+        let full = ProcessSet::full(self.n);
+        let scc_r = tarjan(&skel_r, &full);
+        // skeleton at round max(1, r − n + 1) for the Lemma 7 check
+        let back_round = r.saturating_sub(self.n as Round - 1).max(1);
+        let skel_back = self.skeleton_history[(back_round - 1) as usize].clone();
+        let scc_back = tarjan(&skel_back, &full);
+        let scc_stable = tarjan(&self.stable, &full);
+
+        for (i, alg) in algs.iter().enumerate() {
+            let p = ProcessId::from_usize(i);
+            let gp = alg.approx_graph();
+
+            // --- Observation 1 ---
+            if !gp.contains_node(p) {
+                self.fail(format!("Obs.1: round {r}: {p} ∉ G_{p}"));
+            }
+            if let Some(min) = gp.min_label() {
+                if min + self.n as Round <= r {
+                    self.fail(format!(
+                        "Obs.1: round {r}: stale label {min} ≤ r − n in G_{p}"
+                    ));
+                }
+            }
+
+            // --- Lemma 3: q ∈ PT(p, r) ⟺ (q --r--> p) ∈ G_p^r ---
+            let pt_true = skel_r.in_neighbors(p);
+            if alg.pt() != pt_true {
+                self.fail(format!(
+                    "eq.(7): round {r}: PT_{p} = {} but skeleton says {}",
+                    alg.pt(),
+                    pt_true
+                ));
+            }
+            for q in ProcessId::all(self.n) {
+                let lbl = gp.label(q, p);
+                if pt_true.contains(q) {
+                    if lbl != Some(r) {
+                        self.fail(format!(
+                            "Lemma 3: round {r}: edge ({q} → {p}) has label {lbl:?}, expected {r}"
+                        ));
+                    }
+                } else if lbl == Some(r) {
+                    self.fail(format!(
+                        "Lemma 3: round {r}: fresh edge ({q} → {p}) though {q} ∉ PT({p},{r})"
+                    ));
+                }
+            }
+
+            // --- Lemma 5: r ≥ n ⇒ C^r_p ⊆ G_p (nodes and edges) ---
+            if r >= self.n as Round {
+                let comp = scc_r.component_of(p).expect("p is always in the skeleton");
+                if !comp.is_subset_of(gp.nodes()) {
+                    self.fail(format!(
+                        "Lemma 5: round {r}: C^r_{p} = {comp} ⊄ nodes of G_{p} = {}",
+                        gp.nodes()
+                    ));
+                } else {
+                    for u in comp.iter() {
+                        for v in comp.iter() {
+                            if skel_r.has_edge(u, v) && !gp.has_edge(u, v) {
+                                self.fail(format!(
+                                    "Lemma 5: round {r}: edge ({u} → {v}) of C^r_{p} missing in G_{p}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- Lemma 6: every edge (q' --s--> q) means q' ∈ PT(q, s) ---
+            for (u, v, s) in gp.edges() {
+                let hist = &self.skeleton_history[(s - 1) as usize];
+                if !hist.has_edge(u, v) {
+                    self.fail(format!(
+                        "Lemma 6: round {r}: edge ({u} --{s}--> {v}) in G_{p} but {u} ∉ PT({v},{s})"
+                    ));
+                }
+            }
+
+            // --- Lemma 7 + Theorem 8 on strongly connected approximations ---
+            if r >= self.n as Round && is_strongly_connected(gp, gp.nodes()) {
+                // Lemma 7: G_p ⊆ C^{r−n+1}_p
+                let comp_back = scc_back
+                    .component_of(p)
+                    .expect("p is always in the skeleton");
+                if !gp.nodes().is_subset_of(comp_back) {
+                    self.fail(format!(
+                        "Lemma 7: round {r}: SC G_{p} nodes {} ⊄ C^{back_round}_{p} = {comp_back}",
+                        gp.nodes()
+                    ));
+                }
+                for (u, v, _) in gp.edges() {
+                    if !skel_back.has_edge(u, v) {
+                        self.fail(format!(
+                            "Lemma 7: round {r}: SC G_{p} edge ({u} → {v}) not in G∩{back_round}"
+                        ));
+                    }
+                }
+                // Theorem 8: closure under stable-skeleton components,
+                // applicable once the ground truth has stabilized (the
+                // theorem's C^∞; before stabilization C^r ⊇ C^∞ and the
+                // check would be premature).
+                if skel_r == self.stable {
+                    for q in gp.nodes().iter() {
+                        let cq = scc_stable
+                            .component_of(q)
+                            .expect("q is in the stable skeleton");
+                        if !cq.is_subset_of(gp.nodes()) {
+                            self.fail(format!(
+                                "Thm 8: round {r}: SC G_{p} contains {q} but not all of C^∞_{q} = {cq}"
+                            ));
+                        }
+                    }
+                }
+            }
+
+            // --- Observation 2: monotone estimates while undecided ---
+            if alg.decision_path() != Some(DecisionPath::Relay)
+                && alg.estimate() > self.last_estimate[i]
+            {
+                self.fail(format!(
+                    "Obs.2: round {r}: estimate of {p} rose from {} to {}",
+                    self.last_estimate[i],
+                    alg.estimate()
+                ));
+            }
+            self.last_estimate[i] = alg.estimate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg1::KSetAgreement;
+    use sskel_model::{run_lockstep_observed, RunUntil, Schedule};
+    use sskel_predicates::{NoisySchedule, PartitionSchedule, Theorem2Schedule};
+
+    fn check_run<S: Schedule>(s: &S, inputs: &[Value], rounds: Round) {
+        let n = s.n();
+        let mut checker = InvariantChecker::new(n, s.stable_skeleton());
+        let algs = KSetAgreement::spawn_all(n, inputs);
+        let (_, _) = run_lockstep_observed(
+            s,
+            algs,
+            RunUntil::Rounds(rounds),
+            |r, states: &[KSetAgreement]| {
+                checker.observe_round(r, &s.graph(r), states);
+            },
+        );
+        checker.assert_ok();
+    }
+
+    #[test]
+    fn invariants_hold_on_synchronous_run() {
+        let s = sskel_model::FixedSchedule::synchronous(5);
+        check_run(&s, &[5, 4, 3, 2, 1], 12);
+    }
+
+    #[test]
+    fn invariants_hold_on_theorem2_run() {
+        let s = Theorem2Schedule::new(6, 3);
+        check_run(&s, &[0, 1, 2, 3, 4, 5], 16);
+    }
+
+    #[test]
+    fn invariants_hold_on_partitioned_run() {
+        let s = PartitionSchedule::even(6, 2, 2);
+        check_run(&s, &[9, 8, 7, 6, 5, 4], 16);
+    }
+
+    #[test]
+    fn invariants_hold_under_noise() {
+        let mut skel = Digraph::empty(5);
+        skel.add_self_loops();
+        for i in 0..4 {
+            skel.add_edge(ProcessId::from_usize(i), ProcessId::from_usize(i + 1));
+        }
+        skel.add_edge(ProcessId::new(4), ProcessId::new(0));
+        let s = NoisySchedule::new(skel, 350, 4, 1234);
+        check_run(&s, &[1, 2, 3, 4, 5], 20);
+    }
+}

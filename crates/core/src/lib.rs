@@ -1,0 +1,35 @@
+//! # sskel-kset — Algorithm 1: stable-skeleton approximation and k-set
+//! agreement
+//!
+//! The primary contribution of *“Solving k-Set Agreement with Stable
+//! Skeleton Graphs”* (Biely, Robinson, Schmid, IPDPS-W 2011):
+//!
+//! * [`approx::SkeletonEstimator`] — the generic, predicate-independent
+//!   approximation of the stable skeleton `G∩∞` (Algorithm 1 lines 14–25;
+//!   correct in all runs, Lemmas 3–8);
+//! * [`alg1::KSetAgreement`] — the full Algorithm 1, which decides once its
+//!   approximation becomes strongly connected (`r ≥ n`), achieving k-set
+//!   agreement in every run satisfying `Psrcs(k)` (Theorem 16);
+//! * [`mod@verify`] — run verification of the three problem properties with the
+//!   Lemma-11 termination bound `rST + 2n − 1`;
+//! * [`invariants::InvariantChecker`] — round-by-round validation of
+//!   Observation 1/2, Lemmas 3, 5, 6, 7 and Theorem 8 against
+//!   ground-truth skeletons;
+//! * [`baseline`] — FloodMin (crash-model k-set agreement) and a naive
+//!   fixed-horizon flooder that demonstrably violates k-agreement on
+//!   `Psrcs(k)` runs.
+
+pub mod alg1;
+pub mod approx;
+pub mod baseline;
+pub mod consensus;
+pub mod invariants;
+pub mod msg;
+pub mod verify;
+
+pub use alg1::{DecisionPath, DecisionRule, KSetAgreement};
+pub use approx::SkeletonEstimator;
+pub use baseline::{FloodMin, NaiveMinHorizon};
+pub use invariants::InvariantChecker;
+pub use msg::{KSetMsg, MsgKind};
+pub use verify::{lemma11_bound, verify, Verdict, VerifySpec};

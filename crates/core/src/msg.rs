@@ -1,0 +1,116 @@
+//! Round messages of Algorithm 1.
+//!
+//! Every round, a process broadcasts `(prop, x_p, G_p)` while undecided and
+//! `(decide, x_p, G_p)` afterwards (lines 5–8). The graph payload is what
+//! makes the message bit complexity polynomial in `n` (§V) — measured
+//! exactly by the [`Wire`] encoding.
+
+use bytes::{Buf, BufMut};
+use sskel_graph::LabeledDigraph;
+use sskel_model::{Value, Wire, WireError, WireSized};
+
+/// The message kind tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Still undecided: `(prop, x_p, G_p)`.
+    Prop,
+    /// Decided: `(decide, x_p, G_p)`.
+    Decide,
+}
+
+/// A round message of Algorithm 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KSetMsg {
+    /// `prop` or `decide`.
+    pub kind: MsgKind,
+    /// The sender's current estimate `x_p` (its decision value if decided).
+    pub x: Value,
+    /// The sender's approximation graph `G_p` at the beginning of the round.
+    pub graph: LabeledDigraph,
+}
+
+impl KSetMsg {
+    /// `true` iff this is a decide message.
+    #[inline]
+    pub fn is_decide(&self) -> bool {
+        self.kind == MsgKind::Decide
+    }
+}
+
+impl WireSized for KSetMsg {
+    fn wire_bytes(&self) -> usize {
+        1 + self.x.wire_bytes() + self.graph.wire_bytes()
+    }
+}
+
+impl Wire for KSetMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(match self.kind {
+            MsgKind::Prop => 0,
+            MsgKind::Decide => 1,
+        });
+        self.x.encode(buf);
+        self.graph.encode(buf);
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let kind = match buf.get_u8() {
+            0 => MsgKind::Prop,
+            1 => MsgKind::Decide,
+            _ => return Err(WireError::InvalidValue("unknown message kind")),
+        };
+        let x = Value::decode(buf)?;
+        let graph = LabeledDigraph::decode(buf)?;
+        Ok(KSetMsg { kind, x, graph })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_graph::ProcessId;
+
+    fn sample_msg() -> KSetMsg {
+        let mut g = LabeledDigraph::with_node(5, ProcessId::new(0));
+        g.set_edge_max(ProcessId::new(1), ProcessId::new(0), 3);
+        g.set_edge_max(ProcessId::new(0), ProcessId::new(0), 4);
+        KSetMsg {
+            kind: MsgKind::Prop,
+            x: 42,
+            graph: g,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for kind in [MsgKind::Prop, MsgKind::Decide] {
+            let mut m = sample_msg();
+            m.kind = kind;
+            let bytes = m.to_bytes();
+            assert_eq!(bytes.len(), m.wire_bytes());
+            let mut rd = bytes.clone();
+            assert_eq!(KSetMsg::decode(&mut rd).unwrap(), m);
+            assert!(!rd.has_remaining());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let mut bytes = sample_msg().to_bytes().to_vec();
+        bytes[0] = 9;
+        let mut rd = &bytes[..];
+        assert!(matches!(
+            KSetMsg::decode(&mut rd),
+            Err(WireError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        let mut rd: &[u8] = &[];
+        assert_eq!(KSetMsg::decode(&mut rd), Err(WireError::UnexpectedEnd));
+    }
+}

@@ -1,0 +1,224 @@
+//! Run verification: the three k-set agreement properties plus the
+//! engine-level sanity conditions, checked on every simulated run.
+//!
+//! * **k-Agreement** — at most `k` distinct decision values;
+//! * **Validity** — every decision was some process's proposal;
+//! * **Termination** — every process decides (within the Lemma-11 bound
+//!   `rST + 2n − 1` when one is supplied);
+//! * **decide-once** — no retraction or change (engine anomalies).
+
+use sskel_graph::Round;
+use sskel_model::{RunTrace, Schedule, Value};
+
+/// What to check a trace against.
+#[derive(Clone, Debug)]
+pub struct VerifySpec {
+    /// The agreement parameter `k ≥ 1`.
+    pub k: usize,
+    /// The proposal values (index = process index).
+    pub inputs: Vec<Value>,
+    /// If set, all decisions must have happened by this round.
+    pub termination_bound: Option<Round>,
+}
+
+impl VerifySpec {
+    /// Spec with no termination bound.
+    pub fn new(k: usize, inputs: Vec<Value>) -> Self {
+        VerifySpec {
+            k,
+            inputs,
+            termination_bound: None,
+        }
+    }
+
+    /// Adds the Lemma-11 termination bound `rST + 2n − 1` derived from a
+    /// schedule's declared stabilization round.
+    pub fn with_lemma11_bound<S: Schedule + ?Sized>(mut self, schedule: &S) -> Self {
+        self.termination_bound = Some(lemma11_bound(schedule));
+        self
+    }
+}
+
+/// The Lemma-11 termination bound of a schedule: every process running
+/// Algorithm 1 decides by round `rST + 2n − 1`.
+pub fn lemma11_bound<S: Schedule + ?Sized>(schedule: &S) -> Round {
+    schedule.stabilization_round() + 2 * schedule.n() as Round - 1
+}
+
+/// The verdict of [`verify`]: either clean, or a list of violations.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Human-readable violations; empty iff the run is correct.
+    pub violations: Vec<String>,
+    /// Number of distinct decision values observed.
+    pub distinct_values: usize,
+    /// Latest decision round observed, if any.
+    pub last_decision_round: Option<Round>,
+}
+
+impl Verdict {
+    /// `true` iff no violations were found.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with all violations if any were found (for tests).
+    #[track_caller]
+    pub fn assert_ok(&self) {
+        assert!(
+            self.is_ok(),
+            "run verification failed:\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+}
+
+/// Checks a trace against a spec.
+pub fn verify(trace: &RunTrace, spec: &VerifySpec) -> Verdict {
+    let mut violations = Vec::new();
+
+    if spec.inputs.len() != trace.n {
+        violations.push(format!(
+            "spec has {} inputs but the trace has {} processes",
+            spec.inputs.len(),
+            trace.n
+        ));
+    }
+
+    // Termination.
+    for (i, d) in trace.decisions.iter().enumerate() {
+        match d {
+            None => violations.push(format!(
+                "termination: process p{} never decided (ran {} rounds)",
+                i + 1,
+                trace.rounds_executed
+            )),
+            Some(rec) => {
+                if let Some(bound) = spec.termination_bound {
+                    if rec.round > bound {
+                        violations.push(format!(
+                            "termination: p{} decided at round {} > bound {bound}",
+                            i + 1,
+                            rec.round
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Validity.
+    for (i, d) in trace.decisions.iter().enumerate() {
+        if let Some(rec) = d {
+            if !spec.inputs.contains(&rec.value) {
+                violations.push(format!(
+                    "validity: p{} decided {}, which no process proposed",
+                    i + 1,
+                    rec.value
+                ));
+            }
+        }
+    }
+
+    // k-Agreement.
+    let distinct = trace.distinct_decision_values();
+    if distinct.len() > spec.k {
+        violations.push(format!(
+            "k-agreement: {} distinct values {:?} exceed k = {}",
+            distinct.len(),
+            distinct,
+            spec.k
+        ));
+    }
+
+    // Engine-observed anomalies (decision changes).
+    for a in &trace.anomalies {
+        violations.push(format!("decide-once: {a}"));
+    }
+
+    Verdict {
+        violations,
+        distinct_values: distinct.len(),
+        last_decision_round: trace.last_decision_round(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg1::KSetAgreement;
+    use sskel_model::{run_lockstep, FixedSchedule, RunUntil};
+    use sskel_predicates::Theorem2Schedule;
+
+    #[test]
+    fn clean_synchronous_run_verifies() {
+        let n = 5;
+        let inputs: Vec<Value> = vec![5, 4, 3, 2, 1];
+        let s = FixedSchedule::synchronous(n);
+        let (trace, _) = run_lockstep(
+            &s,
+            KSetAgreement::spawn_all(n, &inputs),
+            RunUntil::AllDecided { max_rounds: 30 },
+        );
+        let spec = VerifySpec::new(1, inputs).with_lemma11_bound(&s);
+        let v = verify(&trace, &spec);
+        v.assert_ok();
+        assert_eq!(v.distinct_values, 1);
+    }
+
+    #[test]
+    fn bound_is_rst_plus_2n_minus_1() {
+        let s = FixedSchedule::synchronous(4);
+        assert_eq!(lemma11_bound(&s), 1 + 8 - 1);
+        let t2 = Theorem2Schedule::new(6, 3);
+        assert_eq!(lemma11_bound(&t2), 1 + 12 - 1);
+    }
+
+    #[test]
+    fn catches_missing_termination() {
+        let n = 3;
+        let s = FixedSchedule::synchronous(n);
+        // stop before round n: nobody decides
+        let (trace, _) = run_lockstep(
+            &s,
+            KSetAgreement::spawn_all(n, &[1, 2, 3]),
+            RunUntil::Rounds(1),
+        );
+        let v = verify(&trace, &VerifySpec::new(1, vec![1, 2, 3]));
+        assert!(!v.is_ok());
+        assert_eq!(v.violations.len(), 3);
+        assert!(v.violations[0].contains("termination"));
+    }
+
+    #[test]
+    fn catches_k_agreement_excess() {
+        let n = 6;
+        let inputs: Vec<Value> = (0..6).collect();
+        let s = Theorem2Schedule::new(n, 3);
+        let (trace, _) = run_lockstep(
+            &s,
+            KSetAgreement::spawn_all(n, &inputs),
+            RunUntil::AllDecided { max_rounds: 40 },
+        );
+        // the run legitimately produces 3 values; claiming k = 2 must fail
+        let v = verify(&trace, &VerifySpec::new(2, inputs.clone()));
+        assert!(!v.is_ok());
+        assert!(v.violations.iter().any(|m| m.contains("k-agreement")));
+        // and k = 3 passes
+        verify(&trace, &VerifySpec::new(3, inputs)).assert_ok();
+    }
+
+    #[test]
+    fn catches_validity_breach() {
+        let n = 3;
+        let s = FixedSchedule::synchronous(n);
+        let (trace, _) = run_lockstep(
+            &s,
+            KSetAgreement::spawn_all(n, &[10, 20, 30]),
+            RunUntil::AllDecided { max_rounds: 20 },
+        );
+        // lie about the inputs: decided min (10) is no longer "proposed"
+        let v = verify(&trace, &VerifySpec::new(1, vec![99, 98, 97]));
+        assert!(v.violations.iter().any(|m| m.contains("validity")));
+    }
+}

@@ -1,0 +1,61 @@
+//! Abstraction over bitset-adjacency graphs.
+//!
+//! Both the plain [`crate::Digraph`] (round communication graphs, skeletons)
+//! and the round-labelled [`crate::LabeledDigraph`] (Algorithm 1's
+//! approximation graphs) expose their adjacency as bitset rows. The graph
+//! algorithms in [`crate::reach`], [`crate::scc`] and [`crate::roots`] are
+//! generic over this trait so the per-round decision test of Algorithm 1
+//! (line 28) runs directly on the labelled representation without a
+//! conversion pass.
+
+use crate::process::ProcessId;
+use crate::pset::ProcessSet;
+
+/// Read access to a directed graph over the fixed universe `{0, …, n−1}`
+/// stored as bitset adjacency rows.
+///
+/// Implementations must keep the symmetry invariant
+/// `out_row(u).contains(v) ⟺ in_row(v).contains(u)`.
+pub trait Adjacency {
+    /// Universe size.
+    fn n(&self) -> usize;
+    /// Successors of `u`.
+    fn out_row(&self, u: ProcessId) -> &ProcessSet;
+    /// Predecessors of `v`.
+    fn in_row(&self, v: ProcessId) -> &ProcessSet;
+    /// Edge test; default in terms of `out_row`.
+    #[inline]
+    fn adj(&self, u: ProcessId, v: ProcessId) -> bool {
+        self.out_row(u).contains(v)
+    }
+}
+
+impl Adjacency for crate::digraph::Digraph {
+    #[inline]
+    fn n(&self) -> usize {
+        Self::n(self)
+    }
+    #[inline]
+    fn out_row(&self, u: ProcessId) -> &ProcessSet {
+        self.out_neighbors(u)
+    }
+    #[inline]
+    fn in_row(&self, v: ProcessId) -> &ProcessSet {
+        self.in_neighbors(v)
+    }
+}
+
+impl<G: Adjacency + ?Sized> Adjacency for &G {
+    #[inline]
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    #[inline]
+    fn out_row(&self, u: ProcessId) -> &ProcessSet {
+        (**self).out_row(u)
+    }
+    #[inline]
+    fn in_row(&self, v: ProcessId) -> &ProcessSet {
+        (**self).in_row(v)
+    }
+}

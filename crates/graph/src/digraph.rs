@@ -1,0 +1,320 @@
+//! Directed graphs over a fixed process universe.
+//!
+//! A [`Digraph`] models a per-round communication graph `G^r = ⟨V, E^r⟩` of
+//! the paper: there is an edge `(p → q)` iff `q` receives `p`'s round-`r`
+//! message. Both out- and in-adjacency are kept as bitset rows so that the
+//! skeleton intersection `G∩r = ⋂ G^r'` (paper eq. (1)) and timely
+//! neighborhoods `PT(p, r)` (the in-neighborhood of `p` in `G∩r`) are
+//! word-parallel operations.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::process::ProcessId;
+use crate::pset::ProcessSet;
+
+/// A directed graph over the fixed universe `{p1, …, pn}`.
+///
+/// Maintains the invariant `out[u].contains(v) ⟺ inn[v].contains(u)`.
+///
+/// ```
+/// use sskel_graph::{Digraph, ProcessId};
+/// let mut g = Digraph::empty(3);
+/// g.add_edge(ProcessId::new(0), ProcessId::new(1));
+/// assert!(g.has_edge(ProcessId::new(0), ProcessId::new(1)));
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Digraph {
+    n: u32,
+    /// `out[u]` = successors of `u` (processes that hear `u`).
+    out: Vec<ProcessSet>,
+    /// `inn[v]` = predecessors of `v` (processes `v` hears of).
+    inn: Vec<ProcessSet>,
+}
+
+impl Digraph {
+    /// The edgeless graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Digraph {
+            n: u32::try_from(n).expect("universe size overflows u32"),
+            out: vec![ProcessSet::empty(n); n],
+            inn: vec![ProcessSet::empty(n); n],
+        }
+    }
+
+    /// The complete graph on `n` nodes **including self-loops** — the
+    /// communication graph of a fully synchronous round.
+    pub fn complete(n: usize) -> Self {
+        Digraph {
+            n: u32::try_from(n).expect("universe size overflows u32"),
+            out: vec![ProcessSet::full(n); n],
+            inn: vec![ProcessSet::full(n); n],
+        }
+    }
+
+    /// Builds a graph from `(from, to)` edge pairs given as 0-based indices.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Self::empty(n);
+        for (u, v) in edges {
+            g.add_edge(ProcessId::from_usize(u), ProcessId::from_usize(v));
+        }
+        g
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Adds the edge `(u → v)`; returns `true` if it was absent.
+    #[inline]
+    pub fn add_edge(&mut self, u: ProcessId, v: ProcessId) -> bool {
+        let fresh = self.out[u.index()].insert(v);
+        self.inn[v.index()].insert(u);
+        fresh
+    }
+
+    /// Removes the edge `(u → v)`; returns `true` if it was present.
+    #[inline]
+    pub fn remove_edge(&mut self, u: ProcessId, v: ProcessId) -> bool {
+        let had = self.out[u.index()].remove(v);
+        self.inn[v.index()].remove(u);
+        had
+    }
+
+    /// Edge test `(u → v) ∈ E`.
+    #[inline]
+    pub fn has_edge(&self, u: ProcessId, v: ProcessId) -> bool {
+        self.out[u.index()].contains(v)
+    }
+
+    /// The successors of `u`: every `v` with `(u → v) ∈ E`.
+    #[inline]
+    pub fn out_neighbors(&self, u: ProcessId) -> &ProcessSet {
+        &self.out[u.index()]
+    }
+
+    /// The predecessors of `v`: every `u` with `(u → v) ∈ E`.
+    ///
+    /// For a skeleton graph `G∩r` this is exactly the timely neighborhood
+    /// `PT(v, r)` of the paper.
+    #[inline]
+    pub fn in_neighbors(&self, v: ProcessId) -> &ProcessSet {
+        &self.inn[v.index()]
+    }
+
+    /// Total number of edges (self-loops included).
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(ProcessSet::len).sum()
+    }
+
+    /// Iterates over all edges in `(source, target)` lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        (0..self.n())
+            .map(ProcessId::from_usize)
+            .flat_map(move |u| self.out[u.index()].iter().map(move |v| (u, v)))
+    }
+
+    /// In-place intersection `self ∩= other` (edge-wise); the node set is the
+    /// shared universe. This is the skeleton step `E∩r = E∩(r−1) ∩ E^r`.
+    pub fn intersect_with(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n, "digraphs over different universes");
+        for (a, b) in self.out.iter_mut().zip(&other.out) {
+            a.intersect_with(b);
+        }
+        for (a, b) in self.inn.iter_mut().zip(&other.inn) {
+            a.intersect_with(b);
+        }
+    }
+
+    /// The edge-wise intersection `self ∩ other`.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut g = self.clone();
+        g.intersect_with(other);
+        g
+    }
+
+    /// In-place union `self ∪= other` (edge-wise).
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n, "digraphs over different universes");
+        for (a, b) in self.out.iter_mut().zip(&other.out) {
+            a.union_with(b);
+        }
+        for (a, b) in self.inn.iter_mut().zip(&other.inn) {
+            a.union_with(b);
+        }
+    }
+
+    /// The edge-wise union `self ∪ other`.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut g = self.clone();
+        g.union_with(other);
+        g
+    }
+
+    /// Edge-wise subgraph test `self ⊆ other`.
+    pub fn is_subgraph_of(&self, other: &Self) -> bool {
+        assert_eq!(self.n, other.n, "digraphs over different universes");
+        self.out
+            .iter()
+            .zip(&other.out)
+            .all(|(a, b)| a.is_subset_of(b))
+    }
+
+    /// Adds the self-loop `(p → p)` for every `p`.
+    ///
+    /// The paper assumes every process perceives itself as timely
+    /// (`∀p: p ∈ PT(p)`, Fig. 1 caption); admissible communication graphs
+    /// therefore contain all self-loops.
+    pub fn add_self_loops(&mut self) {
+        for p in ProcessId::all(self.n()) {
+            self.add_edge(p, p);
+        }
+    }
+
+    /// `true` iff every node has its self-loop.
+    pub fn has_all_self_loops(&self) -> bool {
+        ProcessId::all(self.n()).all(|p| self.has_edge(p, p))
+    }
+
+    /// The subgraph induced by `nodes`: keeps only edges with both endpoints
+    /// in `nodes` (indexing over the full universe is preserved).
+    pub fn induced(&self, nodes: &ProcessSet) -> Self {
+        assert_eq!(self.n(), nodes.universe(), "node mask universe mismatch");
+        let mut g = Self::empty(self.n());
+        for u in nodes.iter() {
+            let mut row = self.out[u.index()].clone();
+            row.intersect_with(nodes);
+            for v in row.iter() {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// The reverse (transpose) graph: `(u → v)` becomes `(v → u)`.
+    pub fn reverse(&self) -> Self {
+        Digraph {
+            n: self.n,
+            out: self.inn.clone(),
+            inn: self.out.clone(),
+        }
+    }
+
+    /// The set of nodes with at least one incident edge (including
+    /// self-loops). Useful for rendering.
+    pub fn non_isolated_nodes(&self) -> ProcessSet {
+        let mut s = ProcessSet::empty(self.n());
+        for p in ProcessId::all(self.n()) {
+            if !self.out[p.index()].is_empty() || !self.inn[p.index()].is_empty() {
+                s.insert(p);
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Digraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digraph(n={}, edges=[", self.n)?;
+        for (i, (u, v)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}→{v}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    #[test]
+    fn empty_and_complete() {
+        let e = Digraph::empty(5);
+        let c = Digraph::complete(5);
+        assert_eq!(e.edge_count(), 0);
+        assert_eq!(c.edge_count(), 25);
+        assert!(e.is_subgraph_of(&c));
+        assert!(c.has_all_self_loops());
+        assert!(!e.has_all_self_loops());
+    }
+
+    #[test]
+    fn add_remove_keeps_inn_out_consistent() {
+        let mut g = Digraph::empty(4);
+        assert!(g.add_edge(p(0), p(1)));
+        assert!(!g.add_edge(p(0), p(1)));
+        assert!(g.has_edge(p(0), p(1)));
+        assert!(!g.has_edge(p(1), p(0)));
+        assert!(g.in_neighbors(p(1)).contains(p(0)));
+        assert!(g.out_neighbors(p(0)).contains(p(1)));
+        assert!(g.remove_edge(p(0), p(1)));
+        assert!(!g.remove_edge(p(0), p(1)));
+        assert!(g.in_neighbors(p(1)).is_empty());
+    }
+
+    #[test]
+    fn intersection_is_skeleton_step() {
+        let g1 = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let g2 = Digraph::from_edges(3, [(0, 1), (2, 0), (1, 0)]);
+        let skel = g1.intersect(&g2);
+        assert!(skel.has_edge(p(0), p(1)));
+        assert!(skel.has_edge(p(2), p(0)));
+        assert!(!skel.has_edge(p(1), p(2)));
+        assert_eq!(skel.edge_count(), 2);
+        assert!(skel.is_subgraph_of(&g1));
+        assert!(skel.is_subgraph_of(&g2));
+    }
+
+    #[test]
+    fn union_and_reverse() {
+        let g1 = Digraph::from_edges(3, [(0, 1)]);
+        let g2 = Digraph::from_edges(3, [(1, 2)]);
+        let u = g1.union(&g2);
+        assert_eq!(u.edge_count(), 2);
+        let r = u.reverse();
+        assert!(r.has_edge(p(1), p(0)));
+        assert!(r.has_edge(p(2), p(1)));
+        assert_eq!(r.reverse(), u);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (3, 0)]);
+        let sub = g.induced(&ProcessSet::from_indices(4, [0, 1]));
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.has_edge(p(0), p(1)));
+        assert!(sub.has_edge(p(1), p(0)));
+        assert!(!sub.has_edge(p(1), p(2)));
+    }
+
+    #[test]
+    fn edges_iterator_is_lexicographic() {
+        let g = Digraph::from_edges(3, [(2, 0), (0, 2), (0, 1)]);
+        let v: Vec<(usize, usize)> = g.edges().map(|(a, b)| (a.index(), b.index())).collect();
+        assert_eq!(v, vec![(0, 1), (0, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn self_loops() {
+        let mut g = Digraph::empty(3);
+        g.add_self_loops();
+        assert!(g.has_all_self_loops());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn non_isolated() {
+        let g = Digraph::from_edges(4, [(0, 1)]);
+        assert_eq!(g.non_isolated_nodes(), ProcessSet::from_indices(4, [0, 1]));
+    }
+}

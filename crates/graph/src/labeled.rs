@@ -1,0 +1,417 @@
+//! Round-labelled digraphs — Algorithm 1's approximation graphs.
+//!
+//! In contrast to the stable skeleton `G∩r`, the local approximation `G_p`
+//! maintained by every process is a **weighted** digraph: edge `(q' --s--> q)`
+//! records that `q' ∈ PT(q, s)` held at round `s` (Lemma 6). Labels drive the
+//! aging rule of Algorithm 1 line 24 (edges whose label is older than `n − 1`
+//! rounds are purged) and are combined by **max** when merging received
+//! graphs (lines 19–23), which is what guarantees Lemma 3(c): at most one
+//! labelled edge per node pair.
+//!
+//! The structure also carries an explicit node set `V_p` (the paper's
+//! line 18 unions node sets, line 25 prunes nodes), which can temporarily
+//! contain nodes without incident edges.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::adjacency::Adjacency;
+use crate::digraph::Digraph;
+use crate::process::{ProcessId, Round};
+use crate::pset::ProcessSet;
+use crate::reach;
+use crate::scc;
+
+/// Absent-edge sentinel in the dense label matrix (rounds start at 1).
+const NO_EDGE: Round = 0;
+
+/// A digraph with one `Round` label per edge and an explicit node set, over
+/// the fixed universe `{p1, …, pn}`.
+///
+/// Representation: dense `n × n` label matrix (`0` = absent) plus bitset
+/// adjacency rows kept in sync, so the strong-connectivity decision test and
+/// the reachability prune run word-parallel.
+///
+/// ```
+/// use sskel_graph::{LabeledDigraph, ProcessId};
+/// let p = ProcessId::new(0);
+/// let q = ProcessId::new(1);
+/// let mut g = LabeledDigraph::with_node(2, p); // ⟨{p}, ∅⟩, line 15
+/// g.set_edge_max(q, p, 3);                     // q --3--> p, line 17
+/// assert_eq!(g.label(q, p), Some(3));
+/// g.set_edge_max(q, p, 2);                     // older label loses
+/// assert_eq!(g.label(q, p), Some(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledDigraph {
+    n: u32,
+    nodes: ProcessSet,
+    /// Row-major `n × n`: `labels[u * n + v]` is the label of `(u → v)`.
+    labels: Vec<Round>,
+    out: Vec<ProcessSet>,
+    inn: Vec<ProcessSet>,
+}
+
+impl LabeledDigraph {
+    /// The graph `⟨∅, ∅⟩` over a universe of size `n`.
+    pub fn new(n: usize) -> Self {
+        LabeledDigraph {
+            n: u32::try_from(n).expect("universe size overflows u32"),
+            nodes: ProcessSet::empty(n),
+            labels: vec![NO_EDGE; n * n],
+            out: vec![ProcessSet::empty(n); n],
+            inn: vec![ProcessSet::empty(n); n],
+        }
+    }
+
+    /// The graph `⟨{p}, ∅⟩` — Algorithm 1's reset state (line 15).
+    pub fn with_node(n: usize, p: ProcessId) -> Self {
+        let mut g = Self::new(n);
+        g.insert_node(p);
+        g
+    }
+
+    /// Universe size `n`.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The node set `V_p`.
+    #[inline]
+    pub fn nodes(&self) -> &ProcessSet {
+        &self.nodes
+    }
+
+    /// Number of nodes in `V_p`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds `p` to the node set.
+    #[inline]
+    pub fn insert_node(&mut self, p: ProcessId) {
+        self.nodes.insert(p);
+    }
+
+    /// Unions another node set into `V_p` (line 18).
+    #[inline]
+    pub fn union_nodes(&mut self, other: &ProcessSet) {
+        self.nodes.union_with(other);
+    }
+
+    /// Membership in `V_p`.
+    #[inline]
+    pub fn contains_node(&self, p: ProcessId) -> bool {
+        self.nodes.contains(p)
+    }
+
+    #[inline]
+    fn idx(&self, u: ProcessId, v: ProcessId) -> usize {
+        u.index() * self.n as usize + v.index()
+    }
+
+    /// The label of edge `(u → v)`, or `None` if absent.
+    #[inline]
+    pub fn label(&self, u: ProcessId, v: ProcessId) -> Option<Round> {
+        match self.labels[self.idx(u, v)] {
+            NO_EDGE => None,
+            r => Some(r),
+        }
+    }
+
+    /// Edge test.
+    #[inline]
+    pub fn has_edge(&self, u: ProcessId, v: ProcessId) -> bool {
+        self.labels[self.idx(u, v)] != NO_EDGE
+    }
+
+    /// Inserts edge `(u --round--> v)`, keeping the **maximum** label if the
+    /// edge already exists (the `rmax` rule of lines 20–23). Endpoints are
+    /// added to the node set. Returns the resulting label.
+    ///
+    /// # Panics
+    /// Panics if `round == 0` (rounds are 1-based; 0 is the absent sentinel).
+    pub fn set_edge_max(&mut self, u: ProcessId, v: ProcessId, round: Round) -> Round {
+        assert_ne!(round, NO_EDGE, "edge labels are 1-based rounds");
+        self.nodes.insert(u);
+        self.nodes.insert(v);
+        let i = self.idx(u, v);
+        if self.labels[i] == NO_EDGE {
+            self.out[u.index()].insert(v);
+            self.inn[v.index()].insert(u);
+        }
+        self.labels[i] = self.labels[i].max(round);
+        self.labels[i]
+    }
+
+    /// Removes edge `(u → v)` if present (the node set is untouched).
+    pub fn remove_edge(&mut self, u: ProcessId, v: ProcessId) -> bool {
+        let i = self.idx(u, v);
+        if self.labels[i] == NO_EDGE {
+            return false;
+        }
+        self.labels[i] = NO_EDGE;
+        self.out[u.index()].remove(v);
+        self.inn[v.index()].remove(u);
+        true
+    }
+
+    /// Merges another labelled graph into this one: node sets are unioned and
+    /// every edge of `other` is inserted with max-combine. Applying this to
+    /// each received graph `G_q`, `q ∈ PT_p`, implements lines 18–23 of
+    /// Algorithm 1.
+    pub fn merge_max(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n, "labelled graphs over different universes");
+        self.nodes.union_with(&other.nodes);
+        for u in other.nodes.iter() {
+            for v in other.out[u.index()].iter() {
+                let label = other.labels[other.idx(u, v)];
+                debug_assert_ne!(label, NO_EDGE);
+                let i = self.idx(u, v);
+                if self.labels[i] == NO_EDGE {
+                    self.out[u.index()].insert(v);
+                    self.inn[v.index()].insert(u);
+                }
+                self.labels[i] = self.labels[i].max(label);
+            }
+        }
+    }
+
+    /// Discards every edge with label `≤ cutoff` (Algorithm 1 line 24 with
+    /// `cutoff = r − n`; Observation 1: no surviving edge has `s ≤ r − n`).
+    /// Nodes are untouched. Returns the number of purged edges.
+    pub fn purge_labels_le(&mut self, cutoff: Round) -> usize {
+        let mut purged = 0;
+        for u in self.nodes.clone().iter() {
+            for v in self.out[u.index()].clone().iter() {
+                let i = self.idx(u, v);
+                if self.labels[i] <= cutoff {
+                    self.labels[i] = NO_EDGE;
+                    self.out[u.index()].remove(v);
+                    self.inn[v.index()].remove(u);
+                    purged += 1;
+                }
+            }
+        }
+        purged
+    }
+
+    /// Keeps only nodes from which `target` is reachable (plus `target`
+    /// itself), removing all other nodes and their incident edges —
+    /// Algorithm 1 line 25 with `target = p`. Returns the set of dropped
+    /// nodes.
+    pub fn retain_reaching(&mut self, target: ProcessId) -> ProcessSet {
+        let keep = reach::ancestors(self, target, &self.nodes.clone());
+        let mut dropped = self.nodes.clone();
+        dropped.difference_with(&keep);
+        for gone in dropped.iter() {
+            for v in self.out[gone.index()].clone().iter() {
+                self.remove_edge(gone, v);
+            }
+            for u in self.inn[gone.index()].clone().iter() {
+                self.remove_edge(u, gone);
+            }
+            self.nodes.remove(gone);
+        }
+        // `target` stays even if it was absent before (defensive; Algorithm 1
+        // guarantees p ∈ V_p).
+        self.nodes.insert(target);
+        dropped
+    }
+
+    /// Strong-connectivity of the node set under the current edges —
+    /// Algorithm 1's decision test (line 28). Singleton node sets count as
+    /// strongly connected; the empty graph does not.
+    pub fn is_strongly_connected(&self) -> bool {
+        scc::is_strongly_connected(self, &self.nodes)
+    }
+
+    /// Iterates over all labelled edges as `(u, v, label)`, lexicographically.
+    pub fn edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId, Round)> + '_ {
+        self.nodes.iter().flat_map(move |u| {
+            self.out[u.index()]
+                .iter()
+                .map(move |v| (u, v, self.labels[self.idx(u, v)]))
+        })
+    }
+
+    /// Number of labelled edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|u| self.out[u.index()].len()).sum()
+    }
+
+    /// Forgets labels, producing a plain digraph over the same universe (the
+    /// paper's "unweighted version of `G_p`" used in subgraph relations like
+    /// Lemma 5/7).
+    pub fn to_digraph(&self) -> Digraph {
+        let mut g = Digraph::empty(self.universe());
+        for (u, v, _) in self.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The smallest label currently present, if any edge exists.
+    pub fn min_label(&self) -> Option<Round> {
+        self.edges().map(|(_, _, l)| l).min()
+    }
+
+    /// The largest label currently present, if any edge exists.
+    pub fn max_label(&self) -> Option<Round> {
+        self.edges().map(|(_, _, l)| l).max()
+    }
+}
+
+impl Adjacency for LabeledDigraph {
+    #[inline]
+    fn n(&self) -> usize {
+        self.universe()
+    }
+    #[inline]
+    fn out_row(&self, u: ProcessId) -> &ProcessSet {
+        &self.out[u.index()]
+    }
+    #[inline]
+    fn in_row(&self, v: ProcessId) -> &ProcessSet {
+        &self.inn[v.index()]
+    }
+}
+
+impl fmt::Display for LabeledDigraph {
+    /// Renders as `⟨{p1, p2}, [p2 --3--> p1, …]⟩`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, [", self.nodes)?;
+        for (i, (u, v, l)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u} --{l}--> {v}")?;
+        }
+        write!(f, "]⟩")
+    }
+}
+
+impl fmt::Debug for LabeledDigraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    #[test]
+    fn reset_state_is_single_node() {
+        let g = LabeledDigraph::with_node(4, p(2));
+        assert_eq!(g.node_count(), 1);
+        assert!(g.contains_node(p(2)));
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_strongly_connected()); // singleton convention
+    }
+
+    #[test]
+    fn max_combine_keeps_freshest_label() {
+        let mut g = LabeledDigraph::new(3);
+        assert_eq!(g.set_edge_max(p(0), p(1), 2), 2);
+        assert_eq!(g.set_edge_max(p(0), p(1), 5), 5);
+        assert_eq!(g.set_edge_max(p(0), p(1), 3), 5);
+        assert_eq!(g.label(p(0), p(1)), Some(5));
+        assert_eq!(g.edge_count(), 1); // Lemma 3(c): one edge per pair
+    }
+
+    #[test]
+    fn merge_max_unions_nodes_and_maxes_labels() {
+        let mut a = LabeledDigraph::with_node(4, p(0));
+        a.set_edge_max(p(1), p(0), 1);
+        let mut b = LabeledDigraph::with_node(4, p(3));
+        b.set_edge_max(p(1), p(0), 4);
+        b.set_edge_max(p(2), p(3), 2);
+        a.merge_max(&b);
+        assert_eq!(a.label(p(1), p(0)), Some(4));
+        assert_eq!(a.label(p(2), p(3)), Some(2));
+        assert_eq!(a.nodes(), &ProcessSet::from_indices(4, [0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn purge_drops_stale_edges_only() {
+        let mut g = LabeledDigraph::new(3);
+        g.set_edge_max(p(0), p(1), 1);
+        g.set_edge_max(p(1), p(2), 2);
+        g.set_edge_max(p(2), p(0), 3);
+        assert_eq!(g.purge_labels_le(2), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.label(p(2), p(0)), Some(3));
+        assert!(!g.has_edge(p(0), p(1)));
+        // nodes survive a purge
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn retain_reaching_prunes_non_ancestors() {
+        // 1 → 0, 2 → 1 reach 0; 3 is only reachable FROM 0 (0 → 3), and 4 is
+        // disconnected: 3 and 4 must be pruned from p0's graph.
+        let mut g = LabeledDigraph::new(5);
+        g.set_edge_max(p(1), p(0), 1);
+        g.set_edge_max(p(2), p(1), 1);
+        g.set_edge_max(p(0), p(3), 1);
+        g.insert_node(p(4));
+        let dropped = g.retain_reaching(p(0));
+        assert_eq!(dropped, ProcessSet::from_indices(5, [3, 4]));
+        assert_eq!(g.nodes(), &ProcessSet::from_indices(5, [0, 1, 2]));
+        assert!(!g.has_edge(p(0), p(3)));
+        assert!(g.has_edge(p(2), p(1)));
+    }
+
+    #[test]
+    fn strong_connectivity_test() {
+        let mut g = LabeledDigraph::new(3);
+        g.set_edge_max(p(0), p(1), 1);
+        g.set_edge_max(p(1), p(2), 1);
+        assert!(!g.is_strongly_connected());
+        g.set_edge_max(p(2), p(0), 1);
+        assert!(g.is_strongly_connected());
+        assert!(!LabeledDigraph::new(3).is_strongly_connected()); // empty
+    }
+
+    #[test]
+    fn to_digraph_preserves_edges() {
+        let mut g = LabeledDigraph::new(3);
+        g.set_edge_max(p(0), p(1), 7);
+        g.set_edge_max(p(1), p(0), 9);
+        let d = g.to_digraph();
+        assert_eq!(d.edge_count(), 2);
+        assert!(d.has_edge(p(0), p(1)));
+        assert!(d.has_edge(p(1), p(0)));
+    }
+
+    #[test]
+    fn min_max_labels() {
+        let mut g = LabeledDigraph::new(3);
+        assert_eq!(g.min_label(), None);
+        g.set_edge_max(p(0), p(1), 4);
+        g.set_edge_max(p(1), p(2), 9);
+        assert_eq!(g.min_label(), Some(4));
+        assert_eq!(g.max_label(), Some(9));
+    }
+
+    #[test]
+    fn display_mentions_labels() {
+        let mut g = LabeledDigraph::new(2);
+        g.set_edge_max(p(1), p(0), 3);
+        assert_eq!(g.to_string(), "⟨{p1, p2}, [p2 --3--> p1]⟩");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_label_rejected() {
+        let mut g = LabeledDigraph::new(2);
+        g.set_edge_max(p(0), p(1), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Process identifiers and rounds.
+//!
+//! The paper considers a fixed, finite set of processes
+//! `Π = {p1, …, pn}` and an infinite sequence of communication-closed
+//! rounds `r = 1, 2, …`. We index processes `0..n` internally and render
+//! them `p1, …, pn` (1-based) to match the paper's figures.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A round number, starting at 1 as in the paper (`r > 0`).
+///
+/// Round `0` never occurs as an actual round; it is occasionally useful as a
+/// sentinel for "before the first round" (e.g. the absent-edge label inside
+/// [`crate::LabeledDigraph`]).
+pub type Round = u32;
+
+/// The first round of every run.
+pub const FIRST_ROUND: Round = 1;
+
+/// Identifier of a process: a dense index into the universe `Π = {0, …, n−1}`.
+///
+/// Displayed 1-based (`p1`, `p2`, …) to match the paper's Figure 1.
+///
+/// ```
+/// use sskel_graph::ProcessId;
+/// let p = ProcessId::new(0);
+/// assert_eq!(p.to_string(), "p1");
+/// assert_eq!(p.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from its 0-based index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Creates a process id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn from_usize(index: usize) -> Self {
+        ProcessId(u32::try_from(index).expect("process index overflows u32"))
+    }
+
+    /// The 0-based index of this process.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` index.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Iterator over all process ids of a universe of size `n`:
+    /// `p1, p2, …, pn`.
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + ExactSizeIterator {
+        (0..u32::try_from(n).expect("universe size overflows u32")).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<ProcessId> for usize {
+    #[inline]
+    fn from(p: ProcessId) -> usize {
+        p.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(ProcessId::new(0).to_string(), "p1");
+        assert_eq!(ProcessId::new(5).to_string(), "p6");
+        assert_eq!(format!("{:?}", ProcessId::new(2)), "p3");
+    }
+
+    #[test]
+    fn all_enumerates_the_universe() {
+        let ids: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], ProcessId::new(0));
+        assert_eq!(ids[3], ProcessId::new(3));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+    }
+
+    #[test]
+    fn round_constants() {
+        assert_eq!(FIRST_ROUND, 1);
+    }
+}

@@ -1,0 +1,469 @@
+//! Fixed-universe bitsets of processes.
+//!
+//! Nearly every operation of the paper's algorithms is a set operation over
+//! subsets of the process universe `Π` — timely neighborhoods `PT(p, r)`,
+//! strongly connected components, node sets `V_p` of approximation graphs.
+//! [`ProcessSet`] packs such subsets into `u64` words so that intersection,
+//! union, and subset tests run in `O(n / 64)`.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, Sub};
+use serde::{Deserialize, Serialize};
+
+use crate::process::ProcessId;
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn word_count(n: usize) -> usize {
+    n.div_ceil(WORD_BITS)
+}
+
+/// A subset of a fixed process universe `Π = {p1, …, pn}`, stored as a bitset.
+///
+/// All binary operations require both operands to share the same universe
+/// size and panic otherwise; mixing universes is always a logic error in this
+/// code base.
+///
+/// ```
+/// use sskel_graph::{ProcessId, ProcessSet};
+/// let mut s = ProcessSet::empty(6);
+/// s.insert(ProcessId::new(0));
+/// s.insert(ProcessId::new(4));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.to_string(), "{p1, p5}");
+/// assert!(s.is_subset_of(&ProcessSet::full(6)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessSet {
+    /// Universe size `n`.
+    n: u32,
+    /// `ceil(n / 64)` words; bits at positions `>= n` are always zero.
+    words: Vec<u64>,
+}
+
+impl ProcessSet {
+    /// The empty subset of a universe of size `n`.
+    pub fn empty(n: usize) -> Self {
+        ProcessSet {
+            n: u32::try_from(n).expect("universe size overflows u32"),
+            words: vec![0; word_count(n)],
+        }
+    }
+
+    /// The full universe `Π` of size `n`.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.clear_tail();
+        s
+    }
+
+    /// The singleton `{p}` in a universe of size `n`.
+    pub fn singleton(n: usize, p: ProcessId) -> Self {
+        let mut s = Self::empty(n);
+        s.insert(p);
+        s
+    }
+
+    /// Builds a set from an iterator of process ids over a universe of size `n`.
+    pub fn from_iter_n(n: usize, iter: impl IntoIterator<Item = ProcessId>) -> Self {
+        let mut s = Self::empty(n);
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Builds a set from 0-based indices, mostly for tests and examples.
+    pub fn from_indices(n: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        Self::from_iter_n(n, indices.into_iter().map(ProcessId::from_usize))
+    }
+
+    /// Universe size `n` (not the cardinality; see [`ProcessSet::len`]).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Zeroes the bits beyond position `n` (maintains the representation
+    /// invariant after whole-word operations).
+    #[inline]
+    fn clear_tail(&mut self) {
+        let n = self.n as usize;
+        let rem = n % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn check_index(&self, p: ProcessId) {
+        assert!(
+            p.get() < self.n,
+            "process {p} out of universe of size {}",
+            self.n
+        );
+    }
+
+    #[inline]
+    fn check_same_universe(&self, other: &Self) {
+        assert_eq!(
+            self.n, other.n,
+            "process sets over different universes ({} vs {})",
+            self.n, other.n
+        );
+    }
+
+    /// Inserts `p`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        self.check_index(p);
+        let (w, b) = (p.index() / WORD_BITS, p.index() % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `p`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        self.check_index(p);
+        let (w, b) = (p.index() / WORD_BITS, p.index() % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, p: ProcessId) -> bool {
+        if p.get() >= self.n {
+            return false;
+        }
+        let (w, b) = (p.index() / WORD_BITS, p.index() % WORD_BITS);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Cardinality of the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place intersection `self ∩= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &Self) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union `self ∪= other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &Self) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference `self ∖= other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &Self) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// The complement `Π ∖ self`.
+    pub fn complement(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.clear_tail();
+        out
+    }
+
+    /// Subset test `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Disjointness test `self ∩ other = ∅`.
+    #[inline]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.check_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// `true` iff the two sets share at least one element.
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<ProcessId> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                return Some(ProcessId::from_usize(i * WORD_BITS + bit));
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the smallest member, if any.
+    pub fn pop_first(&mut self) -> Option<ProcessId> {
+        let p = self.first()?;
+        self.remove(p);
+        Some(p)
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Direct read access to the backing words (for word-parallel algorithms
+    /// such as the BFS in [`crate::reach`]).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word-parallel `self ∪= (other ∩ mask)`, returning `true` if `self`
+    /// changed. This is the inner step of frontier-based reachability.
+    #[inline]
+    pub fn union_with_masked(&mut self, other: &Self, mask: &Self) -> bool {
+        self.check_same_universe(other);
+        self.check_same_universe(mask);
+        let mut changed = false;
+        for ((a, b), m) in self.words.iter_mut().zip(&other.words).zip(&mask.words) {
+            let new = *a | (*b & *m);
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+}
+
+impl<'a> IntoIterator for &'a ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`].
+pub struct Iter<'a> {
+    set: &'a ProcessSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(ProcessId::from_usize(self.word_idx * WORD_BITS + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest: usize = (self.current.count_ones() as usize)
+            + self.set.words[(self.word_idx + 1).min(self.set.words.len())..]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
+        (rest, Some(rest))
+    }
+}
+
+impl BitAnd for &ProcessSet {
+    type Output = ProcessSet;
+    fn bitand(self, rhs: &ProcessSet) -> ProcessSet {
+        let mut out = self.clone();
+        out.intersect_with(rhs);
+        out
+    }
+}
+
+impl BitOr for &ProcessSet {
+    type Output = ProcessSet;
+    fn bitor(self, rhs: &ProcessSet) -> ProcessSet {
+        let mut out = self.clone();
+        out.union_with(rhs);
+        out
+    }
+}
+
+impl Sub for &ProcessSet {
+    type Output = ProcessSet;
+    fn sub(self, rhs: &ProcessSet) -> ProcessSet {
+        let mut out = self.clone();
+        out.difference_with(rhs);
+        out
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = ProcessSet::empty(70);
+        let f = ProcessSet::full(70);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(f.len(), 70);
+        assert!(e.is_subset_of(&f));
+        assert_eq!(f.complement(), e);
+        assert_eq!(e.complement(), f);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::empty(100);
+        assert!(s.insert(p(63)));
+        assert!(s.insert(p(64)));
+        assert!(!s.insert(p(64)));
+        assert!(s.contains(p(63)));
+        assert!(s.contains(p(64)));
+        assert!(!s.contains(p(65)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(p(63)));
+        assert!(!s.remove(p(63)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcessSet::from_indices(10, [0, 1, 2, 3]);
+        let b = ProcessSet::from_indices(10, [2, 3, 4, 5]);
+        assert_eq!(&a & &b, ProcessSet::from_indices(10, [2, 3]));
+        assert_eq!(&a | &b, ProcessSet::from_indices(10, [0, 1, 2, 3, 4, 5]));
+        assert_eq!(&a - &b, ProcessSet::from_indices(10, [0, 1]));
+        assert!(ProcessSet::from_indices(10, [2]).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(a.intersects(&b));
+        assert!(a.is_disjoint(&ProcessSet::from_indices(10, [7, 8])));
+    }
+
+    #[test]
+    fn iteration_order_and_first() {
+        let s = ProcessSet::from_indices(130, [129, 0, 64, 65]);
+        let v: Vec<usize> = s.iter().map(|q| q.index()).collect();
+        assert_eq!(v, vec![0, 64, 65, 129]);
+        assert_eq!(s.first(), Some(p(0)));
+        let mut s2 = s.clone();
+        assert_eq!(s2.pop_first(), Some(p(0)));
+        assert_eq!(s2.first(), Some(p(64)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s = ProcessSet::from_indices(6, [0, 4]);
+        assert_eq!(s.to_string(), "{p1, p5}");
+        assert_eq!(ProcessSet::empty(3).to_string(), "{}");
+    }
+
+    #[test]
+    fn complement_respects_tail_bits() {
+        let s = ProcessSet::from_indices(65, [64]);
+        let c = s.complement();
+        assert_eq!(c.len(), 64);
+        assert!(!c.contains(p(64)));
+        assert!(c.contains(p(0)));
+    }
+
+    #[test]
+    fn union_with_masked_reports_change() {
+        let mut acc = ProcessSet::from_indices(8, [0]);
+        let other = ProcessSet::from_indices(8, [1, 2]);
+        let mask = ProcessSet::from_indices(8, [2, 3]);
+        assert!(acc.union_with_masked(&other, &mask));
+        assert_eq!(acc, ProcessSet::from_indices(8, [0, 2]));
+        assert!(!acc.union_with_masked(&other, &mask));
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn mixing_universes_panics() {
+        let a = ProcessSet::empty(4);
+        let b = ProcessSet::empty(5);
+        let _ = a.is_subset_of(&b);
+    }
+
+    #[test]
+    fn out_of_universe_contains_is_false() {
+        let s = ProcessSet::full(4);
+        assert!(!s.contains(p(4)));
+    }
+}

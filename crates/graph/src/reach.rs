@@ -1,0 +1,184 @@
+//! Reachability over digraphs, word-parallel.
+//!
+//! Algorithm 1 needs two reachability primitives:
+//!
+//! * line 25 prunes every node of the approximation graph that cannot
+//!   **reach** the owning process `p` — the [`ancestors`] of `p`;
+//! * Lemma 4/11 arguments walk **forward** paths — the [`descendants`].
+//!
+//! Both are breadth-first searches whose frontier expansion unions whole
+//! bitset adjacency rows, so one BFS costs `O(|reached| · n / 64)`.
+
+use crate::adjacency::Adjacency;
+use crate::process::ProcessId;
+use crate::pset::ProcessSet;
+
+/// All nodes reachable from `src` (including `src` itself) along directed
+/// edges, restricted to the node mask `within`.
+///
+/// If `src ∉ within`, the result is empty.
+pub fn descendants<G: Adjacency>(g: &G, src: ProcessId, within: &ProcessSet) -> ProcessSet {
+    assert_eq!(g.n(), within.universe(), "mask universe mismatch");
+    let mut visited = ProcessSet::empty(g.n());
+    if !within.contains(src) {
+        return visited;
+    }
+    visited.insert(src);
+    let mut frontier = visited.clone();
+    while !frontier.is_empty() {
+        let mut next = ProcessSet::empty(g.n());
+        for u in frontier.iter() {
+            next.union_with_masked(g.out_row(u), within);
+        }
+        next.difference_with(&visited);
+        visited.union_with(&next);
+        frontier = next;
+    }
+    visited
+}
+
+/// All nodes that can reach `dst` (including `dst` itself) along directed
+/// edges, restricted to the node mask `within`.
+pub fn ancestors<G: Adjacency>(g: &G, dst: ProcessId, within: &ProcessSet) -> ProcessSet {
+    assert_eq!(g.n(), within.universe(), "mask universe mismatch");
+    let mut visited = ProcessSet::empty(g.n());
+    if !within.contains(dst) {
+        return visited;
+    }
+    visited.insert(dst);
+    let mut frontier = visited.clone();
+    while !frontier.is_empty() {
+        let mut next = ProcessSet::empty(g.n());
+        for v in frontier.iter() {
+            next.union_with_masked(g.in_row(v), within);
+        }
+        next.difference_with(&visited);
+        visited.union_with(&next);
+        frontier = next;
+    }
+    visited
+}
+
+/// `true` iff there is a directed path from `u` to `v` (a path of length 0
+/// when `u = v`).
+pub fn can_reach<G: Adjacency>(g: &G, u: ProcessId, v: ProcessId) -> bool {
+    descendants(g, u, &ProcessSet::full(g.n())).contains(v)
+}
+
+/// Length of the shortest directed path from `u` to `v` within `within`
+/// (0 when `u = v`), or `None` if `v` is unreachable.
+///
+/// The paper repeatedly uses that simple paths have length at most `n − 1`
+/// (e.g. in Lemma 4 and Theorem 8); this function lets tests check those
+/// bounds explicitly.
+pub fn distance<G: Adjacency>(g: &G, u: ProcessId, v: ProcessId, within: &ProcessSet) -> Option<usize> {
+    assert_eq!(g.n(), within.universe(), "mask universe mismatch");
+    if !within.contains(u) || !within.contains(v) {
+        return None;
+    }
+    let mut visited = ProcessSet::singleton(g.n(), u);
+    let mut frontier = visited.clone();
+    let mut dist = 0usize;
+    loop {
+        if frontier.contains(v) {
+            return Some(dist);
+        }
+        let mut next = ProcessSet::empty(g.n());
+        for w in frontier.iter() {
+            next.union_with_masked(g.out_row(w), within);
+        }
+        next.difference_with(&visited);
+        if next.is_empty() {
+            return None;
+        }
+        visited.union_with(&next);
+        frontier = next;
+        dist += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::Digraph;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    /// 0 → 1 → 2 → 0 cycle, 3 → 0 entry, 4 isolated.
+    fn cycle_plus_tail() -> Digraph {
+        Digraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 0)])
+    }
+
+    #[test]
+    fn descendants_follow_direction() {
+        let g = cycle_plus_tail();
+        let full = ProcessSet::full(5);
+        assert_eq!(
+            descendants(&g, p(3), &full),
+            ProcessSet::from_indices(5, [0, 1, 2, 3])
+        );
+        assert_eq!(
+            descendants(&g, p(0), &full),
+            ProcessSet::from_indices(5, [0, 1, 2])
+        );
+        assert_eq!(descendants(&g, p(4), &full), ProcessSet::from_indices(5, [4]));
+    }
+
+    #[test]
+    fn ancestors_are_reverse_reachability() {
+        let g = cycle_plus_tail();
+        let full = ProcessSet::full(5);
+        assert_eq!(
+            ancestors(&g, p(0), &full),
+            ProcessSet::from_indices(5, [0, 1, 2, 3])
+        );
+        assert_eq!(ancestors(&g, p(3), &full), ProcessSet::from_indices(5, [3]));
+        // ancestors(v) = descendants(v) in the reverse graph
+        let rev = g.reverse();
+        for i in 0..5 {
+            assert_eq!(ancestors(&g, p(i), &full), descendants(&rev, p(i), &full));
+        }
+    }
+
+    #[test]
+    fn mask_restricts_search() {
+        let g = cycle_plus_tail();
+        let mask = ProcessSet::from_indices(5, [0, 2, 3]);
+        // path 3→0 ok, but 0→1→2 is blocked because 1 ∉ mask
+        assert_eq!(
+            descendants(&g, p(3), &mask),
+            ProcessSet::from_indices(5, [0, 3])
+        );
+        // src outside the mask yields the empty set
+        assert!(descendants(&g, p(1), &mask).is_empty());
+    }
+
+    #[test]
+    fn can_reach_includes_trivial_path() {
+        let g = cycle_plus_tail();
+        assert!(can_reach(&g, p(0), p(0)));
+        assert!(can_reach(&g, p(3), p(2)));
+        assert!(!can_reach(&g, p(0), p(3)));
+        assert!(!can_reach(&g, p(0), p(4)));
+    }
+
+    #[test]
+    fn distances() {
+        let g = cycle_plus_tail();
+        let full = ProcessSet::full(5);
+        assert_eq!(distance(&g, p(3), p(3), &full), Some(0));
+        assert_eq!(distance(&g, p(3), p(0), &full), Some(1));
+        assert_eq!(distance(&g, p(3), p(2), &full), Some(3));
+        assert_eq!(distance(&g, p(0), p(3), &full), None);
+        // simple paths never exceed n − 1
+        for u in 0..5 {
+            for v in 0..5 {
+                if let Some(d) = distance(&g, p(u), p(v), &full) {
+                    assert!(d <= 4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Condensation DAGs and root components.
+//!
+//! A strongly connected component `C^r` of a skeleton `G∩r` is a **root
+//! component** iff it has no incoming edge from outside
+//! (`∀p ∈ C^r ∀q: (q → p) ∈ G∩r ⇒ q ∈ C^r`, §II of the paper). Theorem 1
+//! shows that runs satisfying `Psrcs(k)` have at most `k` root components in
+//! the stable skeleton; Algorithm 1's correctness hinges on the one-to-one
+//! correspondence between root components and decision values.
+
+use crate::adjacency::Adjacency;
+use crate::process::ProcessId;
+use crate::pset::ProcessSet;
+use crate::scc::{tarjan, SccDecomposition};
+
+/// The condensation of (the `within`-induced subgraph of) a digraph: one node
+/// per strongly connected component, with deduplicated edges between distinct
+/// components.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// The underlying SCC decomposition (Tarjan order: reverse topological).
+    pub scc: SccDecomposition,
+    /// `dag_out[c]` = indices of components reachable from component `c` by a
+    /// single original edge (no duplicates, no self-edges).
+    pub dag_out: Vec<Vec<u32>>,
+    /// Number of distinct in-neighbor components of each component.
+    pub dag_in_degree: Vec<u32>,
+}
+
+impl Condensation {
+    /// Computes the condensation of the subgraph induced by `within`.
+    pub fn new<G: Adjacency>(g: &G, within: &ProcessSet) -> Self {
+        let scc = tarjan(g, within);
+        let ncomp = scc.count();
+        let mut dag_out: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+        let mut dag_in_degree = vec![0u32; ncomp];
+        let mut seen = vec![u32::MAX; ncomp]; // dedup marker per source comp
+
+        for (cid, comp) in scc.components().iter().enumerate() {
+            for u in comp.iter() {
+                let mut succ = g.out_row(u).clone();
+                succ.intersect_with(within);
+                for v in succ.iter() {
+                    let dst = scc
+                        .component_index_of(v)
+                        .expect("successor inside mask must be in a component");
+                    if dst != cid && seen[dst] != cid as u32 {
+                        seen[dst] = cid as u32;
+                        dag_out[cid].push(dst as u32);
+                        dag_in_degree[dst] += 1;
+                    }
+                }
+            }
+        }
+
+        Condensation {
+            scc,
+            dag_out,
+            dag_in_degree,
+        }
+    }
+
+    /// Indices of root components (condensation in-degree 0).
+    pub fn root_indices(&self) -> Vec<usize> {
+        self.dag_in_degree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The root components themselves.
+    pub fn root_components(&self) -> Vec<ProcessSet> {
+        self.root_indices()
+            .into_iter()
+            .map(|i| self.scc.components()[i].clone())
+            .collect()
+    }
+
+    /// A topological order of component indices (sources first).
+    ///
+    /// Tarjan emits components in reverse topological order, so this is just
+    /// the reversed index sequence — asserted against in-degrees in tests.
+    pub fn topological_order(&self) -> Vec<usize> {
+        (0..self.scc.count()).rev().collect()
+    }
+
+    /// `true` iff the component containing `p` is a root component.
+    pub fn is_in_root_component(&self, p: ProcessId) -> bool {
+        self.scc
+            .component_index_of(p)
+            .is_some_and(|c| self.dag_in_degree[c] == 0)
+    }
+}
+
+/// Convenience: the root components of the subgraph induced by `within`.
+///
+/// Every nonempty graph has at least one root component (the condensation is
+/// a DAG and hence has a source — used in the proof of Lemma 11).
+pub fn root_components<G: Adjacency>(g: &G, within: &ProcessSet) -> Vec<ProcessSet> {
+    Condensation::new(g, within).root_components()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::Digraph;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    /// Figure 1b of the paper: root components {p1,p2} and {p3,p4,p5};
+    /// p6 is downstream.
+    fn figure_1b() -> Digraph {
+        Digraph::from_edges(6, [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 5), (4, 5)])
+    }
+
+    #[test]
+    fn figure_1b_has_two_root_components() {
+        let g = figure_1b();
+        let mut roots = root_components(&g, &ProcessSet::full(6));
+        roots.sort_by_key(|c| c.first().unwrap().index());
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0], ProcessSet::from_indices(6, [0, 1]));
+        assert_eq!(roots[1], ProcessSet::from_indices(6, [2, 3, 4]));
+    }
+
+    #[test]
+    fn nonempty_graph_always_has_a_root_component() {
+        // Even a single cycle: the cycle itself is the root component.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let roots = root_components(&g, &ProcessSet::full(4));
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0], ProcessSet::full(4));
+    }
+
+    #[test]
+    fn edgeless_graph_every_singleton_is_a_root() {
+        let g = Digraph::empty(5);
+        let roots = root_components(&g, &ProcessSet::full(5));
+        assert_eq!(roots.len(), 5);
+    }
+
+    #[test]
+    fn self_loops_do_not_create_incoming_edges() {
+        let mut g = figure_1b();
+        g.add_self_loops();
+        assert_eq!(root_components(&g, &ProcessSet::full(6)).len(), 2);
+    }
+
+    #[test]
+    fn is_in_root_component() {
+        let g = figure_1b();
+        let cond = Condensation::new(&g, &ProcessSet::full(6));
+        assert!(cond.is_in_root_component(p(0)));
+        assert!(cond.is_in_root_component(p(4)));
+        assert!(!cond.is_in_root_component(p(5)));
+    }
+
+    #[test]
+    fn topological_order_respects_in_degrees() {
+        let g = figure_1b();
+        let cond = Condensation::new(&g, &ProcessSet::full(6));
+        let order = cond.topological_order();
+        // position of each component in the order
+        let mut pos = vec![0usize; cond.scc.count()];
+        for (i, &c) in order.iter().enumerate() {
+            pos[c] = i;
+        }
+        for (c, outs) in cond.dag_out.iter().enumerate() {
+            for &d in outs {
+                assert!(pos[c] < pos[d as usize], "edge {c}→{d} violates topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_changes_roots() {
+        let g = figure_1b();
+        // Without p1 (index 0), p2 (index 1) loses its cycle partner: {p2}
+        // becomes a singleton root.
+        let mask = ProcessSet::from_indices(6, [1, 2, 3, 4, 5]);
+        let cond = Condensation::new(&g, &mask);
+        assert!(cond.is_in_root_component(p(1)));
+        assert_eq!(cond.root_components().len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Simulation engines.
+//!
+//! Two engines drive [`crate::algorithm::RoundAlgorithm`] instances through
+//! the round structure of a [`crate::schedule::Schedule`]:
+//!
+//! * [`lockstep`] — deterministic, single-threaded, supports per-round
+//!   observers (used for Figure 1 and the lemma-invariant tests);
+//! * [`threaded`] — one OS thread per process, real message channels
+//!   (crossbeam) and a spin barrier per round; asserted to produce traces
+//!   identical to lockstep.
+//!
+//! Both deliver round-`r` messages exactly along the edges of `G^r`:
+//! process `q` receives `p`'s round-`r` broadcast iff `(p → q) ∈ G^r`.
+
+pub mod lockstep;
+pub mod threaded;
+
+pub use lockstep::{run_lockstep, run_lockstep_observed};
+pub use threaded::run_threaded;
+
+use sskel_graph::Round;
+
+/// When an engine stops executing rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunUntil {
+    /// Execute exactly this many rounds.
+    Rounds(Round),
+    /// Stop at the end of the first round in which every process has
+    /// decided, or after `max_rounds` rounds, whichever comes first.
+    AllDecided {
+        /// Hard cap on rounds (guards against non-terminating runs).
+        max_rounds: Round,
+    },
+}
+
+impl RunUntil {
+    /// `true` if the run should stop after round `r` given the current
+    /// all-decided status.
+    #[inline]
+    pub(crate) fn should_stop(self, r: Round, all_decided: bool) -> bool {
+        match self {
+            RunUntil::Rounds(max) => r >= max,
+            RunUntil::AllDecided { max_rounds } => all_decided || r >= max_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_conditions() {
+        assert!(!RunUntil::Rounds(5).should_stop(4, true));
+        assert!(RunUntil::Rounds(5).should_stop(5, false));
+        assert!(RunUntil::AllDecided { max_rounds: 10 }.should_stop(3, true));
+        assert!(!RunUntil::AllDecided { max_rounds: 10 }.should_stop(3, false));
+        assert!(RunUntil::AllDecided { max_rounds: 10 }.should_stop(10, false));
+    }
+}

@@ -1,0 +1,311 @@
+//! Threaded round engine: one OS thread per process, real message channels.
+//!
+//! This engine exercises the same [`RoundAlgorithm`] instances over actual
+//! inter-thread message passing (crossbeam MPSC channels), implementing
+//! communication-closed rounds with a [`SpinBarrier`] per round:
+//!
+//! 1. every thread runs its sending function and pushes the round message
+//!    into the channel of each recipient dictated by `G^r`;
+//! 2. every thread drains its channel until it has received one message from
+//!    each of its round-`r` in-neighbors (messages are round-tagged; early
+//!    arrivals from round `r + 1` are stashed);
+//! 3. every thread runs its transition function and publishes its decision
+//!    status;
+//! 4. two barrier phases close the round: the leader evaluates the global
+//!    stop condition between them.
+//!
+//! The trace produced is **bit-identical** to [`super::lockstep`] for the
+//! same schedule and algorithms (asserted by integration tests): the paper's
+//! runs are fully determined by initial states plus the graph sequence, and
+//! the engine introduces no other nondeterminism.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use sskel_graph::{ProcessId, Round, FIRST_ROUND};
+
+use crate::algorithm::{Received, RoundAlgorithm, Value};
+use crate::engine::RunUntil;
+use crate::schedule::Schedule;
+use crate::sync::SpinBarrier;
+use crate::trace::{MsgStats, RunTrace};
+use crate::wire::WireSized;
+
+type Packet<M> = (Round, ProcessId, Arc<M>);
+
+struct ThreadOutcome<A> {
+    alg: A,
+    first_decision: Option<(Round, Value)>,
+    stats: MsgStats,
+    anomalies: Vec<String>,
+    rounds_executed: Round,
+}
+
+/// Runs `algs` against `schedule` with one thread per process.
+///
+/// Semantically identical to [`super::run_lockstep`]; see the module docs for
+/// the synchronization protocol.
+///
+/// # Panics
+/// Panics if `algs.len() != schedule.n()` or a worker thread panics.
+pub fn run_threaded<S, A>(schedule: &S, algs: Vec<A>, until: RunUntil) -> (RunTrace, Vec<A>)
+where
+    S: Schedule + Sync + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: WireSized,
+{
+    let n = schedule.n();
+    assert_eq!(algs.len(), n, "need exactly one algorithm instance per process");
+
+    let mut trace = RunTrace::new(n);
+    let barrier = SpinBarrier::new(n);
+    let stop = AtomicBool::new(false);
+    let decided: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    let mut txs: Vec<Sender<Packet<A::Msg>>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Option<Receiver<Packet<A::Msg>>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
+
+    let mut outcomes: Vec<Option<ThreadOutcome<A>>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (p, (alg, rx)) in algs.into_iter().zip(rxs.iter_mut()).enumerate() {
+            let me = ProcessId::from_usize(p);
+            let rx = rx.take().expect("receiver taken twice");
+            let txs = &txs;
+            let barrier = &barrier;
+            let stop = &stop;
+            let decided = &decided;
+            handles.push(scope.spawn(move || {
+                run_process(schedule, me, alg, rx, txs, barrier, stop, decided, until)
+            }));
+        }
+        for (p, h) in handles.into_iter().enumerate() {
+            outcomes[p] = Some(h.join().expect("process thread panicked"));
+        }
+    });
+
+    let mut algs_back = Vec::with_capacity(n);
+    for (p, outcome) in outcomes.into_iter().enumerate() {
+        let o = outcome.expect("missing thread outcome");
+        if let Some((round, value)) = o.first_decision {
+            trace.record_decision(ProcessId::from_usize(p), round, value);
+        }
+        trace.msg_stats.broadcasts += o.stats.broadcasts;
+        trace.msg_stats.deliveries += o.stats.deliveries;
+        trace.msg_stats.broadcast_bytes += o.stats.broadcast_bytes;
+        trace.msg_stats.delivered_bytes += o.stats.delivered_bytes;
+        trace.anomalies.extend(o.anomalies);
+        trace.rounds_executed = trace.rounds_executed.max(o.rounds_executed);
+        algs_back.push(o.alg);
+    }
+    (trace, algs_back)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_process<S, A>(
+    schedule: &S,
+    me: ProcessId,
+    mut alg: A,
+    rx: Receiver<Packet<A::Msg>>,
+    txs: &[Sender<Packet<A::Msg>>],
+    barrier: &SpinBarrier,
+    stop: &AtomicBool,
+    decided: &[AtomicBool],
+    until: RunUntil,
+) -> ThreadOutcome<A>
+where
+    S: Schedule + Sync + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: WireSized,
+{
+    let n = schedule.n();
+    let mut stats = MsgStats::default();
+    let mut first_decision: Option<(Round, Value)> = None;
+    let mut anomalies = Vec::new();
+    // Early arrivals from the next round (sender raced ahead of us).
+    let mut stash: VecDeque<Packet<A::Msg>> = VecDeque::new();
+    let mut r: Round = FIRST_ROUND;
+
+    loop {
+        let g = schedule.graph(r);
+
+        // 1. Send along the out-edges of G^r.
+        let msg = Arc::new(alg.send(r));
+        let sz = msg.wire_bytes() as u64;
+        let receivers = g.out_neighbors(me);
+        stats.broadcasts += 1;
+        stats.broadcast_bytes += sz;
+        stats.deliveries += receivers.len() as u64;
+        stats.delivered_bytes += sz * receivers.len() as u64;
+        for v in receivers.iter() {
+            txs[v.index()]
+                .send((r, me, Arc::clone(&msg)))
+                .expect("recipient channel closed");
+        }
+
+        // 2. Receive one message per in-edge of G^r.
+        let expected = g.in_neighbors(me);
+        let mut rcv = Received::new(n);
+        let mut remaining = expected.len();
+        // First consume stashed packets that belong to this round.
+        let stashed = std::mem::take(&mut stash);
+        for (pr, q, m) in stashed {
+            if pr == r {
+                debug_assert!(expected.contains(q), "unexpected sender {q} in round {r}");
+                rcv.insert(q, m);
+                remaining -= 1;
+            } else {
+                stash.push_back((pr, q, m));
+            }
+        }
+        while remaining > 0 {
+            let (pr, q, m) = rx.recv().expect("message channel closed mid-round");
+            if pr == r {
+                debug_assert!(expected.contains(q), "unexpected sender {q} in round {r}");
+                rcv.insert(q, m);
+                remaining -= 1;
+            } else {
+                debug_assert!(pr > r, "stale round-{pr} packet in round {r}");
+                stash.push_back((pr, q, m));
+            }
+        }
+
+        // 3. Transition, then publish decision status.
+        alg.receive(r, &rcv);
+        if let Some(v) = alg.decision() {
+            match first_decision {
+                None => {
+                    first_decision = Some((r, v));
+                    decided[me.index()].store(true, Ordering::Release);
+                }
+                Some((r0, v0)) if v0 != v => anomalies.push(format!(
+                    "process {me} changed its decision from {v0} (round {r0}) to {v} (round {r})"
+                )),
+                Some(_) => {}
+            }
+        }
+
+        // 4. Close the round. The leader of the first barrier phase decides
+        //    whether the run stops; the second phase publishes that verdict.
+        if barrier.wait() {
+            let all = decided.iter().all(|d| d.load(Ordering::Acquire));
+            stop.store(until.should_stop(r, all), Ordering::Release);
+        }
+        barrier.wait();
+        if stop.load(Ordering::Acquire) {
+            return ThreadOutcome {
+                alg,
+                first_decision,
+                stats,
+                anomalies,
+                rounds_executed: r,
+            };
+        }
+        r += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lockstep::run_lockstep;
+    use crate::schedule::{FixedSchedule, TableSchedule};
+    use sskel_graph::Digraph;
+
+    /// Same toy algorithm as the lockstep tests.
+    struct MinFlood {
+        x: Value,
+        horizon: Round,
+        decision: Option<Value>,
+    }
+
+    impl RoundAlgorithm for MinFlood {
+        type Msg = Value;
+        fn send(&self, _r: Round) -> Value {
+            self.x
+        }
+        fn receive(&mut self, r: Round, received: &Received<Value>) {
+            for (_, &v) in received.iter() {
+                self.x = self.x.min(v);
+            }
+            if r >= self.horizon {
+                self.decision.get_or_insert(self.x);
+            }
+        }
+        fn decision(&self) -> Option<Value> {
+            self.decision
+        }
+    }
+
+    fn spawn(n: usize, horizon: Round) -> Vec<MinFlood> {
+        (0..n)
+            .map(|i| MinFlood {
+                x: (n - i) as Value * 10,
+                horizon,
+                decision: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_matches_lockstep_on_synchronous_runs() {
+        for n in [1usize, 2, 3, 8, 16] {
+            let s = FixedSchedule::synchronous(n);
+            let until = RunUntil::AllDecided { max_rounds: 20 };
+            let (t1, _) = run_lockstep(&s, spawn(n, 3), until);
+            let (t2, _) = run_threaded(&s, spawn(n, 3), until);
+            assert_eq!(t1.decisions, t2.decisions, "n={n}");
+            assert_eq!(t1.rounds_executed, t2.rounds_executed);
+            assert_eq!(t1.msg_stats, t2.msg_stats);
+            assert!(t2.anomalies.is_empty());
+        }
+    }
+
+    #[test]
+    fn threaded_matches_lockstep_on_dynamic_graphs() {
+        // ring in odd rounds via prefix, complete afterwards
+        let n = 6;
+        let ring = {
+            let mut g = Digraph::empty(n);
+            g.add_self_loops();
+            for i in 0..n {
+                g.add_edge(ProcessId::from_usize(i), ProcessId::from_usize((i + 1) % n));
+            }
+            g
+        };
+        let s = TableSchedule::new(
+            vec![ring.clone(), Digraph::complete(n), ring],
+            Digraph::complete(n),
+        );
+        let until = RunUntil::Rounds(8);
+        let (t1, _) = run_lockstep(&s, spawn(n, 5), until);
+        let (t2, _) = run_threaded(&s, spawn(n, 5), until);
+        assert_eq!(t1.decisions, t2.decisions);
+        assert_eq!(t1.msg_stats, t2.msg_stats);
+    }
+
+    #[test]
+    fn stops_when_everyone_decided() {
+        let s = FixedSchedule::synchronous(4);
+        let (trace, _) = run_threaded(&s, spawn(4, 2), RunUntil::AllDecided { max_rounds: 50 });
+        assert!(trace.all_decided());
+        assert_eq!(trace.rounds_executed, 2);
+    }
+
+    #[test]
+    fn single_process_run() {
+        let s = FixedSchedule::synchronous(1);
+        let (trace, algs) = run_threaded(&s, spawn(1, 1), RunUntil::AllDecided { max_rounds: 5 });
+        assert!(trace.all_decided());
+        assert_eq!(algs.len(), 1);
+    }
+}

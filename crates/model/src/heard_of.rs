@@ -1,0 +1,178 @@
+//! Heard-Of sets and Round-by-Round Fault Detector views.
+//!
+//! The paper relates its skeleton graphs to two established round-by-round
+//! formalisms (eqs. (6) and (7)):
+//!
+//! * **Heard-Of model** (Charron-Bost & Schiper): `HO(p, r)` is the set of
+//!   processes `p` hears from in round `r` — exactly the in-neighborhood of
+//!   `p` in `G^r`.
+//! * **Round-by-Round Fault Detectors** (Gafni): `D(p, r)` is the set of
+//!   *suspected* processes; `p` waits for everyone else, so
+//!   `D(p, r) = Π ∖ HO(p, r)` under the paper's convention that suspected
+//!   processes are never heard from.
+//!
+//! The correspondence:
+//!
+//! ```text
+//! (p → q) ∈ E∩r  ⟺  ∀r' ≤ r: p ∈ HO(q, r')  ⟺  ∀r' ≤ r: p ∉ D(q, r')   (6)
+//! PT(p, r) = ⋂_{0<r'≤r} HO(p, r')  =  Π ∖ ⋃_{0<r'≤r} D(p, r')            (7)
+//! ```
+
+use sskel_graph::{Digraph, ProcessId, ProcessSet};
+
+/// The Heard-Of collection of one round: `HO(p, r)` for every `p`.
+pub fn ho_sets(g: &Digraph) -> Vec<ProcessSet> {
+    (0..g.n())
+        .map(|p| g.in_neighbors(ProcessId::from_usize(p)).clone())
+        .collect()
+}
+
+/// The RRFD outputs of one round: `D(p, r) = Π ∖ HO(p, r)`.
+pub fn rrfd_sets(g: &Digraph) -> Vec<ProcessSet> {
+    (0..g.n())
+        .map(|p| g.in_neighbors(ProcessId::from_usize(p)).complement())
+        .collect()
+}
+
+/// Reconstructs a communication graph from a Heard-Of collection
+/// (the inverse of [`ho_sets`]).
+pub fn graph_from_ho(ho: &[ProcessSet]) -> Digraph {
+    let n = ho.len();
+    let mut g = Digraph::empty(n);
+    for (p, set) in ho.iter().enumerate() {
+        assert_eq!(set.universe(), n, "HO set universe mismatch");
+        for q in set.iter() {
+            g.add_edge(q, ProcessId::from_usize(p));
+        }
+    }
+    g
+}
+
+/// Folds a round sequence of HO collections into the timely neighborhoods
+/// `PT(p, r) = ⋂_{r' ≤ r} HO(p, r')` — the HO side of eq. (7).
+pub fn pt_from_ho_history<'a>(rounds: impl IntoIterator<Item = &'a [ProcessSet]>) -> Vec<ProcessSet> {
+    let mut acc: Option<Vec<ProcessSet>> = None;
+    for ho in rounds {
+        match &mut acc {
+            None => acc = Some(ho.to_vec()),
+            Some(a) => {
+                assert_eq!(a.len(), ho.len(), "HO collections over different universes");
+                for (x, y) in a.iter_mut().zip(ho) {
+                    x.intersect_with(y);
+                }
+            }
+        }
+    }
+    acc.expect("at least one round required")
+}
+
+/// Folds a round sequence of RRFD collections into the timely neighborhoods
+/// `PT(p, r) = Π ∖ ⋃_{r' ≤ r} D(p, r')` — the RRFD side of eq. (7).
+pub fn pt_from_rrfd_history<'a>(
+    rounds: impl IntoIterator<Item = &'a [ProcessSet]>,
+) -> Vec<ProcessSet> {
+    let mut union: Option<Vec<ProcessSet>> = None;
+    for d in rounds {
+        match &mut union {
+            None => union = Some(d.to_vec()),
+            Some(a) => {
+                assert_eq!(a.len(), d.len(), "RRFD collections over different universes");
+                for (x, y) in a.iter_mut().zip(d) {
+                    x.union_with(y);
+                }
+            }
+        }
+    }
+    union
+        .expect("at least one round required")
+        .into_iter()
+        .map(|s| s.complement())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::SkeletonTracker;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    fn sample_rounds() -> Vec<Digraph> {
+        let mut g1 = Digraph::complete(4);
+        g1.remove_edge(p(3), p(0));
+        let mut g2 = Digraph::complete(4);
+        g2.remove_edge(p(2), p(1));
+        g2.remove_edge(p(3), p(1));
+        vec![g1, g2]
+    }
+
+    #[test]
+    fn ho_is_in_neighborhood() {
+        let g = sample_rounds().remove(0);
+        let ho = ho_sets(&g);
+        assert_eq!(ho[0], ProcessSet::from_indices(4, [0, 1, 2]));
+        assert_eq!(ho[1], ProcessSet::full(4));
+    }
+
+    #[test]
+    fn rrfd_is_complement_of_ho() {
+        let g = sample_rounds().remove(0);
+        let ho = ho_sets(&g);
+        let d = rrfd_sets(&g);
+        for i in 0..4 {
+            assert_eq!(d[i], ho[i].complement());
+        }
+        assert_eq!(d[0], ProcessSet::from_indices(4, [3]));
+    }
+
+    #[test]
+    fn graph_round_trips_through_ho() {
+        for g in sample_rounds() {
+            assert_eq!(graph_from_ho(&ho_sets(&g)), g);
+        }
+    }
+
+    /// Equation (7): both folds produce the in-neighborhoods of the skeleton.
+    #[test]
+    fn pt_folds_agree_with_skeleton() {
+        let rounds = sample_rounds();
+        let mut tracker = SkeletonTracker::new(4);
+        for g in &rounds {
+            tracker.observe(g);
+        }
+        let ho_hist: Vec<Vec<ProcessSet>> = rounds.iter().map(ho_sets).collect();
+        let d_hist: Vec<Vec<ProcessSet>> = rounds.iter().map(rrfd_sets).collect();
+
+        let pt_ho = pt_from_ho_history(ho_hist.iter().map(Vec::as_slice));
+        let pt_d = pt_from_rrfd_history(d_hist.iter().map(Vec::as_slice));
+
+        for i in 0..4 {
+            assert_eq!(&pt_ho[i], tracker.pt(p(i)), "HO fold, process {i}");
+            assert_eq!(&pt_d[i], tracker.pt(p(i)), "RRFD fold, process {i}");
+        }
+        // concrete spot check: p1 lost p4 in round 1, p2 lost p3 & p4 in round 2
+        assert_eq!(pt_ho[0], ProcessSet::from_indices(4, [0, 1, 2]));
+        assert_eq!(pt_ho[1], ProcessSet::from_indices(4, [0, 1]));
+    }
+
+    /// Equation (6): skeleton edges are exactly "heard in every round so far".
+    #[test]
+    fn skeleton_edge_iff_always_heard() {
+        let rounds = sample_rounds();
+        let mut tracker = SkeletonTracker::new(4);
+        let mut ho_hist: Vec<Vec<ProcessSet>> = Vec::new();
+        for g in &rounds {
+            tracker.observe(g);
+            ho_hist.push(ho_sets(g));
+        }
+        for u in 0..4 {
+            for v in 0..4 {
+                let in_skel = tracker.current().has_edge(p(u), p(v));
+                let always_heard = ho_hist.iter().all(|ho| ho[v].contains(p(u)));
+                assert_eq!(in_skel, always_heard, "edge ({u}→{v})");
+            }
+        }
+    }
+}

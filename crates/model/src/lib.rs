@@ -1,0 +1,35 @@
+//! # sskel-model — the round-based computing model
+//!
+//! Implements §II of *“Solving k-Set Agreement with Stable Skeleton
+//! Graphs”* (Biely, Robinson, Schmid, 2011): communication-closed rounds,
+//! algorithms as send/transition function pairs, runs determined by a
+//! sequence of per-round communication graphs, skeleton intersection, and
+//! the Heard-Of / Round-by-Round-Fault-Detector correspondences (eqs.
+//! (6)–(7)).
+//!
+//! Two interchangeable simulation engines execute algorithms:
+//!
+//! * [`engine::run_lockstep`] — deterministic, single-threaded, observable
+//!   round by round;
+//! * [`engine::run_threaded`] — one OS thread per process with crossbeam
+//!   channels and a spin barrier per round, producing identical traces.
+//!
+//! [`parallel::par_map`] fans independent simulations out across cores for
+//! the Monte-Carlo experiments.
+
+pub mod algorithm;
+pub mod engine;
+pub mod heard_of;
+pub mod parallel;
+pub mod schedule;
+pub mod skeleton;
+pub mod sync;
+pub mod trace;
+pub mod wire;
+
+pub use algorithm::{ProcessCtx, Received, RoundAlgorithm, Value};
+pub use engine::{run_lockstep, run_lockstep_observed, run_threaded, RunUntil};
+pub use schedule::{validate as validate_schedule, FixedSchedule, Schedule, TableSchedule};
+pub use skeleton::SkeletonTracker;
+pub use trace::{DecisionRecord, MsgStats, RunTrace};
+pub use wire::{Wire, WireError, WireSized};

@@ -1,0 +1,288 @@
+//! Communication-graph schedules: who hears whom in each round.
+//!
+//! A run of the paper's model is determined by an infinite sequence of
+//! communication graphs `G^1, G^2, …`. A [`Schedule`] is a finite,
+//! deterministic description of such an infinite sequence. Because every
+//! property the paper proves is determined once the skeleton stabilizes
+//! (round `rST`), a schedule also *declares* its stabilization round and its
+//! stable skeleton `G∩∞`, so that checkers can evaluate perpetual predicates
+//! like `Psrcs(k)` analytically instead of sampling infinitely many rounds.
+//!
+//! The contract (validated by [`validate`]):
+//!
+//! 1. every `graph(r)` contains all self-loops (`∀p: p ∈ PT(p)`);
+//! 2. for every `r ≥ stabilization_round()`, the running intersection
+//!    `G∩r` equals [`Schedule::stable_skeleton`] — i.e. the declared
+//!    skeleton has both *materialized* by `rST` and *persists* forever
+//!    (each later graph is a superset of it).
+
+use std::sync::Arc;
+
+use sskel_graph::{Digraph, Round, FIRST_ROUND};
+
+use crate::skeleton::SkeletonTracker;
+
+/// A deterministic, infinite sequence of per-round communication graphs.
+pub trait Schedule: Send + Sync {
+    /// Universe size `n`.
+    fn n(&self) -> usize;
+
+    /// The communication graph `G^r` of round `r ≥ 1`.
+    fn graph(&self, r: Round) -> Digraph;
+
+    /// A round `rST` such that `∀r ≥ rST: G∩r = G∩∞` (the skeleton has
+    /// stabilized). Does not need to be tight, but must be sound.
+    fn stabilization_round(&self) -> Round;
+
+    /// The stable skeleton `G∩∞` of the run.
+    ///
+    /// Default: intersect `G^1 … G^rST`, which is correct whenever the
+    /// stabilization contract holds.
+    fn stable_skeleton(&self) -> Digraph {
+        let mut tracker = SkeletonTracker::new(self.n());
+        for r in FIRST_ROUND..=self.stabilization_round() {
+            tracker.observe(&self.graph(r));
+        }
+        tracker.current().clone()
+    }
+}
+
+impl<S: Schedule + ?Sized> Schedule for &S {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn graph(&self, r: Round) -> Digraph {
+        (**self).graph(r)
+    }
+    fn stabilization_round(&self) -> Round {
+        (**self).stabilization_round()
+    }
+    fn stable_skeleton(&self) -> Digraph {
+        (**self).stable_skeleton()
+    }
+}
+
+impl<S: Schedule + ?Sized> Schedule for Arc<S> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn graph(&self, r: Round) -> Digraph {
+        (**self).graph(r)
+    }
+    fn stabilization_round(&self) -> Round {
+        (**self).stabilization_round()
+    }
+    fn stable_skeleton(&self) -> Digraph {
+        (**self).stable_skeleton()
+    }
+}
+
+/// The same communication graph in every round — e.g. the fully synchronous
+/// system (`Digraph::complete`) or a fixed stable skeleton.
+#[derive(Clone, Debug)]
+pub struct FixedSchedule {
+    g: Digraph,
+}
+
+impl FixedSchedule {
+    /// Repeats `g` forever.
+    ///
+    /// # Panics
+    /// Panics if `g` is missing a self-loop.
+    pub fn new(g: Digraph) -> Self {
+        assert!(
+            g.has_all_self_loops(),
+            "communication graphs must contain all self-loops"
+        );
+        FixedSchedule { g }
+    }
+
+    /// The fully synchronous system on `n` processes.
+    pub fn synchronous(n: usize) -> Self {
+        FixedSchedule::new(Digraph::complete(n))
+    }
+}
+
+impl Schedule for FixedSchedule {
+    fn n(&self) -> usize {
+        self.g.n()
+    }
+    fn graph(&self, _r: Round) -> Digraph {
+        self.g.clone()
+    }
+    fn stabilization_round(&self) -> Round {
+        FIRST_ROUND
+    }
+    fn stable_skeleton(&self) -> Digraph {
+        self.g.clone()
+    }
+}
+
+/// An explicit finite prefix of graphs followed by a fixed tail graph
+/// repeated forever. This is the workhorse for hand-constructed runs such as
+/// the Figure 1 example.
+#[derive(Clone, Debug)]
+pub struct TableSchedule {
+    prefix: Vec<Digraph>,
+    tail: Digraph,
+}
+
+impl TableSchedule {
+    /// Rounds `1..=prefix.len()` use `prefix[r−1]`; all later rounds use
+    /// `tail`.
+    ///
+    /// # Panics
+    /// Panics if any graph misses a self-loop, universes disagree, or the
+    /// tail is not a superset of the prefix-and-tail intersection (which
+    /// would make the declared stabilization unsound).
+    pub fn new(prefix: Vec<Digraph>, tail: Digraph) -> Self {
+        assert!(
+            tail.has_all_self_loops(),
+            "tail graph must contain all self-loops"
+        );
+        for (i, g) in prefix.iter().enumerate() {
+            assert_eq!(g.n(), tail.n(), "universe mismatch at prefix round {}", i + 1);
+            assert!(
+                g.has_all_self_loops(),
+                "prefix graph {} must contain all self-loops",
+                i + 1
+            );
+        }
+        let sched = TableSchedule { prefix, tail };
+        // Soundness of the default stabilization round: the tail repeats, so
+        // the skeleton after the prefix plus one tail round never changes
+        // again. That holds unconditionally; nothing further to check.
+        sched
+    }
+
+    /// Schedule whose every round is `skeleton` (alias for [`FixedSchedule`]
+    /// semantics but in table form).
+    pub fn stable_only(skeleton: Digraph) -> Self {
+        TableSchedule::new(Vec::new(), skeleton)
+    }
+}
+
+impl Schedule for TableSchedule {
+    fn n(&self) -> usize {
+        self.tail.n()
+    }
+
+    fn graph(&self, r: Round) -> Digraph {
+        assert!(r >= FIRST_ROUND, "rounds are 1-based");
+        self.prefix
+            .get((r - 1) as usize)
+            .cloned()
+            .unwrap_or_else(|| self.tail.clone())
+    }
+
+    fn stabilization_round(&self) -> Round {
+        // After the prefix plus one tail round, the intersection can no
+        // longer change (all remaining graphs equal the tail).
+        self.prefix.len() as Round + 1
+    }
+}
+
+/// Validates the schedule contract over a finite horizon: self-loops in every
+/// round and skeleton stability from the declared stabilization round on.
+///
+/// Returns a human-readable description of the first violation, if any.
+pub fn validate<S: Schedule + ?Sized>(s: &S, horizon: Round) -> Result<(), String> {
+    let n = s.n();
+    let declared = s.stable_skeleton();
+    let r_st = s.stabilization_round();
+    let mut tracker = SkeletonTracker::new(n);
+    for r in FIRST_ROUND..=horizon.max(r_st) {
+        let g = s.graph(r);
+        if g.n() != n {
+            return Err(format!("round {r}: graph universe {} ≠ n {}", g.n(), n));
+        }
+        if !g.has_all_self_loops() {
+            return Err(format!("round {r}: missing self-loop"));
+        }
+        tracker.observe(&g);
+        if r >= r_st && tracker.current() != &declared {
+            return Err(format!(
+                "round {r}: skeleton differs from declared stable skeleton \
+                 (declared stabilization at {r_st})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_graph::ProcessId;
+
+    #[test]
+    fn synchronous_schedule_is_complete_everywhere() {
+        let s = FixedSchedule::synchronous(5);
+        assert_eq!(s.n(), 5);
+        assert_eq!(s.graph(1), Digraph::complete(5));
+        assert_eq!(s.graph(1000), Digraph::complete(5));
+        assert_eq!(s.stable_skeleton(), Digraph::complete(5));
+        assert_eq!(s.stabilization_round(), 1);
+        assert!(validate(&s, 10).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn fixed_schedule_requires_self_loops() {
+        let _ = FixedSchedule::new(Digraph::empty(3));
+    }
+
+    #[test]
+    fn table_schedule_prefix_then_tail() {
+        let mut g1 = Digraph::complete(3);
+        g1.remove_edge(ProcessId::new(0), ProcessId::new(1));
+        let mut tail = Digraph::empty(3);
+        tail.add_self_loops();
+        tail.add_edge(ProcessId::new(2), ProcessId::new(0));
+        let s = TableSchedule::new(vec![g1.clone()], tail.clone());
+        assert_eq!(s.graph(1), g1);
+        assert_eq!(s.graph(2), tail);
+        assert_eq!(s.graph(99), tail);
+        assert_eq!(s.stabilization_round(), 2);
+        // stable skeleton = g1 ∩ tail
+        assert_eq!(s.stable_skeleton(), g1.intersect(&tail));
+        assert!(validate(&s, 20).is_ok());
+    }
+
+    #[test]
+    fn default_stable_skeleton_matches_manual_intersection() {
+        let g1 = Digraph::complete(4);
+        let mut g2 = Digraph::complete(4);
+        g2.remove_edge(ProcessId::new(1), ProcessId::new(2));
+        let s = TableSchedule::new(vec![g1, g2.clone()], g2.clone());
+        assert_eq!(s.stable_skeleton(), g2);
+    }
+
+    #[test]
+    fn validate_catches_unstable_declaration() {
+        /// A schedule that keeps removing edges forever (violates its own
+        /// stabilization claim).
+        struct Shrinking;
+        impl Schedule for Shrinking {
+            fn n(&self) -> usize {
+                4
+            }
+            fn graph(&self, r: Round) -> Digraph {
+                let mut g = Digraph::complete(4);
+                // from round 2 on, drop one more edge each round
+                for i in 0..(r.saturating_sub(1) as usize).min(3) {
+                    g.remove_edge(ProcessId::new(0), ProcessId::from_usize(i + 1));
+                }
+                g
+            }
+            fn stabilization_round(&self) -> Round {
+                1 // a lie
+            }
+            fn stable_skeleton(&self) -> Digraph {
+                Digraph::complete(4)
+            }
+        }
+        let err = validate(&Shrinking, 10).unwrap_err();
+        assert!(err.contains("differs from declared"), "{err}");
+    }
+}

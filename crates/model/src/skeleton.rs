@@ -1,0 +1,165 @@
+//! Skeleton tracking: the running intersection `G∩r` of a run's
+//! communication graphs, and the timely neighborhoods `PT(p, r)` derived
+//! from it (paper §II, eqs. (1)–(4)).
+
+use sskel_graph::{Digraph, ProcessId, ProcessSet, Round};
+
+/// Incrementally computes the round-`r` skeleton
+/// `G∩r = ⟨V, ⋂_{0 < r' ≤ r} E^{r'}⟩`.
+///
+/// The intersection of the empty family is the complete graph, so before any
+/// round is observed the tracker holds `Digraph::complete(n)`; this matches
+/// Algorithm 1's initialization `PT_p = Π`.
+///
+/// ```
+/// use sskel_graph::{Digraph, ProcessId};
+/// use sskel_model::skeleton::SkeletonTracker;
+///
+/// let mut t = SkeletonTracker::new(3);
+/// let mut g = Digraph::complete(3);
+/// g.remove_edge(ProcessId::new(0), ProcessId::new(1));
+/// t.observe(&g);
+/// assert!(!t.current().has_edge(ProcessId::new(0), ProcessId::new(1)));
+/// // monotone: once an edge is untimely it never returns (eq. (1))
+/// t.observe(&Digraph::complete(3));
+/// assert!(!t.current().has_edge(ProcessId::new(0), ProcessId::new(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SkeletonTracker {
+    skel: Digraph,
+    rounds_observed: Round,
+    /// Round of the most recent change to the skeleton (0 = never changed).
+    last_change: Round,
+}
+
+impl SkeletonTracker {
+    /// A fresh tracker over a universe of size `n` (skeleton = complete).
+    pub fn new(n: usize) -> Self {
+        SkeletonTracker {
+            skel: Digraph::complete(n),
+            rounds_observed: 0,
+            last_change: 0,
+        }
+    }
+
+    /// Feeds the next round's communication graph; returns `true` if the
+    /// skeleton shrank.
+    pub fn observe(&mut self, g: &Digraph) -> bool {
+        self.rounds_observed += 1;
+        let before = self.skel.edge_count();
+        self.skel.intersect_with(g);
+        let changed = self.skel.edge_count() != before;
+        if changed {
+            self.last_change = self.rounds_observed;
+        }
+        changed
+    }
+
+    /// The current skeleton `G∩r` where `r` = rounds observed so far.
+    #[inline]
+    pub fn current(&self) -> &Digraph {
+        &self.skel
+    }
+
+    /// Number of rounds observed.
+    #[inline]
+    pub fn rounds_observed(&self) -> Round {
+        self.rounds_observed
+    }
+
+    /// The earliest round `r` with `G∩r` equal to the current skeleton — an
+    /// *observed* stabilization point. (It is only the run's true `rST` if no
+    /// future graph removes further edges.)
+    #[inline]
+    pub fn observed_stabilization_round(&self) -> Round {
+        self.last_change.max(1)
+    }
+
+    /// The timely neighborhood `PT(p, r)` of the current skeleton: all `q`
+    /// with `(q → p) ∈ G∩r` (eq. (3)).
+    #[inline]
+    pub fn pt(&self, p: ProcessId) -> &ProcessSet {
+        self.skel.in_neighbors(p)
+    }
+}
+
+/// Computes all `PT(p)` sets of a schedule's stable skeleton at once:
+/// `pt_sets(skel)[p] = {q | (q → p) ∈ G∩∞}`.
+pub fn pt_sets(stable_skeleton: &Digraph) -> Vec<ProcessSet> {
+    (0..stable_skeleton.n())
+        .map(|p| stable_skeleton.in_neighbors(ProcessId::from_usize(p)).clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    #[test]
+    fn starts_complete() {
+        let t = SkeletonTracker::new(4);
+        assert_eq!(t.current(), &Digraph::complete(4));
+        assert_eq!(t.rounds_observed(), 0);
+        assert_eq!(t.pt(p(0)), &ProcessSet::full(4));
+    }
+
+    #[test]
+    fn intersection_is_monotone_nonincreasing() {
+        let mut t = SkeletonTracker::new(3);
+        let mut g1 = Digraph::complete(3);
+        g1.remove_edge(p(0), p(1));
+        let mut g2 = Digraph::complete(3);
+        g2.remove_edge(p(1), p(2));
+
+        assert!(t.observe(&g1));
+        let after1 = t.current().clone();
+        assert!(t.observe(&g2));
+        let after2 = t.current().clone();
+        assert!(after2.is_subgraph_of(&after1)); // eq. (1)
+        assert!(!after2.has_edge(p(0), p(1)));
+        assert!(!after2.has_edge(p(1), p(2)));
+        // an edge only in earlier rounds cannot reappear
+        assert!(!t.observe(&Digraph::complete(3)));
+        assert!(!t.current().has_edge(p(0), p(1)));
+    }
+
+    #[test]
+    fn pt_is_in_neighborhood_and_monotone() {
+        let mut t = SkeletonTracker::new(3);
+        let mut g = Digraph::complete(3);
+        g.remove_edge(p(2), p(0)); // p0 no longer hears p2
+        t.observe(&g);
+        assert_eq!(t.pt(p(0)), &ProcessSet::from_indices(3, [0, 1]));
+        let pt_before = t.pt(p(0)).clone();
+        t.observe(&Digraph::complete(3));
+        assert!(t.pt(p(0)).is_subset_of(&pt_before)); // eq. (3)
+    }
+
+    #[test]
+    fn observed_stabilization_round_tracks_last_change() {
+        let mut t = SkeletonTracker::new(3);
+        let mut g = Digraph::complete(3);
+        g.remove_edge(p(0), p(1));
+        t.observe(&Digraph::complete(3)); // r1: no change
+        assert_eq!(t.observed_stabilization_round(), 1);
+        t.observe(&g); // r2: change
+        assert_eq!(t.observed_stabilization_round(), 2);
+        t.observe(&g); // r3: no change
+        t.observe(&Digraph::complete(3)); // r4: no change
+        assert_eq!(t.observed_stabilization_round(), 2);
+    }
+
+    #[test]
+    fn pt_sets_reads_rows() {
+        let mut g = Digraph::empty(3);
+        g.add_self_loops();
+        g.add_edge(p(1), p(0));
+        let pts = pt_sets(&g);
+        assert_eq!(pts[0], ProcessSet::from_indices(3, [0, 1]));
+        assert_eq!(pts[1], ProcessSet::from_indices(3, [1]));
+    }
+}

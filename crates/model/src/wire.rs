@@ -1,0 +1,329 @@
+//! Wire encoding of messages, for message-size accounting.
+//!
+//! The paper notes (§V) that Algorithm 1's worst-case message bit complexity
+//! is polynomial in `n`, because every round message carries the local
+//! approximation graph. To *measure* that claim (experiment E4), messages
+//! are encoded into a compact binary format: LEB128-style varints for
+//! integers, raw bitset words for process sets, and `(src, dst, label)`
+//! triples for labelled edges.
+//!
+//! The simulation engines only require [`WireSized`]; encoding/decoding via
+//! [`Wire`] is exercised by the codec tests and the `wire` benchmark.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended in the middle of a value.
+    UnexpectedEnd,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A decoded value was outside its documented domain.
+    InvalidValue(&'static str),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            WireError::VarintOverflow => write!(f, "varint overflows u64"),
+            WireError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Writes `v` as an LEB128 varint (1–10 bytes).
+pub fn write_uvarint<B: BufMut>(buf: &mut B, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint.
+pub fn read_uvarint<B: Buf>(buf: &mut B) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(WireError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Number of bytes [`write_uvarint`] emits for `v`.
+pub fn uvarint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Types with a known encoded size (used by the engines for message-size
+/// accounting without actually materializing bytes on the hot path).
+pub trait WireSized {
+    /// Exact number of bytes [`Wire::encode`] would produce.
+    fn wire_bytes(&self) -> usize;
+}
+
+/// Binary-codable types.
+pub trait Wire: WireSized + Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode<B: BufMut>(&self, buf: &mut B);
+    /// Decodes a value, consuming exactly the bytes [`Wire::encode`] wrote.
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError>;
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_bytes());
+        self.encode(&mut buf);
+        debug_assert_eq!(buf.len(), self.wire_bytes(), "wire_bytes out of sync");
+        buf.freeze()
+    }
+}
+
+impl WireSized for u64 {
+    fn wire_bytes(&self) -> usize {
+        uvarint_len(*self)
+    }
+}
+
+impl Wire for u64 {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        write_uvarint(buf, *self);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        read_uvarint(buf)
+    }
+}
+
+impl WireSized for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Wire for () {
+    fn encode<B: BufMut>(&self, _buf: &mut B) {}
+    fn decode<B: Buf>(_buf: &mut B) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl WireSized for ProcessSet {
+    fn wire_bytes(&self) -> usize {
+        let n = self.universe();
+        uvarint_len(n as u64) + n.div_ceil(8)
+    }
+}
+
+impl Wire for ProcessSet {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        let n = self.universe();
+        write_uvarint(buf, n as u64);
+        let nbytes = n.div_ceil(8);
+        let mut written = 0usize;
+        for word in self.words() {
+            for b in word.to_le_bytes() {
+                if written == nbytes {
+                    break;
+                }
+                buf.put_u8(b);
+                written += 1;
+            }
+        }
+        // universes whose word array is shorter than nbytes cannot happen
+        debug_assert_eq!(written, nbytes);
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let n = read_uvarint(buf)? as usize;
+        let nbytes = n.div_ceil(8);
+        if buf.remaining() < nbytes {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let mut set = ProcessSet::empty(n);
+        for byte_idx in 0..nbytes {
+            let byte = buf.get_u8();
+            for bit in 0..8 {
+                let idx = byte_idx * 8 + bit;
+                if idx < n && byte & (1 << bit) != 0 {
+                    set.insert(ProcessId::from_usize(idx));
+                }
+            }
+        }
+        Ok(set)
+    }
+}
+
+impl WireSized for LabeledDigraph {
+    fn wire_bytes(&self) -> usize {
+        let mut sz = uvarint_len(self.universe() as u64);
+        sz += self.nodes().wire_bytes();
+        sz += uvarint_len(self.edge_count() as u64);
+        for (u, v, l) in self.edges() {
+            sz += uvarint_len(u.get() as u64) + uvarint_len(v.get() as u64) + uvarint_len(l as u64);
+        }
+        sz
+    }
+}
+
+impl Wire for LabeledDigraph {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        write_uvarint(buf, self.universe() as u64);
+        self.nodes().encode(buf);
+        write_uvarint(buf, self.edge_count() as u64);
+        for (u, v, l) in self.edges() {
+            write_uvarint(buf, u.get() as u64);
+            write_uvarint(buf, v.get() as u64);
+            write_uvarint(buf, l as u64);
+        }
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let n = read_uvarint(buf)? as usize;
+        let nodes = ProcessSet::decode(buf)?;
+        if nodes.universe() != n {
+            return Err(WireError::InvalidValue("node set universe mismatch"));
+        }
+        let mut g = LabeledDigraph::new(n);
+        g.union_nodes(&nodes);
+        let edges = read_uvarint(buf)?;
+        for _ in 0..edges {
+            let u = read_uvarint(buf)? as usize;
+            let v = read_uvarint(buf)? as usize;
+            let l = read_uvarint(buf)?;
+            if u >= n || v >= n {
+                return Err(WireError::InvalidValue("edge endpoint out of range"));
+            }
+            if l == 0 || l > u64::from(u32::MAX) {
+                return Err(WireError::InvalidValue("edge label out of range"));
+            }
+            g.set_edge_max(
+                ProcessId::from_usize(u),
+                ProcessId::from_usize(v),
+                l as u32,
+            );
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            write_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), uvarint_len(v), "len for {v}");
+            let mut rd = buf.freeze();
+            assert_eq!(read_uvarint(&mut rd).unwrap(), v);
+            assert!(!rd.has_remaining());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = BytesMut::new();
+        write_uvarint(&mut buf, 1_000_000);
+        let bytes = buf.freeze();
+        let mut truncated = bytes.slice(0..bytes.len() - 1);
+        assert_eq!(read_uvarint(&mut truncated), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn process_set_round_trip() {
+        for n in [0usize, 1, 7, 8, 9, 64, 65, 130] {
+            let mut s = ProcessSet::empty(n);
+            for i in (0..n).step_by(3) {
+                s.insert(ProcessId::from_usize(i));
+            }
+            let bytes = s.to_bytes();
+            assert_eq!(bytes.len(), s.wire_bytes());
+            let mut rd = bytes.clone();
+            assert_eq!(ProcessSet::decode(&mut rd).unwrap(), s, "n={n}");
+        }
+    }
+
+    #[test]
+    fn labeled_digraph_round_trip() {
+        let mut g = LabeledDigraph::new(10);
+        g.insert_node(ProcessId::new(9)); // node without edges survives
+        g.set_edge_max(ProcessId::new(0), ProcessId::new(1), 5);
+        g.set_edge_max(ProcessId::new(3), ProcessId::new(0), 12);
+        g.set_edge_max(ProcessId::new(7), ProcessId::new(7), 1);
+        let bytes = g.to_bytes();
+        assert_eq!(bytes.len(), g.wire_bytes());
+        let mut rd = bytes.clone();
+        let back = LabeledDigraph::decode(&mut rd).unwrap();
+        assert_eq!(back, g);
+        assert!(!rd.has_remaining());
+    }
+
+    #[test]
+    fn labeled_digraph_rejects_zero_label() {
+        // handcraft: n=2, nodes {}, 1 edge (0,0,label 0)
+        let mut buf = BytesMut::new();
+        write_uvarint(&mut buf, 2);
+        ProcessSet::empty(2).encode(&mut buf);
+        write_uvarint(&mut buf, 1);
+        write_uvarint(&mut buf, 0);
+        write_uvarint(&mut buf, 0);
+        write_uvarint(&mut buf, 0);
+        let mut rd = buf.freeze();
+        assert!(matches!(
+            LabeledDigraph::decode(&mut rd),
+            Err(WireError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn message_size_grows_polynomially() {
+        // sanity for E4: a complete approximation graph encodes in O(n²·log n)
+        let size = |n: usize| {
+            let mut g = LabeledDigraph::new(n);
+            for u in 0..n {
+                for v in 0..n {
+                    g.set_edge_max(ProcessId::from_usize(u), ProcessId::from_usize(v), 3);
+                }
+            }
+            g.wire_bytes()
+        };
+        let s8 = size(8);
+        let s16 = size(16);
+        // quadrupling-ish growth when doubling n (quadratic edge count)
+        assert!(s16 > 3 * s8 && s16 < 6 * s8, "s8={s8}, s16={s16}");
+    }
+}

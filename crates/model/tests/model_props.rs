@@ -1,0 +1,157 @@
+//! Property tests for the round-model substrate: wire codec round-trips,
+//! Heard-Of/RRFD equivalences (paper eqs. (6)–(7)), and skeleton-tracker
+//! laws on arbitrary graph sequences.
+
+use proptest::prelude::*;
+
+use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet};
+use sskel_model::heard_of::{
+    graph_from_ho, ho_sets, pt_from_ho_history, pt_from_rrfd_history, rrfd_sets,
+};
+use sskel_model::wire::{read_uvarint, uvarint_len, write_uvarint};
+use sskel_model::{SkeletonTracker, Wire, WireSized};
+
+fn arb_graph_sequence() -> impl Strategy<Value = (usize, Vec<Digraph>)> {
+    (1usize..10).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec((0..n, 0..n), 0..n * n),
+            1..6,
+        )
+        .prop_map(move |rounds| {
+            let graphs = rounds
+                .into_iter()
+                .map(|edges| {
+                    let mut g = Digraph::from_edges(n, edges);
+                    g.add_self_loops();
+                    g
+                })
+                .collect();
+            (n, graphs)
+        })
+    })
+}
+
+fn arb_labeled(n: usize) -> impl Strategy<Value = LabeledDigraph> {
+    proptest::collection::vec((0..n, 0..n, 1u32..100), 0..n * n).prop_map(move |edges| {
+        let mut g = LabeledDigraph::new(n);
+        for (u, v, l) in edges {
+            g.set_edge_max(ProcessId::from_usize(u), ProcessId::from_usize(v), l);
+        }
+        g
+    })
+}
+
+proptest! {
+    // ---------- wire codec ----------
+
+    #[test]
+    fn uvarint_round_trip(v in any::<u64>()) {
+        let mut buf = bytes::BytesMut::new();
+        write_uvarint(&mut buf, v);
+        prop_assert_eq!(buf.len(), uvarint_len(v));
+        let mut rd = buf.freeze();
+        prop_assert_eq!(read_uvarint(&mut rd).unwrap(), v);
+    }
+
+    #[test]
+    fn labeled_digraph_wire_round_trip((n, g) in (1usize..12).prop_flat_map(|n| (Just(n), arb_labeled(n)))) {
+        prop_assert_eq!(n, g.universe());
+        let bytes = g.to_bytes();
+        prop_assert_eq!(bytes.len(), g.wire_bytes());
+        let mut rd = bytes;
+        let back = LabeledDigraph::decode(&mut rd).unwrap();
+        prop_assert_eq!(back, g);
+        prop_assert!(!bytes::Buf::has_remaining(&rd));
+    }
+
+    #[test]
+    fn process_set_wire_round_trip(indices in proptest::collection::vec(0usize..100, 0..60)) {
+        let s = ProcessSet::from_indices(100, indices);
+        let bytes = s.to_bytes();
+        prop_assert_eq!(bytes.len(), s.wire_bytes());
+        let mut rd = bytes;
+        prop_assert_eq!(ProcessSet::decode(&mut rd).unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_input_never_panics((n, g) in (1usize..8).prop_flat_map(|n| (Just(n), arb_labeled(n))), cut in 0usize..64) {
+        let bytes = g.to_bytes();
+        let cut = cut.min(bytes.len());
+        let mut rd = bytes.slice(0..cut);
+        // must return an error or a (possibly shorter-prefix-valid) value,
+        // never panic
+        let _ = LabeledDigraph::decode(&mut rd);
+    }
+
+    // ---------- Heard-Of / RRFD correspondences ----------
+
+    #[test]
+    fn ho_and_rrfd_views_are_complements((_, graphs) in arb_graph_sequence()) {
+        for g in &graphs {
+            let ho = ho_sets(g);
+            let d = rrfd_sets(g);
+            for (h, dd) in ho.iter().zip(&d) {
+                prop_assert_eq!(&h.complement(), dd);
+            }
+            prop_assert_eq!(&graph_from_ho(&ho), g);
+        }
+    }
+
+    /// Equation (7): PT computed via HO-intersection, RRFD-union-complement
+    /// and the skeleton tracker all agree, on arbitrary sequences.
+    #[test]
+    fn pt_folds_and_tracker_agree((n, graphs) in arb_graph_sequence()) {
+        let mut tracker = SkeletonTracker::new(n);
+        let mut ho_hist = Vec::new();
+        let mut d_hist = Vec::new();
+        for g in &graphs {
+            tracker.observe(g);
+            ho_hist.push(ho_sets(g));
+            d_hist.push(rrfd_sets(g));
+        }
+        let via_ho = pt_from_ho_history(ho_hist.iter().map(Vec::as_slice));
+        let via_d = pt_from_rrfd_history(d_hist.iter().map(Vec::as_slice));
+        for p in 0..n {
+            let pid = ProcessId::from_usize(p);
+            prop_assert_eq!(&via_ho[p], tracker.pt(pid));
+            prop_assert_eq!(&via_d[p], tracker.pt(pid));
+        }
+    }
+
+    // ---------- skeleton tracker laws ----------
+
+    /// Eq. (1): the skeleton is monotone non-increasing, and equals the
+    /// edge-wise intersection of everything observed.
+    #[test]
+    fn tracker_is_running_intersection((n, graphs) in arb_graph_sequence()) {
+        let mut tracker = SkeletonTracker::new(n);
+        let mut manual = Digraph::complete(n);
+        let mut prev = manual.clone();
+        for g in &graphs {
+            tracker.observe(g);
+            manual.intersect_with(g);
+            prop_assert_eq!(tracker.current(), &manual);
+            prop_assert!(tracker.current().is_subgraph_of(&prev));
+            prev = tracker.current().clone();
+        }
+        // self-loops survive every intersection (all inputs have them)
+        prop_assert!(tracker.current().has_all_self_loops());
+    }
+
+    /// Observation window: the observed stabilization round is the last
+    /// round that changed the skeleton.
+    #[test]
+    fn observed_stabilization_is_consistent((n, graphs) in arb_graph_sequence()) {
+        let mut tracker = SkeletonTracker::new(n);
+        let mut last_change = 0u32;
+        let mut prev = Digraph::complete(n);
+        for (i, g) in graphs.iter().enumerate() {
+            tracker.observe(g);
+            if tracker.current() != &prev {
+                last_change = i as u32 + 1;
+            }
+            prev = tracker.current().clone();
+        }
+        prop_assert_eq!(tracker.observed_stabilization_round(), last_change.max(1));
+    }
+}

@@ -1,0 +1,197 @@
+//! The common-source graph of a run.
+//!
+//! `Psrcs(k)` (paper eq. (8)) demands that every set `S` of `k + 1`
+//! processes contain two distinct members `q, q'` with a common perpetual
+//! source `p ∈ PT(q) ∩ PT(q')`. Define the undirected **common-source
+//! graph** `H` on `Π`:
+//!
+//! ```text
+//! {q, q'} ∈ H  ⟺  q ≠ q'  ∧  PT(q) ∩ PT(q') ≠ ∅
+//! ```
+//!
+//! A `(k+1)`-subset violates the predicate exactly when it is an
+//! *independent set* of `H`; hence
+//!
+//! ```text
+//! Psrcs(k) holds  ⟺  α(H) ≤ k
+//! ```
+//!
+//! where `α` is the independence number. This turns the literal
+//! `O(n^(k+1))` subset check into one exact branch-and-bound computation
+//! (see [`crate::mis`]), and also yields the *tight* `k` of a run:
+//! `min_k = α(H)`.
+
+use sskel_graph::{Digraph, ProcessId, ProcessSet};
+
+/// The undirected common-source graph `H`, stored as symmetric adjacency
+/// bitset rows (no self-edges).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommonSourceGraph {
+    adj: Vec<ProcessSet>,
+}
+
+impl CommonSourceGraph {
+    /// Builds `H` from the timely-neighborhood sets `pt[q] = PT(q)`.
+    pub fn from_pt_sets(pt: &[ProcessSet]) -> Self {
+        let n = pt.len();
+        let mut adj = vec![ProcessSet::empty(n); n];
+        for q in 0..n {
+            for q2 in (q + 1)..n {
+                if pt[q].intersects(&pt[q2]) {
+                    adj[q].insert(ProcessId::from_usize(q2));
+                    adj[q2].insert(ProcessId::from_usize(q));
+                }
+            }
+        }
+        CommonSourceGraph { adj }
+    }
+
+    /// Builds `H` directly from a stable skeleton (PT sets are its
+    /// in-neighborhoods).
+    pub fn from_stable_skeleton(skel: &Digraph) -> Self {
+        let pt: Vec<ProcessSet> = (0..skel.n())
+            .map(|p| skel.in_neighbors(ProcessId::from_usize(p)).clone())
+            .collect();
+        Self::from_pt_sets(&pt)
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of `q` in `H`.
+    #[inline]
+    pub fn neighbors(&self, q: ProcessId) -> &ProcessSet {
+        &self.adj[q.index()]
+    }
+
+    /// `true` iff `q` and `q'` share a perpetual source.
+    #[inline]
+    pub fn linked(&self, q: ProcessId, q2: ProcessId) -> bool {
+        self.adj[q.index()].contains(q2)
+    }
+
+    /// The adjacency rows (for the MIS solver).
+    #[inline]
+    pub fn rows(&self) -> &[ProcessSet] {
+        &self.adj
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(ProcessSet::len).sum::<usize>() / 2
+    }
+}
+
+/// The common sources of two processes: `PT(q) ∩ PT(q')`.
+pub fn common_sources(pt: &[ProcessSet], q: ProcessId, q2: ProcessId) -> ProcessSet {
+    &pt[q.index()] & &pt[q2.index()]
+}
+
+/// `Psrc(p, S)` of the paper: `p` is a 2-source of the set `S`, i.e. two
+/// distinct members of `S` both perpetually hear `p`.
+pub fn is_two_source(pt: &[ProcessSet], p: ProcessId, s: &ProcessSet) -> bool {
+    let mut receivers = 0;
+    for q in s.iter() {
+        if pt[q.index()].contains(p) {
+            receivers += 1;
+            if receivers >= 2 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Finds some 2-source of `S` if one exists (the witness `p` of
+/// `∃p: Psrc(p, S)`).
+pub fn find_two_source(pt: &[ProcessSet], s: &ProcessSet) -> Option<ProcessId> {
+    let n = pt.len();
+    // count, for each candidate p, how many members of S hear p perpetually
+    let mut seen_once = ProcessSet::empty(n);
+    for q in s.iter() {
+        let hears = &pt[q.index()];
+        let twice = &seen_once & hears;
+        if let Some(p) = twice.first() {
+            return Some(p);
+        }
+        seen_once.union_with(hears);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    /// PT sets of the Theorem 2 run with n = 5, k = 3:
+    /// L = {p1, p2} hear only themselves, s = p3, others hear {self, s}.
+    fn theorem2_pt() -> Vec<ProcessSet> {
+        vec![
+            ProcessSet::from_indices(5, [0]),
+            ProcessSet::from_indices(5, [1]),
+            ProcessSet::from_indices(5, [2]),
+            ProcessSet::from_indices(5, [3, 2]),
+            ProcessSet::from_indices(5, [4, 2]),
+        ]
+    }
+
+    #[test]
+    fn h_edges_are_shared_sources() {
+        let h = CommonSourceGraph::from_pt_sets(&theorem2_pt());
+        // p3, p4, p5 pairwise share source p3
+        assert!(h.linked(p(2), p(3)));
+        assert!(h.linked(p(2), p(4)));
+        assert!(h.linked(p(3), p(4)));
+        // L members are isolated
+        assert!(h.neighbors(p(0)).is_empty());
+        assert!(h.neighbors(p(1)).is_empty());
+        assert_eq!(h.edge_count(), 3);
+    }
+
+    #[test]
+    fn common_sources_and_two_source_search() {
+        let pt = theorem2_pt();
+        assert_eq!(
+            common_sources(&pt, p(3), p(4)),
+            ProcessSet::from_indices(5, [2])
+        );
+        assert!(common_sources(&pt, p(0), p(1)).is_empty());
+        // s = p3 is a 2-source of {p3, p4, p5}
+        let s = ProcessSet::from_indices(5, [2, 3, 4]);
+        assert!(is_two_source(&pt, p(2), &s));
+        assert_eq!(find_two_source(&pt, &s), Some(p(2)));
+        // no 2-source among {p1, p2}
+        let l = ProcessSet::from_indices(5, [0, 1]);
+        assert_eq!(find_two_source(&pt, &l), None);
+        assert!(!is_two_source(&pt, p(0), &l));
+    }
+
+    #[test]
+    fn from_skeleton_matches_from_pt() {
+        // skeleton: self-loops + p3 → p4, p3 → p5 (Theorem 2 shape, 0-based)
+        let mut skel = Digraph::empty(5);
+        skel.add_self_loops();
+        skel.add_edge(p(2), p(3));
+        skel.add_edge(p(2), p(4));
+        let h1 = CommonSourceGraph::from_stable_skeleton(&skel);
+        let h2 = CommonSourceGraph::from_pt_sets(&theorem2_pt());
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn self_source_links_receivers_not_self() {
+        // everyone hears q0: H is a clique
+        let pt: Vec<ProcessSet> = (0..4)
+            .map(|i| ProcessSet::from_indices(4, [0, i]))
+            .collect();
+        let h = CommonSourceGraph::from_pt_sets(&pt);
+        assert_eq!(h.edge_count(), 6); // complete on 4 vertices
+    }
+}

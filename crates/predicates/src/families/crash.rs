@@ -1,0 +1,153 @@
+//! Crash-fault schedules in the Heard-Of convention.
+//!
+//! The paper models a crashed process as "an internally correct process that
+//! no other process receives messages from after it has crashed" (§II,
+//! citing [4, Sec. 2.2]). [`CrashSchedule`] realizes this over an otherwise
+//! synchronous system: rounds are complete graphs, except that a process
+//! crashed at round `r_c` loses all outgoing edges (other than its
+//! self-loop) from round `r_c + 1` on. Crashed processes keep *receiving*,
+//! so every process still decides — as the paper requires.
+
+use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
+use sskel_model::Schedule;
+
+/// Synchronous rounds with clean crash faults.
+#[derive(Clone, Debug)]
+pub struct CrashSchedule {
+    n: usize,
+    /// `(process, last round in which its messages are delivered)`.
+    crashes: Vec<(ProcessId, Round)>,
+}
+
+impl CrashSchedule {
+    /// A system of `n` processes where each `(p, r_c)` pair makes `p`'s
+    /// broadcasts undeliverable (to others) from round `r_c + 1` on.
+    ///
+    /// # Panics
+    /// Panics on duplicate crash entries or out-of-range processes.
+    pub fn new(n: usize, crashes: Vec<(ProcessId, Round)>) -> Self {
+        for (i, (p, _)) in crashes.iter().enumerate() {
+            assert!(p.index() < n, "crashed process {p} out of universe");
+            assert!(
+                crashes[i + 1..].iter().all(|(q, _)| q != p),
+                "duplicate crash entry for {p}"
+            );
+        }
+        CrashSchedule { n, crashes }
+    }
+
+    /// The crash-free synchronous system.
+    pub fn fault_free(n: usize) -> Self {
+        CrashSchedule {
+            n,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// The set of processes that eventually crash.
+    pub fn faulty(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.crashes.iter().map(|&(p, _)| p)
+    }
+
+    /// Number of faulty processes `f`.
+    pub fn f(&self) -> usize {
+        self.crashes.len()
+    }
+}
+
+impl Schedule for CrashSchedule {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn graph(&self, r: Round) -> Digraph {
+        let mut g = Digraph::complete(self.n);
+        for &(p, rc) in &self.crashes {
+            if r > rc {
+                for v in ProcessId::all(self.n) {
+                    if v != p {
+                        g.remove_edge(p, v);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn stabilization_round(&self) -> Round {
+        self.crashes
+            .iter()
+            .map(|&(_, rc)| rc + 1)
+            .max()
+            .unwrap_or(FIRST_ROUND)
+    }
+
+    fn stable_skeleton(&self) -> Digraph {
+        let mut g = Digraph::complete(self.n);
+        for &(p, _) in &self.crashes {
+            for v in ProcessId::all(self.n) {
+                if v != p {
+                    g.remove_edge(p, v);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psrcs;
+    use sskel_model::validate_schedule;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    #[test]
+    fn fault_free_is_fully_synchronous() {
+        let s = CrashSchedule::fault_free(4);
+        assert_eq!(s.graph(1), Digraph::complete(4));
+        assert_eq!(s.stable_skeleton(), Digraph::complete(4));
+        assert_eq!(s.stabilization_round(), 1);
+        assert_eq!(s.f(), 0);
+    }
+
+    #[test]
+    fn crashed_process_silenced_after_its_round() {
+        let s = CrashSchedule::new(4, vec![(p(1), 2)]);
+        // rounds 1 and 2: p2 still heard
+        assert!(s.graph(1).has_edge(p(1), p(0)));
+        assert!(s.graph(2).has_edge(p(1), p(0)));
+        // round 3: gone, but self-loop and reception remain
+        let g3 = s.graph(3);
+        assert!(!g3.has_edge(p(1), p(0)));
+        assert!(g3.has_edge(p(1), p(1)));
+        assert!(g3.has_edge(p(0), p(1)), "crashed process keeps receiving");
+        assert!(validate_schedule(&s, 10).is_ok());
+        assert_eq!(s.stabilization_round(), 3);
+    }
+
+    #[test]
+    fn one_survivor_gives_consensus_strength() {
+        // crash all but p4: survivors' broadcasts keep everyone linked
+        let s = CrashSchedule::new(4, vec![(p(0), 1), (p(1), 2), (p(2), 3)]);
+        let skel = s.stable_skeleton();
+        // p4 is a perpetual source for everyone ⇒ Psrcs(1) ⇒ consensus
+        assert_eq!(psrcs::min_k_on_skeleton(&skel), 1);
+    }
+
+    #[test]
+    fn all_crashed_degenerates_to_isolation() {
+        let s = CrashSchedule::new(3, vec![(p(0), 1), (p(1), 1), (p(2), 1)]);
+        let skel = s.stable_skeleton();
+        assert_eq!(psrcs::min_k_on_skeleton(&skel), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate crash")]
+    fn duplicate_crash_rejected() {
+        let _ = CrashSchedule::new(3, vec![(p(0), 1), (p(0), 2)]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Chaotic-prefix wrappers: control the stabilization round `rST`.
+//!
+//! The termination bound of Lemma 11 is `rST + 2n − 1`; experiment E3
+//! sweeps `rST` by prepending a chaos window to a base schedule.
+//! During the chaos window the graph is the base's stable skeleton plus
+//! arbitrary pseudo-random extra edges — always a *superset* of the
+//! skeleton, so the overall stable skeleton (and hence every predicate)
+//! is exactly the base's.
+//!
+//! This also illustrates why the paper's `Psrcs(k)` must be perpetual
+//! rather than eventual (`♦Psrcs(k)` is too weak, §III): the chaos window
+//! here cannot *remove* skeleton edges, because the predicate quantifies
+//! over `PT(·)`, which any single bad round destroys permanently.
+
+use sskel_graph::{Digraph, ProcessId, Round};
+use sskel_model::Schedule;
+
+use super::edge_round_hash;
+
+/// A base schedule shifted behind `chaos_rounds` rounds of noisy supersets
+/// of its stable skeleton.
+#[derive(Clone, Debug)]
+pub struct EventuallyStable<S> {
+    base: S,
+    chaos_rounds: Round,
+    /// Probability (1/1000) of each non-skeleton edge during chaos.
+    chaos_milli: u32,
+    seed: u64,
+    skeleton: Digraph,
+}
+
+impl<S: Schedule> EventuallyStable<S> {
+    /// Prepends `chaos_rounds` rounds of skeleton-plus-noise before `base`
+    /// begins (base round 1 happens at global round `chaos_rounds + 1`).
+    pub fn new(base: S, chaos_rounds: Round, chaos_milli: u32, seed: u64) -> Self {
+        assert!(chaos_milli <= 1000, "chaos probability out of [0, 1]");
+        let skeleton = base.stable_skeleton();
+        EventuallyStable {
+            base,
+            chaos_rounds,
+            chaos_milli,
+            seed,
+            skeleton,
+        }
+    }
+
+    /// The wrapped base schedule.
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+}
+
+impl<S: Schedule> Schedule for EventuallyStable<S> {
+    fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    fn graph(&self, r: Round) -> Digraph {
+        if r > self.chaos_rounds {
+            return self.base.graph(r - self.chaos_rounds);
+        }
+        let n = self.skeleton.n();
+        let mut g = self.skeleton.clone();
+        for u in 0..n {
+            for v in 0..n {
+                let up = ProcessId::from_usize(u);
+                let vp = ProcessId::from_usize(v);
+                if u == v || g.has_edge(up, vp) {
+                    continue;
+                }
+                if edge_round_hash(self.seed, u, v, r) % 1000 < u64::from(self.chaos_milli) {
+                    g.add_edge(up, vp);
+                }
+            }
+        }
+        g
+    }
+
+    fn stabilization_round(&self) -> Round {
+        self.chaos_rounds + self.base.stabilization_round()
+    }
+
+    fn stable_skeleton(&self) -> Digraph {
+        self.skeleton.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::partition::PartitionSchedule;
+    use sskel_model::{validate_schedule, FixedSchedule};
+
+    #[test]
+    fn chaos_then_base() {
+        let base = PartitionSchedule::even(6, 2, 0);
+        let s = EventuallyStable::new(base.clone(), 5, 400, 77);
+        // chaos rounds are supersets of the skeleton
+        for r in 1..=5 {
+            assert!(s.stable_skeleton().is_subgraph_of(&s.graph(r)), "round {r}");
+        }
+        // base resumes afterwards
+        assert_eq!(s.graph(6), base.graph(1));
+        assert_eq!(s.graph(10), base.graph(5));
+        assert_eq!(s.stable_skeleton(), base.stable_skeleton());
+        assert_eq!(s.stabilization_round(), 5 + base.stabilization_round());
+        assert!(validate_schedule(&s, 25).is_ok());
+    }
+
+    #[test]
+    fn zero_chaos_is_identity() {
+        let base = FixedSchedule::synchronous(4);
+        let s = EventuallyStable::new(base.clone(), 0, 500, 1);
+        assert_eq!(s.graph(1), base.graph(1));
+        assert_eq!(s.stabilization_round(), base.stabilization_round());
+    }
+
+    #[test]
+    fn chaos_adds_edges_somewhere() {
+        let base = PartitionSchedule::even(8, 4, 0);
+        let s = EventuallyStable::new(base, 10, 500, 3);
+        let extra: usize = (1..=10)
+            .map(|r| s.graph(r).edge_count() - s.stable_skeleton().edge_count())
+            .sum();
+        assert!(extra > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Isolation-prefix schedules: why `♦Psrcs(k)` is too weak (§III).
+//!
+//! The paper argues that the *eventual* variant `♦Psrcs(k)` — the 2-source
+//! property holding only from some round on — cannot support k-set
+//! agreement: it admits runs in which every process hears nobody for an
+//! arbitrary finite prefix, so by an indistinguishability argument every
+//! process must decide its own value before the synchrony materializes.
+//!
+//! [`IsolationThenBase`] realizes that adversary: `G^r` is the self-loops-
+//! only graph for the first `isolation_rounds` rounds, then any base
+//! schedule. The *suffix* can be arbitrarily well-behaved (even fully
+//! synchronous — `♦Psrcs(1)`), yet the true stable skeleton is the
+//! self-loops-only graph, `min_k = n`, and Algorithm 1 demonstrably decides
+//! `n` distinct values whenever `isolation_rounds ≥ n`.
+
+use sskel_graph::{Digraph, Round, FIRST_ROUND};
+use sskel_model::Schedule;
+
+/// Every process isolated (self-loop only) for a finite prefix, then a base
+/// schedule. The eventual behaviour satisfies whatever the base satisfies;
+/// the perpetual behaviour satisfies nothing.
+#[derive(Clone, Debug)]
+pub struct IsolationThenBase<S> {
+    base: S,
+    isolation_rounds: Round,
+}
+
+impl<S: Schedule> IsolationThenBase<S> {
+    /// `isolation_rounds` rounds of silence, then `base` (whose round 1
+    /// happens at global round `isolation_rounds + 1`).
+    pub fn new(base: S, isolation_rounds: Round) -> Self {
+        IsolationThenBase {
+            base,
+            isolation_rounds,
+        }
+    }
+
+    /// Number of silent prefix rounds.
+    pub fn isolation_rounds(&self) -> Round {
+        self.isolation_rounds
+    }
+}
+
+impl<S: Schedule> Schedule for IsolationThenBase<S> {
+    fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    fn graph(&self, r: Round) -> Digraph {
+        if r <= self.isolation_rounds {
+            let mut g = Digraph::empty(self.base.n());
+            g.add_self_loops();
+            g
+        } else {
+            self.base.graph(r - self.isolation_rounds)
+        }
+    }
+
+    fn stabilization_round(&self) -> Round {
+        if self.isolation_rounds == 0 {
+            self.base.stabilization_round()
+        } else {
+            // one isolated round already reduces the skeleton to self-loops
+            FIRST_ROUND
+        }
+    }
+
+    fn stable_skeleton(&self) -> Digraph {
+        if self.isolation_rounds == 0 {
+            self.base.stable_skeleton()
+        } else {
+            let mut g = Digraph::empty(self.base.n());
+            g.add_self_loops();
+            g
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psrcs;
+    use sskel_model::{validate_schedule, FixedSchedule};
+
+    #[test]
+    fn prefix_is_silent_then_base_resumes() {
+        let s = IsolationThenBase::new(FixedSchedule::synchronous(4), 3);
+        assert_eq!(s.graph(3).edge_count(), 4); // self-loops only
+        assert_eq!(s.graph(4), Digraph::complete(4));
+        assert!(validate_schedule(&s, 12).is_ok());
+    }
+
+    #[test]
+    fn perpetual_predicate_collapses_to_worst_case() {
+        let s = IsolationThenBase::new(FixedSchedule::synchronous(5), 2);
+        // the suffix satisfies Psrcs(1) eventually, but the run only
+        // satisfies Psrcs(n)
+        assert_eq!(psrcs::min_k_on_skeleton(&s.stable_skeleton()), 5);
+    }
+
+    #[test]
+    fn zero_isolation_is_identity() {
+        let base = FixedSchedule::synchronous(4);
+        let s = IsolationThenBase::new(base.clone(), 0);
+        assert_eq!(s.stable_skeleton(), base.stable_skeleton());
+        assert_eq!(s.stabilization_round(), base.stabilization_round());
+    }
+}

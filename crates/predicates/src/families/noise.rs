@@ -1,0 +1,166 @@
+//! Skeleton-plus-transient-noise schedules.
+//!
+//! A run's synchrony is its stable skeleton; everything else is transient.
+//! [`NoisySchedule`] realizes exactly that: every round's graph is the
+//! chosen skeleton plus pseudo-random extra edges, where each extra edge is
+//! forced out at least once per `drop_period` rounds — so no noise edge is
+//! ever perpetual and the declared stable skeleton is exact.
+
+use sskel_graph::{Digraph, ProcessId, Round};
+use sskel_model::Schedule;
+
+use super::edge_round_hash;
+
+/// A fixed stable skeleton overlaid with transient noise edges.
+#[derive(Clone, Debug)]
+pub struct NoisySchedule {
+    skeleton: Digraph,
+    /// Probability (in 1/1000) that a non-skeleton edge appears in a round.
+    noise_milli: u32,
+    /// Each noise edge is absent in every round `r ≡ phase(edge)
+    /// (mod drop_period)`.
+    drop_period: Round,
+    seed: u64,
+}
+
+impl NoisySchedule {
+    /// Overlays `skeleton` with noise edges of density `noise_milli / 1000`,
+    /// each dropped at least once every `drop_period ≥ 2` rounds.
+    ///
+    /// # Panics
+    /// Panics if the skeleton is missing self-loops, `noise_milli > 1000`,
+    /// or `drop_period < 2`.
+    pub fn new(skeleton: Digraph, noise_milli: u32, drop_period: Round, seed: u64) -> Self {
+        assert!(
+            skeleton.has_all_self_loops(),
+            "stable skeleton must contain all self-loops"
+        );
+        assert!(noise_milli <= 1000, "noise probability is out of [0, 1]");
+        assert!(drop_period >= 2, "drop_period must be ≥ 2");
+        NoisySchedule {
+            skeleton,
+            noise_milli,
+            drop_period,
+            seed,
+        }
+    }
+
+    /// The skeleton this schedule stabilizes to.
+    pub fn skeleton(&self) -> &Digraph {
+        &self.skeleton
+    }
+}
+
+impl Schedule for NoisySchedule {
+    fn n(&self) -> usize {
+        self.skeleton.n()
+    }
+
+    fn graph(&self, r: Round) -> Digraph {
+        let n = self.skeleton.n();
+        let mut g = self.skeleton.clone();
+        if self.noise_milli == 0 {
+            return g;
+        }
+        for u in 0..n {
+            for v in 0..n {
+                let up = ProcessId::from_usize(u);
+                let vp = ProcessId::from_usize(v);
+                if u == v || g.has_edge(up, vp) {
+                    continue;
+                }
+                // forced drop round for this edge
+                let phase = (edge_round_hash(self.seed, u, v, 0) % u64::from(self.drop_period))
+                    as Round;
+                if r % self.drop_period == phase {
+                    continue;
+                }
+                if edge_round_hash(self.seed, u, v, r) % 1000 < u64::from(self.noise_milli) {
+                    g.add_edge(up, vp);
+                }
+            }
+        }
+        g
+    }
+
+    fn stabilization_round(&self) -> Round {
+        // After `drop_period` rounds every residue class (mod drop_period)
+        // has occurred, so every noise edge has been absent at least once.
+        if self.noise_milli == 0 {
+            1
+        } else {
+            self.drop_period
+        }
+    }
+
+    fn stable_skeleton(&self) -> Digraph {
+        self.skeleton.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_graph::FIRST_ROUND;
+    use sskel_model::{validate_schedule, SkeletonTracker};
+
+    fn base_skeleton(n: usize) -> Digraph {
+        let mut g = Digraph::empty(n);
+        g.add_self_loops();
+        for i in 0..n - 1 {
+            g.add_edge(ProcessId::from_usize(i), ProcessId::from_usize(i + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn every_round_is_a_superset_of_the_skeleton() {
+        let s = NoisySchedule::new(base_skeleton(8), 300, 5, 11);
+        for r in 1..=30 {
+            assert!(s.skeleton().is_subgraph_of(&s.graph(r)), "round {r}");
+        }
+    }
+
+    #[test]
+    fn skeleton_emerges_by_the_declared_round() {
+        for seed in [0u64, 1, 99] {
+            let s = NoisySchedule::new(base_skeleton(7), 500, 4, seed);
+            let mut tracker = SkeletonTracker::new(7);
+            for r in FIRST_ROUND..=s.stabilization_round() {
+                tracker.observe(&s.graph(r));
+            }
+            assert_eq!(tracker.current(), s.skeleton(), "seed {seed}");
+            assert!(validate_schedule(&s, 40).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn noise_actually_appears() {
+        let s = NoisySchedule::new(base_skeleton(8), 500, 5, 3);
+        let extra: usize = (1..=10)
+            .map(|r| s.graph(r).edge_count() - s.skeleton().edge_count())
+            .sum();
+        assert!(extra > 0, "expected some noise edges across 10 rounds");
+    }
+
+    #[test]
+    fn zero_noise_is_the_fixed_schedule() {
+        let skel = base_skeleton(5);
+        let s = NoisySchedule::new(skel.clone(), 0, 5, 7);
+        assert_eq!(s.graph(1), skel);
+        assert_eq!(s.graph(17), skel);
+        assert_eq!(s.stabilization_round(), 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_round() {
+        let a = NoisySchedule::new(base_skeleton(6), 400, 4, 5);
+        let b = NoisySchedule::new(base_skeleton(6), 400, 4, 5);
+        for r in 1..=12 {
+            assert_eq!(a.graph(r), b.graph(r));
+        }
+        let c = NoisySchedule::new(base_skeleton(6), 400, 4, 6);
+        let differs = (1..=12).any(|r| a.graph(r) != c.graph(r));
+        assert!(differs, "different seeds should differ somewhere");
+    }
+}

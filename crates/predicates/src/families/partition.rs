@@ -1,0 +1,171 @@
+//! Network-partition schedules.
+//!
+//! The paper's introduction motivates k-set agreement via partitionable
+//! systems "that need to reach consensus in every partition".
+//! [`PartitionSchedule`] models exactly that: after an optional fully
+//! synchronous prefix, the system splits into disjoint cliques. With `b`
+//! blocks, the run satisfies `Psrcs(b)` — and `min_k` is exactly `b`, since
+//! processes in different blocks share no perpetual source.
+
+use sskel_graph::{Digraph, ProcessId, ProcessSet, Round};
+use sskel_model::Schedule;
+
+/// A synchronous prefix followed by a permanent partition into cliques.
+#[derive(Clone, Debug)]
+pub struct PartitionSchedule {
+    n: usize,
+    blocks: Vec<ProcessSet>,
+    prefix_rounds: Round,
+    partitioned: Digraph,
+}
+
+impl PartitionSchedule {
+    /// Splits the universe into the given non-empty, disjoint `blocks`
+    /// covering all of `Π`, after `prefix_rounds` rounds of full synchrony.
+    ///
+    /// # Panics
+    /// Panics if the blocks do not partition the universe.
+    pub fn new(n: usize, blocks: Vec<ProcessSet>, prefix_rounds: Round) -> Self {
+        let mut seen = ProcessSet::empty(n);
+        for b in &blocks {
+            assert_eq!(b.universe(), n, "block universe mismatch");
+            assert!(!b.is_empty(), "empty partition block");
+            assert!(seen.is_disjoint(b), "overlapping partition blocks");
+            seen.union_with(b);
+        }
+        assert_eq!(seen, ProcessSet::full(n), "blocks must cover the universe");
+
+        let mut partitioned = Digraph::empty(n);
+        partitioned.add_self_loops();
+        for b in &blocks {
+            for u in b.iter() {
+                for v in b.iter() {
+                    partitioned.add_edge(u, v);
+                }
+            }
+        }
+        PartitionSchedule {
+            n,
+            blocks,
+            prefix_rounds,
+            partitioned,
+        }
+    }
+
+    /// Splits `0..n` into `b` contiguous blocks of near-equal size.
+    pub fn even(n: usize, b: usize, prefix_rounds: Round) -> Self {
+        assert!(b >= 1 && b <= n, "need 1 ≤ blocks ≤ n");
+        let mut blocks = Vec::with_capacity(b);
+        let base = n / b;
+        let extra = n % b;
+        let mut start = 0usize;
+        for i in 0..b {
+            let size = base + usize::from(i < extra);
+            blocks.push(ProcessSet::from_indices(n, start..start + size));
+            start += size;
+        }
+        Self::new(n, blocks, prefix_rounds)
+    }
+
+    /// The partition blocks.
+    pub fn blocks(&self) -> &[ProcessSet] {
+        &self.blocks
+    }
+
+    /// The block containing `p`.
+    pub fn block_of(&self, p: ProcessId) -> &ProcessSet {
+        self.blocks
+            .iter()
+            .find(|b| b.contains(p))
+            .expect("blocks cover the universe")
+    }
+}
+
+impl Schedule for PartitionSchedule {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn graph(&self, r: Round) -> Digraph {
+        if r <= self.prefix_rounds {
+            Digraph::complete(self.n)
+        } else {
+            self.partitioned.clone()
+        }
+    }
+
+    fn stabilization_round(&self) -> Round {
+        self.prefix_rounds + 1
+    }
+
+    fn stable_skeleton(&self) -> Digraph {
+        self.partitioned.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psrcs;
+    use crate::theorems::root_component_count;
+    use sskel_model::validate_schedule;
+
+    #[test]
+    fn even_partition_shapes() {
+        let s = PartitionSchedule::even(7, 3, 2);
+        let sizes: Vec<usize> = s.blocks().iter().map(ProcessSet::len).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+        assert!(validate_schedule(&s, 10).is_ok());
+    }
+
+    #[test]
+    fn prefix_is_complete_then_partitioned() {
+        let s = PartitionSchedule::even(6, 2, 3);
+        assert_eq!(s.graph(3), Digraph::complete(6));
+        let g4 = s.graph(4);
+        let p0 = ProcessId::new(0);
+        let p5 = ProcessId::new(5);
+        assert!(!g4.has_edge(p0, p5));
+        assert!(g4.has_edge(p0, ProcessId::new(2)));
+        assert_eq!(s.stabilization_round(), 4);
+    }
+
+    #[test]
+    fn min_k_equals_block_count() {
+        for b in 1..=4 {
+            let s = PartitionSchedule::even(8, b, 1);
+            assert_eq!(
+                psrcs::min_k_on_skeleton(&s.stable_skeleton()),
+                b,
+                "b={b}"
+            );
+            assert_eq!(root_component_count(&s.stable_skeleton()), b);
+        }
+    }
+
+    #[test]
+    fn block_of_finds_the_block() {
+        let s = PartitionSchedule::even(6, 2, 0);
+        assert!(s.block_of(ProcessId::new(0)).contains(ProcessId::new(2)));
+        assert!(s.block_of(ProcessId::new(5)).contains(ProcessId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the universe")]
+    fn incomplete_blocks_rejected() {
+        let _ = PartitionSchedule::new(4, vec![ProcessSet::from_indices(4, [0, 1])], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_blocks_rejected() {
+        let _ = PartitionSchedule::new(
+            4,
+            vec![
+                ProcessSet::from_indices(4, [0, 1, 2]),
+                ProcessSet::from_indices(4, [2, 3]),
+            ],
+            0,
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Random schedules with *planted* `Psrcs(k)` structure.
+//!
+//! `Psrcs(k)` holds whenever the universe can be covered by `k` groups that
+//! each have a dedicated perpetual source: any `k + 1` processes contain two
+//! members of one group (pigeonhole), and that group's source is their
+//! 2-source. Because `Psrcs` is monotone under adding skeleton edges
+//! (larger `PT` sets only create more common sources), arbitrary extra
+//! edges can then be sprinkled on top without breaking the guarantee —
+//! giving a rich random family with a *certified* predicate, used by the
+//! Theorem-1 Monte-Carlo experiment.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use sskel_graph::{rand_graph, Digraph, ProcessId, ProcessSet, Round};
+
+use super::noise::NoisySchedule;
+
+/// A random stable skeleton certified to satisfy `Psrcs(k)`:
+/// returns the skeleton plus the planted `(group, source)` cover.
+///
+/// * the universe is partitioned into `k` non-empty groups;
+/// * each group gets a source `s_g ∈ group` with an edge to every member;
+/// * every ordered pair additionally gets an edge with probability
+///   `extra_p` (never *removing* anything, so the certificate stays valid).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ n`.
+pub fn planted_psrcs_skeleton<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    extra_p: f64,
+) -> (Digraph, Vec<(ProcessSet, ProcessId)>) {
+    assert!((1..=n).contains(&k), "need 1 ≤ k ≤ n");
+    let perm = rand_graph::random_permutation(rng, n);
+
+    // k distinct cut points in 1..=n delimit k non-empty groups.
+    let mut cut_points: Vec<usize> = (1..=n).collect();
+    cut_points.shuffle(rng);
+    let mut cuts: Vec<usize> = cut_points.into_iter().take(k).collect();
+    cuts.sort_unstable();
+    // Any tail after the last cut joins the last group.
+    if let Some(last) = cuts.last_mut() {
+        *last = n;
+    }
+
+    let mut skeleton = Digraph::empty(n);
+    skeleton.add_self_loops();
+    let mut cover = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for &c in &cuts {
+        let members: Vec<ProcessId> = perm[start..c].to_vec();
+        start = c;
+        let source = *members.choose(rng).expect("non-empty group");
+        for &m in &members {
+            skeleton.add_edge(source, m);
+        }
+        cover.push((ProcessSet::from_iter_n(n, members.iter().copied()), source));
+    }
+    debug_assert_eq!(cover.len(), k);
+
+    // Monotone extras.
+    for u in ProcessId::all(n) {
+        for v in ProcessId::all(n) {
+            if u != v && rng.gen_bool(extra_p) {
+                skeleton.add_edge(u, v);
+            }
+        }
+    }
+    (skeleton, cover)
+}
+
+/// A full schedule around a planted skeleton: transient noise on top of the
+/// certified `Psrcs(k)` skeleton.
+pub fn planted_psrcs_schedule<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    extra_p: f64,
+    noise_milli: u32,
+    drop_period: Round,
+) -> NoisySchedule {
+    let (skeleton, _) = planted_psrcs_skeleton(rng, n, k, extra_p);
+    NoisySchedule::new(skeleton, noise_milli, drop_period, rng.gen())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psrcs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sskel_model::{validate_schedule, Schedule};
+
+    #[test]
+    fn planted_skeleton_certifies_psrcs_k() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (n, k) in [(5usize, 2usize), (8, 3), (12, 4), (6, 6), (9, 1)] {
+            for _ in 0..5 {
+                let (skel, cover) = planted_psrcs_skeleton(&mut rng, n, k, 0.1);
+                assert!(
+                    psrcs::holds_on_skeleton(&skel, k),
+                    "Psrcs({k}) must hold, n={n}"
+                );
+                assert_eq!(cover.len(), k);
+                // cover is a partition with sources inside their groups
+                let mut seen = ProcessSet::empty(n);
+                for (group, src) in &cover {
+                    assert!(group.contains(*src));
+                    assert!(seen.is_disjoint(group));
+                    seen.union_with(group);
+                }
+                assert_eq!(seen, ProcessSet::full(n));
+            }
+        }
+    }
+
+    #[test]
+    fn extras_only_lower_min_k() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..10 {
+            let (skel, _) = planted_psrcs_skeleton(&mut rng, 10, 4, 0.3);
+            assert!(psrcs::min_k_on_skeleton(&skel) <= 4);
+        }
+    }
+
+    #[test]
+    fn schedule_wrapper_validates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = planted_psrcs_schedule(&mut rng, 8, 3, 0.1, 250, 4);
+        assert!(validate_schedule(&s, 20).is_ok());
+        assert!(psrcs::holds_on_skeleton(&s.stable_skeleton(), 3));
+    }
+}

@@ -1,0 +1,142 @@
+//! The Theorem 2 lower-bound run family.
+//!
+//! For `1 < k < n`, the paper constructs a run `α` in which:
+//!
+//! * a fixed set `L` of `k − 1` processes hear only from themselves
+//!   (`PT(p) = {p}` for `p ∈ L`);
+//! * one source process `s ∉ L` is heard perpetually by every process
+//!   outside `L` (`PT(p) = {p, s}` for `p ∉ L`).
+//!
+//! The run satisfies `Psrcs(k)` (`s` is a 2-source for every
+//! `(k+1)`-subset, since at least two members lie outside `L`), yet the
+//! `k − 1` processes of `L` and `s` itself can never learn any other value,
+//! so *any* correct algorithm produces `k` distinct decisions when inputs
+//! are pairwise distinct — hence `(k−1)`-set agreement is impossible in
+//! system `Psrcs(k)`.
+
+use sskel_graph::{Digraph, ProcessId, ProcessSet, Round, FIRST_ROUND};
+use sskel_model::Schedule;
+
+/// The Theorem-2 schedule: `L = {p1, …, p(k−1)}`, source `s = p_k`,
+/// every round's graph equal to the stable skeleton.
+#[derive(Clone, Debug)]
+pub struct Theorem2Schedule {
+    n: usize,
+    k: usize,
+    skeleton: Digraph,
+}
+
+impl Theorem2Schedule {
+    /// Builds the canonical Theorem-2 run for `1 < k < n`.
+    ///
+    /// # Panics
+    /// Panics unless `1 < k < n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 1 && k < n, "Theorem 2 requires 1 < k < n (got k={k}, n={n})");
+        let mut skeleton = Digraph::empty(n);
+        skeleton.add_self_loops();
+        let s = ProcessId::from_usize(k - 1);
+        for p in k..n {
+            skeleton.add_edge(s, ProcessId::from_usize(p));
+        }
+        Theorem2Schedule { n, k, skeleton }
+    }
+
+    /// The parameter `k` of this instance.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The isolated set `L` (`k − 1` processes hearing only themselves).
+    pub fn l_set(&self) -> ProcessSet {
+        ProcessSet::from_indices(self.n, 0..self.k - 1)
+    }
+
+    /// The source process `s`.
+    pub fn source(&self) -> ProcessId {
+        ProcessId::from_usize(self.k - 1)
+    }
+
+    /// The processes forced to decide their own value: `L ∪ {s}` — exactly
+    /// `k` of them, hence `k` distinct decision values under distinct
+    /// inputs.
+    pub fn forced_own_value(&self) -> ProcessSet {
+        let mut s = self.l_set();
+        s.insert(self.source());
+        s
+    }
+}
+
+impl Schedule for Theorem2Schedule {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn graph(&self, _r: Round) -> Digraph {
+        self.skeleton.clone()
+    }
+    fn stabilization_round(&self) -> Round {
+        FIRST_ROUND
+    }
+    fn stable_skeleton(&self) -> Digraph {
+        self.skeleton.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psrcs;
+    use crate::theorems::root_component_count;
+    use sskel_model::validate_schedule;
+
+    #[test]
+    fn pt_sets_match_the_paper() {
+        let s = Theorem2Schedule::new(6, 3);
+        let skel = s.stable_skeleton();
+        // L = {p1, p2}: PT = {self}
+        for p in s.l_set().iter() {
+            assert_eq!(skel.in_neighbors(p), &ProcessSet::singleton(6, p));
+        }
+        // s = p3: PT = {s}
+        assert_eq!(
+            skel.in_neighbors(s.source()),
+            &ProcessSet::singleton(6, s.source())
+        );
+        // others: PT = {self, s}
+        for i in 3..6 {
+            let p = ProcessId::from_usize(i);
+            assert_eq!(
+                skel.in_neighbors(p),
+                &ProcessSet::from_iter_n(6, [p, s.source()])
+            );
+        }
+        assert!(validate_schedule(&s, 12).is_ok());
+    }
+
+    #[test]
+    fn satisfies_psrcs_k_but_not_k_minus_1() {
+        for (n, k) in [(6usize, 3usize), (5, 2), (10, 4), (12, 8)] {
+            let s = Theorem2Schedule::new(n, k);
+            let skel = s.stable_skeleton();
+            assert!(psrcs::holds_on_skeleton(&skel, k), "n={n} k={k}");
+            assert!(!psrcs::holds_on_skeleton(&skel, k - 1), "n={n} k={k}");
+            assert_eq!(psrcs::min_k_on_skeleton(&skel), k);
+        }
+    }
+
+    #[test]
+    fn has_exactly_k_root_components() {
+        for (n, k) in [(6usize, 3usize), (5, 2), (10, 4)] {
+            let s = Theorem2Schedule::new(n, k);
+            // k−1 singletons in L plus {s}
+            assert_eq!(root_component_count(&s.stable_skeleton()), k);
+            assert_eq!(s.forced_own_value().len(), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 < k < n")]
+    fn k_must_be_interior() {
+        let _ = Theorem2Schedule::new(4, 4);
+    }
+}

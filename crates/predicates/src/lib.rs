@@ -1,0 +1,31 @@
+//! # sskel-predicates — communication predicates and schedule families
+//!
+//! Implements §III of *“Solving k-Set Agreement with Stable Skeleton
+//! Graphs”* (Biely, Robinson, Schmid, 2011):
+//!
+//! * the predicate `Psrcs(k)` — every `(k+1)`-subset of processes has two
+//!   members with a common perpetual source (eq. (8)) — with two
+//!   cross-checked checkers: the literal subset enumeration and an exact
+//!   reformulation via the independence number of the *common-source graph*
+//!   (`Psrcs(k) ⟺ α(H) ≤ k`, which also yields the tight `min_k` of a run);
+//! * checkable forms of Theorem 1 (at most `k` root components under
+//!   `Psrcs(k)`);
+//! * schedule families realizing predicate scenarios by construction,
+//!   including the Theorem-2 lower-bound run that forces any correct
+//!   algorithm into exactly `k` decision values.
+
+pub mod common_source;
+pub mod families;
+pub mod mis;
+pub mod predicate;
+pub mod psrcs;
+pub mod theorems;
+
+pub use common_source::CommonSourceGraph;
+pub use families::{
+    planted_psrcs_schedule, planted_psrcs_skeleton, CrashSchedule, EventuallyStable, Figure1Schedule, IsolationThenBase,
+    NoisySchedule, PartitionSchedule, Theorem2Schedule,
+};
+pub use predicate::{CommPredicate, PTrue, Psrcs};
+pub use psrcs::{holds as psrcs_holds, min_k, min_k_on_skeleton};
+pub use theorems::{check_theorem1, check_theorem1_tight, root_component_count};

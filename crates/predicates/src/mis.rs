@@ -1,0 +1,254 @@
+//! Exact maximum-independent-set computation on small undirected graphs.
+//!
+//! `Psrcs(k)` checking reduces to the question "does the common-source
+//! graph `H` have an independent set of size `k + 1`?" (see
+//! [`crate::common_source`]). Universe sizes in this code base are small
+//! (`n ≤` a few hundred; predicates are checked for `n ≤ 128` in practice),
+//! so an exact bitset branch-and-bound is both simple and fast. A greedy
+//! bound prunes most branches; the search can also stop early as soon as a
+//! target size is reached, which is all the predicate check needs.
+
+use sskel_graph::{ProcessId, ProcessSet};
+
+/// Exact independence number `α(G)` of the undirected graph given by
+/// symmetric adjacency rows (self-edges, if any, are ignored).
+pub fn independence_number(adj: &[ProcessSet]) -> usize {
+    let n = adj.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = greedy_independent_set(adj).len();
+    let mut current = ProcessSet::empty(n);
+    branch(adj, &ProcessSet::full(n), &mut current, &mut best, None);
+    best
+}
+
+/// `true` iff the graph has an independent set of size ≥ `target`.
+/// Stops branching as soon as one is found.
+pub fn has_independent_set_of_size(adj: &[ProcessSet], target: usize) -> bool {
+    let n = adj.len();
+    if target == 0 {
+        return true;
+    }
+    if target > n {
+        return false;
+    }
+    if greedy_independent_set(adj).len() >= target {
+        return true;
+    }
+    let mut best = 0usize;
+    let mut current = ProcessSet::empty(n);
+    branch(adj, &ProcessSet::full(n), &mut current, &mut best, Some(target));
+    best >= target
+}
+
+/// A maximal (not necessarily maximum) independent set found greedily by
+/// repeatedly taking a minimum-degree vertex — a cheap lower bound for the
+/// exact search, also useful on its own as a fast sufficient check.
+pub fn greedy_independent_set(adj: &[ProcessSet]) -> ProcessSet {
+    let n = adj.len();
+    let mut chosen = ProcessSet::empty(n);
+    let mut candidates = ProcessSet::full(n);
+    while let Some(v) = min_degree_vertex(adj, &candidates) {
+        chosen.insert(v);
+        candidates.remove(v);
+        candidates.difference_with(&adj[v.index()]);
+    }
+    chosen
+}
+
+fn min_degree_vertex(adj: &[ProcessSet], candidates: &ProcessSet) -> Option<ProcessId> {
+    let mut best: Option<(usize, ProcessId)> = None;
+    for v in candidates.iter() {
+        let deg = (&adj[v.index()] & candidates).len();
+        if best.map(|(d, _)| deg < d).unwrap_or(true) {
+            best = Some((deg, v));
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// Branch-and-bound core. `stop_at = Some(t)` makes the search return as
+/// soon as `best ≥ t`.
+fn branch(
+    adj: &[ProcessSet],
+    candidates: &ProcessSet,
+    current: &mut ProcessSet,
+    best: &mut usize,
+    stop_at: Option<usize>,
+) {
+    if let Some(t) = stop_at {
+        if *best >= t {
+            return;
+        }
+    }
+    let cur_len = current.len();
+    if cur_len + candidates.len() <= *best {
+        return; // trivial upper bound: even taking everything cannot win
+    }
+    let Some(v) = max_degree_vertex(adj, candidates) else {
+        // candidates empty: current is maximal here
+        *best = (*best).max(cur_len);
+        return;
+    };
+
+    let deg_in_candidates = (&adj[v.index()] & candidates).len();
+    if deg_in_candidates == 0 {
+        // v is isolated among candidates: always take it
+        let mut rest = candidates.clone();
+        rest.remove(v);
+        current.insert(v);
+        branch(adj, &rest, current, best, stop_at);
+        current.remove(v);
+        return;
+    }
+
+    // Branch 1: include v (drop v and its neighbors from candidates).
+    let mut incl = candidates.clone();
+    incl.remove(v);
+    incl.difference_with(&adj[v.index()]);
+    current.insert(v);
+    branch(adj, &incl, current, best, stop_at);
+    current.remove(v);
+
+    // Branch 2: exclude v.
+    let mut excl = candidates.clone();
+    excl.remove(v);
+    branch(adj, &excl, current, best, stop_at);
+}
+
+/// Branching pivot: maximum degree within the candidate set (removing it
+/// shrinks the candidate set fastest).
+fn max_degree_vertex(adj: &[ProcessSet], candidates: &ProcessSet) -> Option<ProcessId> {
+    let mut best: Option<(usize, ProcessId)> = None;
+    for v in candidates.iter() {
+        let deg = (&adj[v.index()] & candidates).len();
+        if best.map(|(d, _)| deg > d).unwrap_or(true) {
+            best = Some((deg, v));
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// Brute-force oracle for tests: enumerate all subsets (only for tiny `n`).
+#[cfg(test)]
+pub fn independence_number_bruteforce(adj: &[ProcessSet]) -> usize {
+    let n = adj.len();
+    assert!(n <= 20, "brute force limited to tiny graphs");
+    let mut best = 0usize;
+    for mask in 0u32..(1 << n) {
+        let members: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        if members.len() <= best {
+            continue;
+        }
+        let independent = members.iter().enumerate().all(|(i, &u)| {
+            members[i + 1..]
+                .iter()
+                .all(|&v| !adj[u].contains(ProcessId::from_usize(v)))
+        });
+        if independent {
+            best = members.len();
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Vec<ProcessSet> {
+        let mut adj = vec![ProcessSet::empty(n); n];
+        for &(u, v) in edges {
+            adj[u].insert(ProcessId::from_usize(v));
+            adj[v].insert(ProcessId::from_usize(u));
+        }
+        adj
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let adj = graph(5, &[]);
+        assert_eq!(independence_number(&adj), 5);
+        assert!(has_independent_set_of_size(&adj, 5));
+        assert!(!has_independent_set_of_size(&adj, 6));
+    }
+
+    #[test]
+    fn complete_graph() {
+        let n = 6;
+        let edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let adj = graph(n, &edges);
+        assert_eq!(independence_number(&adj), 1);
+        assert!(has_independent_set_of_size(&adj, 1));
+        assert!(!has_independent_set_of_size(&adj, 2));
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        // path on 5 vertices: α = 3
+        let adj = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(independence_number(&adj), 3);
+        // 5-cycle: α = 2
+        let adj = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(independence_number(&adj), 2);
+    }
+
+    #[test]
+    fn empty_universe() {
+        assert_eq!(independence_number(&[]), 0);
+        assert!(has_independent_set_of_size(&[], 0));
+        assert!(!has_independent_set_of_size(&[], 1));
+    }
+
+    #[test]
+    fn greedy_is_independent_and_maximal() {
+        let adj = graph(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)]);
+        let s = greedy_independent_set(&adj);
+        for u in s.iter() {
+            let overlap = &adj[u.index()] & &s;
+            assert!(overlap.is_empty(), "greedy set not independent");
+        }
+        // maximality: every vertex outside has a neighbor inside
+        for v in s.complement().iter() {
+            assert!(adj[v.index()].intersects(&s), "greedy set not maximal");
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..60 {
+            let n = rng.gen_range(1..12);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.35) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let adj = graph(n, &edges);
+            let exact = independence_number(&adj);
+            let brute = independence_number_bruteforce(&adj);
+            assert_eq!(exact, brute, "trial {trial}, n={n}, edges={edges:?}");
+            // has_independent_set_of_size consistent with α
+            assert!(has_independent_set_of_size(&adj, exact));
+            assert!(!has_independent_set_of_size(&adj, exact + 1));
+        }
+    }
+
+    #[test]
+    fn early_exit_agrees_with_full_search() {
+        let adj = graph(8, &[(0, 1), (2, 3), (4, 5), (6, 7)]);
+        // perfect matching on 8 vertices: α = 4
+        assert_eq!(independence_number(&adj), 4);
+        for t in 0..=5 {
+            assert_eq!(has_independent_set_of_size(&adj, t), t <= 4, "t={t}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Communication predicates as first-class objects.
+//!
+//! The paper names systems by the predicate their runs satisfy
+//! (e.g. "system `Psrcs(k)`", "system `Ptrue`"). A [`CommPredicate`]
+//! evaluates on a schedule's *declared* stable skeleton — every predicate
+//! used in the paper is a property of `G∩∞`/`PT(·)` only, so finite
+//! evaluation is exact given the schedule contract (see
+//! [`sskel_model::schedule::Schedule`]).
+
+use sskel_graph::{Digraph, ProcessSet};
+use sskel_model::Schedule;
+
+use crate::psrcs;
+
+/// A predicate over runs, evaluated on the stable skeleton.
+pub trait CommPredicate {
+    /// Human-readable name, e.g. `Psrcs(3)`.
+    fn name(&self) -> String;
+
+    /// Evaluate on a stable skeleton `G∩∞`.
+    fn holds_on_skeleton(&self, skel: &Digraph) -> bool;
+
+    /// Evaluate on the timely neighborhoods `pt[q] = PT(q)`.
+    fn holds_on_pt(&self, pt: &[ProcessSet]) -> bool {
+        self.holds_on_skeleton(&skeleton_from_pt(pt))
+    }
+
+    /// Evaluate on a schedule's declared stable skeleton.
+    fn holds<S: Schedule + ?Sized>(&self, schedule: &S) -> bool
+    where
+        Self: Sized,
+    {
+        self.holds_on_skeleton(&schedule.stable_skeleton())
+    }
+}
+
+/// Rebuilds the stable skeleton from PT rows (`(q → p) ∈ G∩∞ ⟺ q ∈ PT(p)`).
+pub fn skeleton_from_pt(pt: &[ProcessSet]) -> Digraph {
+    let n = pt.len();
+    let mut g = Digraph::empty(n);
+    for (p, set) in pt.iter().enumerate() {
+        for q in set.iter() {
+            g.add_edge(q, sskel_graph::ProcessId::from_usize(p));
+        }
+    }
+    g
+}
+
+/// `Psrcs(k)`: every `(k+1)`-subset has a 2-source (paper eq. (8)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Psrcs {
+    /// The agreement parameter `k ≥ 1`.
+    pub k: usize,
+}
+
+impl Psrcs {
+    /// `Psrcs(k)`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "Psrcs(k) requires k ≥ 1");
+        Psrcs { k }
+    }
+}
+
+impl CommPredicate for Psrcs {
+    fn name(&self) -> String {
+        format!("Psrcs({})", self.k)
+    }
+    fn holds_on_skeleton(&self, skel: &Digraph) -> bool {
+        psrcs::holds_on_skeleton(skel, self.k)
+    }
+}
+
+/// `Ptrue :: TRUE` — the unconstrained system, in which even n-set
+/// agreement is all one can guarantee (every process may be isolated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PTrue;
+
+impl CommPredicate for PTrue {
+    fn name(&self) -> String {
+        "Ptrue".to_owned()
+    }
+    fn holds_on_skeleton(&self, _skel: &Digraph) -> bool {
+        true
+    }
+}
+
+/// Conjunction of two predicates.
+#[derive(Clone, Copy, Debug)]
+pub struct And<A, B>(pub A, pub B);
+
+impl<A: CommPredicate, B: CommPredicate> CommPredicate for And<A, B> {
+    fn name(&self) -> String {
+        format!("({} ∧ {})", self.0.name(), self.1.name())
+    }
+    fn holds_on_skeleton(&self, skel: &Digraph) -> bool {
+        self.0.holds_on_skeleton(skel) && self.1.holds_on_skeleton(skel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_graph::ProcessId;
+    use sskel_model::FixedSchedule;
+
+    #[test]
+    fn ptrue_always_holds() {
+        assert!(PTrue.holds_on_skeleton(&Digraph::empty(4)));
+        assert!(PTrue.holds(&FixedSchedule::synchronous(3)));
+        assert_eq!(PTrue.name(), "Ptrue");
+    }
+
+    #[test]
+    fn psrcs_on_synchronous_system() {
+        // full synchrony: Psrcs(1) holds (everyone hears everyone)
+        let s = FixedSchedule::synchronous(5);
+        assert!(Psrcs::new(1).holds(&s));
+        assert_eq!(Psrcs::new(3).name(), "Psrcs(3)");
+    }
+
+    #[test]
+    fn psrcs_on_isolated_system() {
+        let mut skel = Digraph::empty(4);
+        skel.add_self_loops();
+        for k in 1..4 {
+            assert!(!Psrcs::new(k).holds_on_skeleton(&skel), "k={k}");
+        }
+        assert!(Psrcs::new(4).holds_on_skeleton(&skel));
+    }
+
+    #[test]
+    fn skeleton_from_pt_round_trips() {
+        let mut skel = Digraph::empty(3);
+        skel.add_self_loops();
+        skel.add_edge(ProcessId::new(0), ProcessId::new(2));
+        let pt: Vec<ProcessSet> = (0..3)
+            .map(|p| skel.in_neighbors(ProcessId::from_usize(p)).clone())
+            .collect();
+        assert_eq!(skeleton_from_pt(&pt), skel);
+    }
+
+    #[test]
+    fn and_combinator() {
+        let mut skel = Digraph::empty(3);
+        skel.add_self_loops();
+        let both = And(PTrue, Psrcs::new(3));
+        assert!(both.holds_on_skeleton(&skel));
+        let strict = And(PTrue, Psrcs::new(1));
+        assert!(!strict.holds_on_skeleton(&skel));
+        assert!(strict.name().contains("Psrcs(1)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn psrcs_zero_rejected() {
+        let _ = Psrcs::new(0);
+    }
+}

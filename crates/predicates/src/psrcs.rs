@@ -1,0 +1,258 @@
+//! The communication predicate `Psrcs(k)` (paper §III, eq. (8)) and its
+//! checkers.
+//!
+//! ```text
+//! Psrc(p, S)  ::  ∃q, q' ∈ S, q ≠ q' : p ∈ (PT(q) ∩ PT(q'))
+//! Psrcs(k)    ::  ∀S, |S| = k + 1  ∃p ∈ Π : Psrc(p, S)
+//! ```
+//!
+//! Two independent implementations are provided and cross-checked:
+//!
+//! * [`holds_naive`] — the literal definition: enumerate every
+//!   `(k+1)`-subset and search for a 2-source (`O(n^(k+1))`, reference
+//!   implementation for small `n`);
+//! * [`holds`] — via the common-source graph: `Psrcs(k) ⟺ α(H) ≤ k`
+//!   (exact branch-and-bound with early exit).
+//!
+//! [`min_k`] computes the tight parameter of a run: the smallest `k` for
+//! which `Psrcs(k)` holds, which equals `α(H)`.
+
+use sskel_graph::{Digraph, ProcessSet};
+
+use crate::common_source::{find_two_source, CommonSourceGraph};
+use crate::mis;
+
+/// Literal subset-enumeration check of `Psrcs(k)` over the timely
+/// neighborhoods `pt[q] = PT(q)`.
+///
+/// Exponential in `k`; intended for `n ≲ 20` as a test oracle.
+pub fn holds_naive(pt: &[ProcessSet], k: usize) -> bool {
+    let n = pt.len();
+    if k + 1 > n {
+        // no subset of size k+1 exists: predicate vacuously true
+        return true;
+    }
+    // enumerate all subsets of size k+1 with a simple index-vector walker
+    let mut idx: Vec<usize> = (0..=k).collect();
+    loop {
+        let s = ProcessSet::from_indices(n, idx.iter().copied());
+        if find_two_source(pt, &s).is_none() {
+            return false;
+        }
+        // advance combination
+        let mut i = k + 1;
+        loop {
+            if i == 0 {
+                return true; // all combinations visited
+            }
+            i -= 1;
+            if idx[i] != i + n - (k + 1) {
+                idx[i] += 1;
+                for j in (i + 1)..=k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// `Psrcs(k)` via the independence number of the common-source graph.
+pub fn holds(pt: &[ProcessSet], k: usize) -> bool {
+    let h = CommonSourceGraph::from_pt_sets(pt);
+    !mis::has_independent_set_of_size(h.rows(), k + 1)
+}
+
+/// `Psrcs(k)` evaluated on a stable skeleton.
+pub fn holds_on_skeleton(skel: &Digraph, k: usize) -> bool {
+    let h = CommonSourceGraph::from_stable_skeleton(skel);
+    !mis::has_independent_set_of_size(h.rows(), k + 1)
+}
+
+/// The smallest `k` such that `Psrcs(k)` holds for these timely
+/// neighborhoods: `min_k = α(H)`.
+///
+/// Note `Psrcs(k)` is monotone in `k` (larger `k` only removes
+/// constraints), so this is well-defined; and for `n ≥ 1` it is at least 1
+/// (a single process is an independent set).
+pub fn min_k(pt: &[ProcessSet]) -> usize {
+    let h = CommonSourceGraph::from_pt_sets(pt);
+    mis::independence_number(h.rows())
+}
+
+/// [`min_k`] evaluated on a stable skeleton.
+pub fn min_k_on_skeleton(skel: &Digraph) -> usize {
+    let h = CommonSourceGraph::from_stable_skeleton(skel);
+    mis::independence_number(h.rows())
+}
+
+/// A witness that `Psrcs(k)` fails: a `(k+1)`-subset without any 2-source,
+/// or `None` if the predicate holds. (Search via the naive enumerator —
+/// used in error messages and tests, small `n` only.)
+pub fn violation_witness(pt: &[ProcessSet], k: usize) -> Option<ProcessSet> {
+    let n = pt.len();
+    if k + 1 > n {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..=k).collect();
+    loop {
+        let s = ProcessSet::from_indices(n, idx.iter().copied());
+        if find_two_source(pt, &s).is_none() {
+            return Some(s);
+        }
+        let mut i = k + 1;
+        loop {
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            if idx[i] != i + n - (k + 1) {
+                idx[i] += 1;
+                for j in (i + 1)..=k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_graph::ProcessId;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    /// PT sets where everyone perpetually hears a single source `p1`
+    /// (and themselves): the best-behaved case, Psrcs(1) holds.
+    fn single_source_pt(n: usize) -> Vec<ProcessSet> {
+        (0..n)
+            .map(|i| ProcessSet::from_indices(n, [0, i]))
+            .collect()
+    }
+
+    /// PT sets where everyone hears only themselves: the worst case,
+    /// only Psrcs(n−1)… in fact only Psrcs(k) for k ≥ n… no wait:
+    /// every pair has empty common sources, so α(H) = n.
+    fn isolated_pt(n: usize) -> Vec<ProcessSet> {
+        (0..n)
+            .map(|i| ProcessSet::from_indices(n, [i]))
+            .collect()
+    }
+
+    #[test]
+    fn single_source_satisfies_psrcs_1() {
+        let pt = single_source_pt(6);
+        assert!(holds(&pt, 1));
+        assert!(holds_naive(&pt, 1));
+        assert_eq!(min_k(&pt), 1);
+        assert_eq!(violation_witness(&pt, 1), None);
+    }
+
+    #[test]
+    fn isolated_processes_need_k_equal_n() {
+        let n = 5;
+        let pt = isolated_pt(n);
+        assert_eq!(min_k(&pt), n);
+        for k in 1..n {
+            assert!(!holds(&pt, k), "k={k}");
+            assert!(!holds_naive(&pt, k), "k={k}");
+            let w = violation_witness(&pt, k).expect("violation exists");
+            assert_eq!(w.len(), k + 1);
+        }
+        assert!(holds(&pt, n));
+        assert!(holds_naive(&pt, n)); // vacuous: no subset of size n+1
+    }
+
+    #[test]
+    fn theorem2_pt_sets_have_min_k_exactly_k() {
+        // L = {0..k-2} hear only themselves; s = k-1; rest hear {self, s}
+        for (n, k) in [(5usize, 2usize), (6, 3), (8, 4), (9, 2)] {
+            let pt: Vec<ProcessSet> = (0..n)
+                .map(|i| {
+                    if i < k - 1 {
+                        ProcessSet::from_indices(n, [i])
+                    } else {
+                        ProcessSet::from_indices(n, [i, k - 1])
+                    }
+                })
+                .collect();
+            assert_eq!(min_k(&pt), k, "n={n}, k={k}");
+            assert!(holds(&pt, k));
+            assert!(!holds(&pt, k - 1));
+            assert!(holds_naive(&pt, k));
+            assert!(!holds_naive(&pt, k - 1));
+        }
+    }
+
+    #[test]
+    fn naive_and_alpha_checkers_agree_on_random_pt() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..40 {
+            let n = rng.gen_range(2..9);
+            let pt: Vec<ProcessSet> = (0..n)
+                .map(|i| {
+                    let mut s = ProcessSet::from_indices(n, [i]); // self-loop always
+                    for j in 0..n {
+                        if rng.gen_bool(0.3) {
+                            s.insert(pid(j));
+                        }
+                    }
+                    s
+                })
+                .collect();
+            for k in 1..n {
+                assert_eq!(
+                    holds(&pt, k),
+                    holds_naive(&pt, k),
+                    "trial {trial}, n={n}, k={k}, pt={pt:?}"
+                );
+            }
+            // min_k is the threshold
+            let mk = min_k(&pt);
+            assert!(holds(&pt, mk));
+            if mk > 1 {
+                assert!(!holds(&pt, mk - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_variants_agree() {
+        let mut skel = Digraph::empty(4);
+        skel.add_self_loops();
+        skel.add_edge(pid(0), pid(1));
+        skel.add_edge(pid(0), pid(2));
+        let pt: Vec<ProcessSet> = (0..4)
+            .map(|p| skel.in_neighbors(pid(p)).clone())
+            .collect();
+        assert_eq!(min_k_on_skeleton(&skel), min_k(&pt));
+        for k in 1..4 {
+            assert_eq!(holds_on_skeleton(&skel, k), holds(&pt, k));
+        }
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let pt = isolated_pt(6);
+        let mut prev = false;
+        for k in 1..=6 {
+            let now = holds(&pt, k);
+            assert!(!prev || now, "Psrcs must be monotone in k");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn vacuous_for_large_k() {
+        let pt = isolated_pt(3);
+        assert!(holds(&pt, 3));
+        assert!(holds(&pt, 10));
+        assert!(holds_naive(&pt, 10));
+    }
+}

@@ -1,0 +1,82 @@
+//! Checkable forms of the paper's structural theorems.
+
+use sskel_graph::{root_components, Digraph, ProcessSet};
+use sskel_model::Schedule;
+
+use crate::psrcs;
+
+/// Number of root components of a stable skeleton.
+pub fn root_component_count(skel: &Digraph) -> usize {
+    root_components(skel, &ProcessSet::full(skel.n())).len()
+}
+
+/// Theorem 1: in any run admissible in system `Psrcs(k)`, the stable
+/// skeleton has at most `k` root components.
+///
+/// Returns the observed root-component count, or an error describing the
+/// violation. If `Psrcs(k)` does not hold on the schedule the check is
+/// vacuous (`Ok` with the count).
+pub fn check_theorem1<S: Schedule + ?Sized>(schedule: &S, k: usize) -> Result<usize, String> {
+    let skel = schedule.stable_skeleton();
+    let count = root_component_count(&skel);
+    if psrcs::holds_on_skeleton(&skel, k) && count > k {
+        return Err(format!(
+            "Theorem 1 violated: Psrcs({k}) holds but the stable skeleton has \
+             {count} root components"
+        ));
+    }
+    Ok(count)
+}
+
+/// The sharper relationship that drives the experiments: the root-component
+/// count never exceeds `min_k = α(H)` (Theorem 1 applied at the tight `k`).
+pub fn check_theorem1_tight(skel: &Digraph) -> Result<(usize, usize), String> {
+    let count = root_component_count(skel);
+    let mk = psrcs::min_k_on_skeleton(skel);
+    if count > mk {
+        return Err(format!(
+            "root components ({count}) exceed min_k ({mk}) — contradicts Theorem 1"
+        ));
+    }
+    Ok((count, mk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_graph::ProcessId;
+    use sskel_model::FixedSchedule;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    #[test]
+    fn synchronous_system_has_one_root_component() {
+        let s = FixedSchedule::synchronous(6);
+        assert_eq!(check_theorem1(&s, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn isolated_skeleton_has_n_root_components_but_no_psrcs() {
+        let mut skel = Digraph::empty(4);
+        skel.add_self_loops();
+        // Psrcs(1) fails, so the theorem is vacuous; count is still returned
+        let s = FixedSchedule::new(skel.clone());
+        assert_eq!(check_theorem1(&s, 1).unwrap(), 4);
+        // tight check: min_k = 4 ≥ 4 roots
+        assert_eq!(check_theorem1_tight(&skel).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn chain_skeleton_is_consistent() {
+        // a → b → c: 1 root component; min_k = 2 (PT(a)∩PT(c) = ∅)
+        let mut skel = Digraph::empty(3);
+        skel.add_self_loops();
+        skel.add_edge(p(0), p(1));
+        skel.add_edge(p(1), p(2));
+        let (roots, mk) = check_theorem1_tight(&skel).unwrap();
+        assert_eq!(roots, 1);
+        assert_eq!(mk, 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Baseline comparison tests (experiment E5's correctness side):
+//!
+//! * FloodMin solves k-set agreement in the crash model with the classic
+//!   `⌊f/k⌋ + 1` horizon — and Algorithm 1 matches it there (with its own,
+//!   skeleton-driven round counts);
+//! * the naive fixed-horizon flooder violates k-agreement on
+//!   `Psrcs(k)`-admissible runs where Algorithm 1 does not — the paper's
+//!   motivation for skeleton approximation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sskel::prelude::*;
+
+fn distinct_inputs(n: usize) -> Vec<Value> {
+    (0..n as Value).map(|i| 3 * i + 1).collect()
+}
+
+#[test]
+fn floodmin_correct_on_random_crash_schedules() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for trial in 0..25 {
+        let n = rng.gen_range(3..10usize);
+        let f = rng.gen_range(0..n); // up to n−1 crashes
+        let k = rng.gen_range(1..=3usize);
+        let crashes: Vec<(ProcessId, Round)> = (0..f)
+            .map(|i| (ProcessId::from_usize(i), rng.gen_range(1..8) as Round))
+            .collect();
+        let s = CrashSchedule::new(n, crashes);
+        let inputs = distinct_inputs(n);
+        let algs = FloodMin::spawn_all(n, &inputs, f, k);
+        let (trace, _) = run_lockstep(&s, algs, RunUntil::AllDecided { max_rounds: 30 });
+        let verdict = verify(&trace, &VerifySpec::new(k, inputs));
+        assert!(
+            verdict.is_ok(),
+            "trial {trial} (n={n}, f={f}, k={k}): {:?}",
+            verdict.violations
+        );
+    }
+}
+
+#[test]
+fn algorithm1_matches_floodmin_in_crash_runs() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..10 {
+        let n = rng.gen_range(3..9usize);
+        let f = rng.gen_range(0..n - 1); // keep one survivor
+        let crashes: Vec<(ProcessId, Round)> = (0..f)
+            .map(|i| (ProcessId::from_usize(i), rng.gen_range(1..5) as Round))
+            .collect();
+        let s = CrashSchedule::new(n, crashes);
+        let inputs = distinct_inputs(n);
+
+        let (flood, _) = run_lockstep(
+            &s,
+            FloodMin::spawn_all(n, &inputs, f, 1),
+            RunUntil::AllDecided { max_rounds: 30 },
+        );
+        let (alg1, _) = run_lockstep(
+            &s,
+            KSetAgreement::spawn_all(n, &inputs),
+            RunUntil::AllDecided {
+                max_rounds: lemma11_bound(&s) + 2,
+            },
+        );
+        // both reach consensus; crash schedules keep every value flowing
+        // through the survivors, so the decided minima coincide
+        assert_eq!(flood.distinct_decision_values().len(), 1);
+        assert_eq!(alg1.distinct_decision_values().len(), 1);
+        assert_eq!(
+            flood.distinct_decision_values(),
+            alg1.distinct_decision_values()
+        );
+    }
+}
+
+#[test]
+fn naive_horizon_fails_exactly_where_the_paper_says() {
+    // Theorem-2-style runs with inputs making the naive flooder split
+    let mut violations = 0usize;
+    for k in 2..5usize {
+        let n = k + 2;
+        let s = Theorem2Schedule::new(n, k);
+        // source's value is larger than the downstream processes' own
+        let mut inputs: Vec<Value> = (0..n as Value).map(|i| i + 1).collect();
+        inputs[k - 1] = 1000; // the source s proposes a large value
+
+        let (naive, _) = run_lockstep(
+            &s,
+            NaiveMinHorizon::spawn_all(n, &inputs),
+            RunUntil::AllDecided { max_rounds: 30 },
+        );
+        if naive.distinct_decision_values().len() > k {
+            violations += 1;
+        }
+
+        // Algorithm 1 stays within k on the same run
+        let (alg1, _) = run_lockstep(
+            &s,
+            KSetAgreement::spawn_all(n, &inputs),
+            RunUntil::AllDecided {
+                max_rounds: lemma11_bound(&s) + 2,
+            },
+        );
+        assert!(
+            alg1.distinct_decision_values().len() <= k,
+            "Algorithm 1 violated k-agreement?!"
+        );
+    }
+    assert!(
+        violations > 0,
+        "expected the naive baseline to violate k-agreement somewhere"
+    );
+}
+
+#[test]
+fn floodmin_unsound_under_general_psrcs_schedules() {
+    // FloodMin parameterized for f crashes is oblivious to Psrcs-style
+    // omissions: on the Theorem-2 run with distinct inputs it decides
+    // n − k + 1 … many values — more than k when n is large enough.
+    let (n, k) = (8usize, 2usize);
+    let s = Theorem2Schedule::new(n, k);
+    // the source proposes a large value, so every downstream process keeps
+    // its own (distinct) minimum — FloodMin never learns it should wait
+    let mut inputs = distinct_inputs(n);
+    inputs[k - 1] = 1000;
+    // generous f = n − 1 (horizon n rounds): still wrong, because the
+    // "clean round" assumption of the crash model never holds here
+    let (trace, _) = run_lockstep(
+        &s,
+        FloodMin::spawn_all(n, &inputs, n - 1, k),
+        RunUntil::AllDecided { max_rounds: 40 },
+    );
+    assert!(
+        trace.distinct_decision_values().len() > k,
+        "expected FloodMin to exceed k = {k}: {:?}",
+        trace.distinct_decision_values()
+    );
+}

@@ -1,0 +1,165 @@
+//! A concrete counterexample to the paper's Lemma 15 / Theorem 16 as
+//! literally stated — found by the property tests of this reproduction —
+//! and the repaired decision rule that fixes it.
+//!
+//! # The gap
+//!
+//! Observation 1 allows `G_p^r` to carry edge labels as old as `r − n + 1`.
+//! A process may therefore pass line 28's strong-connectivity test at a
+//! round `r ∈ [n, 2n)` using edges that were timely only in the first few
+//! rounds of the run (transient "noise" that never belonged to the stable
+//! skeleton) — nothing has been purged yet. Lemma 7 only places such a
+//! `G_p` inside `C^{r−n+1}_p` (the component of a *very early* skeleton),
+//! and the step in Lemma 15's proof that invokes Lemma 14 for
+//! `C^{ri−n+1}_{pi}` is invalid: Lemma 14 equalizes estimates by round `n`
+//! only within `C^n_p`, not within the (larger) earlier component.
+//!
+//! # The run
+//!
+//! 10 processes, stable skeleton with the single root `{p3}` (so
+//! `Psrcs(1)` holds — consensus should be guaranteed), plus transient
+//! round-1/2 edges, among them `p8 → p3` and `p10 → p3`. At round
+//! `r = n = 10`, processes p4/p8/p9 see a strongly connected approximation
+//! *through the stale `p8 → p3` edge (label 1 — legal, since the first
+//! purge happens at round n + 1)* and decide the value 10; the true root
+//! p3 can never learn anything, so it later decides its own value 12.
+//! Two decision values under `Psrcs(1)`.
+//!
+//! # The repair
+//!
+//! [`DecisionRule::FreshnessGuarded`] additionally requires every edge
+//! `(u --s--> v) ∈ G_p` to satisfy `s + dist(v → p) ≥ r` — exactly the
+//! freshness Lemma 4 guarantees for perpetually timely edges, so the
+//! Lemma-11 termination bound is preserved, while any decision based on
+//! an edge that already left the skeleton is blocked.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sskel::prelude::*;
+
+/// The exact schedule found by proptest (seed recorded verbatim).
+fn counterexample_schedule() -> NoisySchedule {
+    let mut rng = StdRng::seed_from_u64(11539593876277205866);
+    planted_psrcs_schedule(&mut rng, 10, 1, 0.15, 200, 4)
+}
+
+#[test]
+fn schedule_really_guarantees_psrcs_1() {
+    let s = counterexample_schedule();
+    // the declared stable skeleton is the true one …
+    assert!(sskel::model::validate_schedule(&s, 50).is_ok());
+    // … it has a single root component and min_k = 1: consensus strength
+    assert_eq!(root_component_count(&s.stable_skeleton()), 1);
+    assert_eq!(guaranteed_k(&s), 1);
+}
+
+#[test]
+fn paper_rule_violates_consensus_on_this_run() {
+    let s = counterexample_schedule();
+    let inputs: Vec<Value> = (0..10).map(|i| i + 10).collect();
+    let algs = KSetAgreement::spawn_all_with(10, &inputs, DecisionRule::Paper);
+    let (trace, _) = run_lockstep(
+        &s,
+        algs,
+        RunUntil::AllDecided {
+            max_rounds: lemma11_bound(&s) + 2,
+        },
+    );
+    assert!(trace.all_decided());
+    let distinct = trace.distinct_decision_values();
+    assert_eq!(
+        distinct,
+        vec![10, 12],
+        "this documents the Lemma 15 gap: two values under Psrcs(1)"
+    );
+    // the early deciders pass line 28 exactly at round n = 10, before the
+    // first purge could remove the stale round-1 edge they relied on
+    assert_eq!(trace.first_decision_round(), Some(10));
+}
+
+#[test]
+fn freshness_guarded_rule_restores_consensus() {
+    let s = counterexample_schedule();
+    let inputs: Vec<Value> = (0..10).map(|i| i + 10).collect();
+    let algs = KSetAgreement::spawn_all_with(10, &inputs, DecisionRule::FreshnessGuarded);
+    let bound = lemma11_bound(&s);
+    let (trace, _) = run_lockstep(&s, algs, RunUntil::AllDecided { max_rounds: bound + 2 });
+    let verdict = verify(&trace, &VerifySpec::new(1, inputs).with_lemma11_bound(&s));
+    verdict.assert_ok();
+    // consensus on the root's value: p3 proposes 12 and can learn nothing else
+    assert_eq!(trace.distinct_decision_values(), vec![12]);
+}
+
+/// The guard costs nothing on well-behaved runs: on noise-free schedules
+/// both rules decide in exactly the same rounds with the same values.
+#[test]
+fn guard_is_free_on_stable_runs() {
+    let schedules: Vec<(&str, Box<dyn Schedule>)> = vec![
+        ("sync", Box::new(FixedSchedule::synchronous(7))),
+        ("theorem2", Box::new(Theorem2Schedule::new(7, 3))),
+        ("figure1", Box::new(Figure1Schedule::new())),
+        ("partition", Box::new(PartitionSchedule::even(8, 2, 0))),
+    ];
+    for (name, s) in &schedules {
+        let n = s.n();
+        let inputs: Vec<Value> = (0..n as Value).map(|i| 5 * i + 2).collect();
+        let until = RunUntil::AllDecided {
+            max_rounds: lemma11_bound(s.as_ref()) + 2,
+        };
+        let (a, _) = run_lockstep(
+            s.as_ref(),
+            KSetAgreement::spawn_all_with(n, &inputs, DecisionRule::Paper),
+            until,
+        );
+        let (b, _) = run_lockstep(
+            s.as_ref(),
+            KSetAgreement::spawn_all_with(n, &inputs, DecisionRule::FreshnessGuarded),
+            until,
+        );
+        assert_eq!(a.decisions, b.decisions, "{name}: rules must agree");
+    }
+}
+
+/// Monte-Carlo: across many random noisy Psrcs(k) runs, the guarded rule
+/// never exceeds the tight k, while the paper rule does on some runs
+/// (which is what makes this a genuine counterexample family, not a
+/// one-off).
+#[test]
+fn guarded_rule_sound_across_random_runs_where_paper_rule_is_not() {
+    let mut paper_violations = 0usize;
+    let mut guarded_violations = 0usize;
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4 + (seed % 8) as usize;
+        let k = 1 + (seed % 3) as usize;
+        if k > n {
+            continue;
+        }
+        let s = planted_psrcs_schedule(&mut rng, n, k, 0.2, 350, 4);
+        let tight = guaranteed_k(&s);
+        let inputs: Vec<Value> = (0..n as Value).collect();
+        for (rule, violations) in [
+            (DecisionRule::Paper, &mut paper_violations),
+            (DecisionRule::FreshnessGuarded, &mut guarded_violations),
+        ] {
+            let algs = KSetAgreement::spawn_all_with(n, &inputs, rule);
+            let (trace, _) = run_lockstep(
+                &s,
+                algs,
+                RunUntil::AllDecided {
+                    max_rounds: lemma11_bound(&s) + 2,
+                },
+            );
+            assert!(trace.all_decided(), "termination must hold for {rule:?}");
+            if trace.distinct_decision_values().len() > tight {
+                *violations += 1;
+            }
+        }
+    }
+    assert_eq!(guarded_violations, 0, "the repair must never violate");
+    assert!(
+        paper_violations > 0,
+        "expected the literal rule to violate k-agreement on some seeds"
+    );
+}

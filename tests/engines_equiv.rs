@@ -1,0 +1,101 @@
+//! The threaded engine (real threads + channels + spin barrier) must
+//! produce byte-identical traces to the deterministic lockstep engine on
+//! arbitrary schedules — the paper's runs are fully determined by initial
+//! states and the communication-graph sequence, so any divergence is an
+//! engine bug.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sskel::prelude::*;
+
+proptest! {
+    // thread spawning is comparatively expensive: keep the case count modest
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threaded_equals_lockstep_on_random_planted_schedules(
+        seed in any::<u64>(),
+        n in 1usize..10,
+        k_raw in 1usize..4,
+    ) {
+        let k = k_raw.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = planted_psrcs_schedule(&mut rng, n, k, 0.2, 300, 4);
+        let inputs: Vec<Value> = (0..n as Value).map(|i| 50 + i).collect();
+        let until = RunUntil::AllDecided { max_rounds: lemma11_bound(&s) + 3 };
+
+        let (a, _) = run_lockstep(&s, KSetAgreement::spawn_all(n, &inputs), until);
+        let (b, _) = run_threaded(&s, KSetAgreement::spawn_all(n, &inputs), until);
+
+        prop_assert_eq!(&a.decisions, &b.decisions);
+        prop_assert_eq!(a.rounds_executed, b.rounds_executed);
+        prop_assert_eq!(a.msg_stats, b.msg_stats);
+        prop_assert!(b.anomalies.is_empty());
+    }
+
+    #[test]
+    fn threaded_equals_lockstep_with_fixed_round_budget(
+        seed in any::<u64>(),
+        n in 1usize..8,
+        rounds in 1u32..12,
+    ) {
+        let skel = {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Digraph::empty(n);
+            g.add_self_loops();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.3) {
+                        g.add_edge(ProcessId::from_usize(u), ProcessId::from_usize(v));
+                    }
+                }
+            }
+            g
+        };
+        let s = NoisySchedule::new(skel, 250, 4, seed);
+        let inputs: Vec<Value> = (0..n as Value).collect();
+        let until = RunUntil::Rounds(rounds);
+
+        let (a, _) = run_lockstep(&s, KSetAgreement::spawn_all(n, &inputs), until);
+        let (b, _) = run_threaded(&s, KSetAgreement::spawn_all(n, &inputs), until);
+
+        prop_assert_eq!(&a.decisions, &b.decisions);
+        prop_assert_eq!(a.msg_stats, b.msg_stats);
+    }
+}
+
+/// Final algorithm states (not just traces) agree between engines.
+#[test]
+fn final_states_identical_between_engines() {
+    let s = Figure1Schedule::new();
+    let inputs = Figure1Schedule::example_inputs();
+    let until = RunUntil::Rounds(12);
+    let (_, finals_a) = run_lockstep(&s, KSetAgreement::spawn_all(6, &inputs), until);
+    let (_, finals_b) = run_threaded(&s, KSetAgreement::spawn_all(6, &inputs), until);
+    for (a, b) in finals_a.iter().zip(&finals_b) {
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.estimate(), b.estimate());
+        assert_eq!(a.pt(), b.pt());
+        assert_eq!(a.approx_graph(), b.approx_graph());
+        assert_eq!(a.has_decided(), b.has_decided());
+        assert_eq!(a.decision_path(), b.decision_path());
+    }
+}
+
+/// Larger thread counts than cores still terminate and agree.
+#[test]
+fn oversubscribed_threaded_run() {
+    let n = 48;
+    let s = FixedSchedule::synchronous(n);
+    let inputs: Vec<Value> = (0..n as Value).collect();
+    let until = RunUntil::AllDecided {
+        max_rounds: n as Round + 5,
+    };
+    let (a, _) = run_lockstep(&s, KSetAgreement::spawn_all(n, &inputs), until);
+    let (b, _) = run_threaded(&s, KSetAgreement::spawn_all(n, &inputs), until);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.rounds_executed, n as Round);
+}

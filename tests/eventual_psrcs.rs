@@ -1,0 +1,109 @@
+//! §III's argument that `♦Psrcs(k)` (the *eventual* 2-source property) is
+//! too weak for k-set agreement, executed.
+//!
+//! The paper: "♦Psrcs(k) allows runs where every process forms a root
+//! component by itself […] for a finite number of rounds. […] Using a
+//! simple indistinguishability argument, it is easy to show that processes
+//! decide on n different values."
+//!
+//! We run Algorithm 1 on isolation-prefix schedules whose *suffix* is fully
+//! synchronous (so `♦Psrcs(1)` holds eventually). Because `PT(p, r)` is a
+//! running intersection, even a **single** isolated round permanently
+//! collapses every timely neighborhood to `{p}` — each process's
+//! approximation stays a singleton, passes line 28 at round `n`, and
+//! decides its own value: `n` distinct decisions. (The paper's
+//! indistinguishability argument needs arbitrarily long prefixes to defeat
+//! *any* algorithm; for Algorithm 1 specifically, one bad round suffices —
+//! perpetual predicates are that fragile.)
+
+use sskel::prelude::*;
+
+fn run_with_isolation(n: usize, isolation: Round) -> RunTrace {
+    let s = IsolationThenBase::new(FixedSchedule::synchronous(n), isolation);
+    let inputs: Vec<Value> = (0..n as Value).map(|i| i + 100).collect();
+    let algs = KSetAgreement::spawn_all(n, &inputs);
+    let (trace, _) = run_lockstep(
+        &s,
+        algs,
+        RunUntil::AllDecided {
+            max_rounds: isolation + 3 * n as Round,
+        },
+    );
+    // the run is still a legal run of the model: validity, termination and
+    // decide-once hold; only the agreement *level* degrades to n
+    verify(&trace, &VerifySpec::new(n, inputs)).assert_ok();
+    trace
+}
+
+#[test]
+fn any_isolation_forces_n_values() {
+    for n in [2usize, 4, 7] {
+        for isolation in [1 as Round, n as Round, 2 * n as Round] {
+            let trace = run_with_isolation(n, isolation);
+            assert_eq!(
+                trace.distinct_decision_values().len(),
+                n,
+                "n = {n}, isolation = {isolation}: everyone decides its own value"
+            );
+            // all decisions happen at round n, as singletons
+            assert_eq!(trace.first_decision_round(), Some(n as Round));
+            assert_eq!(trace.last_decision_round(), Some(n as Round));
+        }
+    }
+}
+
+#[test]
+fn no_isolation_reaches_consensus() {
+    for n in [3usize, 5, 8] {
+        let trace = run_with_isolation(n, 0);
+        assert_eq!(trace.distinct_decision_values().len(), 1, "n = {n}");
+    }
+}
+
+#[test]
+fn decision_count_transitions_at_the_first_bad_round() {
+    let n = 6usize;
+    // isolation 0 → consensus; isolation ≥ 1 → n values: PT is a running
+    // intersection, so one silent round destroys it forever
+    assert_eq!(run_with_isolation(n, 0).distinct_decision_values().len(), 1);
+    for isolation in 1..=(n as Round + 2) {
+        assert_eq!(
+            run_with_isolation(n, isolation).distinct_decision_values().len(),
+            n,
+            "isolation {isolation}"
+        );
+    }
+}
+
+/// The min_k analysis agrees: one isolated round drops the run's tight k
+/// from 1 to n.
+#[test]
+fn min_k_collapses_with_one_bad_round() {
+    let n = 5usize;
+    assert_eq!(
+        guaranteed_k(&IsolationThenBase::new(FixedSchedule::synchronous(n), 0)),
+        1
+    );
+    assert_eq!(
+        guaranteed_k(&IsolationThenBase::new(FixedSchedule::synchronous(n), 1)),
+        n
+    );
+}
+
+/// The guarded decision rule does not (and cannot) change this: the
+/// impossibility is information-theoretic, not an algorithmic defect.
+#[test]
+fn freshness_guard_cannot_rescue_eventual_synchrony() {
+    let n = 5usize;
+    let s = IsolationThenBase::new(FixedSchedule::synchronous(n), n as Round);
+    let inputs: Vec<Value> = (0..n as Value).collect();
+    let algs = KSetAgreement::spawn_all_with(n, &inputs, DecisionRule::FreshnessGuarded);
+    let (trace, _) = run_lockstep(
+        &s,
+        algs,
+        RunUntil::AllDecided {
+            max_rounds: 4 * n as Round,
+        },
+    );
+    assert_eq!(trace.distinct_decision_values().len(), n);
+}

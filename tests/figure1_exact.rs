@@ -1,0 +1,144 @@
+//! Exact expectations for the Figure 1 reproduction (experiment F1).
+//!
+//! The paper's figure is reconstructed edge-by-edge (see
+//! `predicates::families::figure1`); this test pins the *exact* contents of
+//! every sub-figure and the decision dynamics of the run, so any regression
+//! in the approximation logic shows up as a figure diff.
+
+use sskel::prelude::*;
+
+fn edge_set(g: &LabeledDigraph) -> Vec<(usize, usize, u32)> {
+    let mut v: Vec<(usize, usize, u32)> = g
+        .edges()
+        .filter(|(u, w, _)| u != w) // figures omit self-loops
+        .map(|(u, w, l)| (u.index(), w.index(), l))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn sub_figures_c_through_h_match_pinned_expectations() {
+    let schedule = Figure1Schedule::new();
+    let p6 = Figure1Schedule::observed_process();
+    let algs = KSetAgreement::spawn_all(6, &Figure1Schedule::example_inputs());
+
+    let mut snapshots: Vec<LabeledDigraph> = Vec::new();
+    let (_, _) = run_lockstep_observed(
+        &schedule,
+        algs,
+        RunUntil::Rounds(9),
+        |_r, states: &[KSetAgreement]| {
+            snapshots.push(states[p6.index()].approx_graph().clone());
+        },
+    );
+
+    // 0-based indices: p1=0 … p6=5.
+    let expected: Vec<Vec<(usize, usize, u32)>> = vec![
+        // (c) round 1: p6 hears p5
+        vec![(4, 5, 1)],
+        // (d) round 2: p5's round-1 knowledge arrives (p4 → p5)
+        vec![(3, 4, 1), (4, 5, 2)],
+        // (e) round 3: the 3-cycle's tail plus the transient p6 → p4 edge
+        vec![(2, 3, 1), (3, 4, 2), (4, 5, 3), (5, 3, 1)],
+        // (f) round 4: transient p2 → p3 edge arrives; p5 → p3 closes the cycle
+        vec![(1, 2, 1), (2, 3, 2), (3, 4, 3), (4, 2, 1), (4, 5, 4), (5, 3, 2)],
+        // (g) round 5: p1 → p2 arrives through the (stale) p2 → p3 link
+        vec![
+            (0, 1, 1),
+            (1, 2, 2),
+            (2, 3, 3),
+            (3, 4, 4),
+            (4, 2, 2),
+            (4, 5, 5),
+            (5, 3, 2),
+        ],
+        // (h) round 6: fresh labels advance; stale ones (p1→p2 @1, p2→p3 @2,
+        // p6→p4 @2) are about to age out
+        vec![
+            (0, 1, 1),
+            (1, 2, 2),
+            (2, 3, 4),
+            (3, 4, 5),
+            (4, 2, 3),
+            (4, 5, 6),
+            (5, 3, 2),
+        ],
+    ];
+
+    for (i, exp) in expected.iter().enumerate() {
+        assert_eq!(
+            &edge_set(&snapshots[i]),
+            exp,
+            "sub-figure ({}) round {} mismatch",
+            (b'c' + i as u8) as char,
+            i + 1
+        );
+    }
+
+    // Round 7: label-1 edges purged (cutoff 7 − 6 = 1) ⇒ p1 pruned.
+    assert!(!snapshots[6].contains_node(ProcessId::new(0)));
+    // Round 8: label-2 edges purged ⇒ p2 and the transient p6→p4 edge gone;
+    // steady state is exactly the 3-cycle + p5 → p6 among {p3, p4, p5, p6}.
+    let steady = &snapshots[7];
+    assert_eq!(steady.nodes(), &ProcessSet::from_indices(6, [2, 3, 4, 5]));
+    let e = edge_set(steady);
+    let shape: Vec<(usize, usize)> = e.iter().map(|&(u, v, _)| (u, v)).collect();
+    assert_eq!(shape, vec![(2, 3), (3, 4), (4, 2), (4, 5)]);
+}
+
+#[test]
+fn decision_dynamics_of_the_figure_run() {
+    let schedule = Figure1Schedule::new();
+    let inputs = Figure1Schedule::example_inputs();
+    let algs = KSetAgreement::spawn_all(6, &inputs);
+    let (trace, finals) = run_lockstep(
+        &schedule,
+        algs,
+        RunUntil::AllDecided { max_rounds: 40 },
+    );
+
+    verify(
+        &trace,
+        &VerifySpec::new(3, inputs).with_lemma11_bound(&schedule),
+    )
+    .assert_ok();
+
+    // p1, p2 (clean 2-cycle) decide at round n = 6 on min(4, 5) = 4.
+    for i in [0usize, 1] {
+        let d = trace.decision_of(ProcessId::from_usize(i)).unwrap();
+        assert_eq!((d.value, d.round), (4, 6), "p{}", i + 1);
+    }
+    // p3, p4, p5 wait for the transient round-1/2 edges to age out of their
+    // approximations (round 8), then decide the 3-cycle minimum 1.
+    for i in [2usize, 3, 4] {
+        let d = trace.decision_of(ProcessId::from_usize(i)).unwrap();
+        assert_eq!((d.value, d.round), (1, 8), "p{}", i + 1);
+    }
+    // p6 never becomes strongly connected; it relays p5's decision at 9.
+    let d6 = trace.decision_of(ProcessId::new(5)).unwrap();
+    assert_eq!((d6.value, d6.round), (1, 9));
+    assert_eq!(
+        finals[5].decision_path(),
+        Some(DecisionPath::Relay),
+        "p6 must decide via a decide message"
+    );
+    // two distinct values ≤ k = 3
+    assert_eq!(trace.distinct_decision_values(), vec![1, 4]);
+}
+
+#[test]
+fn figure_run_satisfies_all_lemma_invariants() {
+    let schedule = Figure1Schedule::new();
+    let mut checker = InvariantChecker::new(6, schedule.stable_skeleton());
+    let algs = KSetAgreement::spawn_all(6, &Figure1Schedule::example_inputs());
+    let (_, _) = run_lockstep_observed(
+        &schedule,
+        algs,
+        RunUntil::Rounds(20),
+        |r, states: &[KSetAgreement]| {
+            checker.observe_round(r, &schedule.graph(r), states);
+        },
+    );
+    checker.assert_ok();
+}

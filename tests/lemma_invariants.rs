@@ -1,0 +1,133 @@
+//! Property-based validation of the paper's approximation lemmas
+//! (Observation 1/2, Lemmas 3, 5, 6, 7, Theorem 8) on randomized runs.
+//!
+//! The paper's central claim about the estimator is that it is correct in
+//! **all** runs, under any communication pattern. We generate arbitrary
+//! stable skeletons (random planted shapes *and* completely unstructured
+//! ones) with arbitrary transient noise, run Algorithm 1, and check every
+//! lemma at every round against ground truth.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sskel::prelude::*;
+
+/// Random skeleton: self-loops plus each ordered pair with probability ~p.
+fn random_skeleton(seed: u64, n: usize, milli: u32) -> Digraph {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Digraph::empty(n);
+    g.add_self_loops();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_range(0..1000) < milli {
+                g.add_edge(ProcessId::from_usize(u), ProcessId::from_usize(v));
+            }
+        }
+    }
+    g
+}
+
+fn check_invariants<S: Schedule>(schedule: &S, rounds: Round) -> Result<(), TestCaseError> {
+    let n = schedule.n();
+    let inputs: Vec<Value> = (0..n as Value).collect();
+    let mut checker = InvariantChecker::new(n, schedule.stable_skeleton());
+    let algs = KSetAgreement::spawn_all(n, &inputs);
+    let (_, _) = run_lockstep_observed(
+        schedule,
+        algs,
+        RunUntil::Rounds(rounds),
+        |r, states: &[KSetAgreement]| {
+            checker.observe_round(r, &schedule.graph(r), states);
+        },
+    );
+    prop_assert!(
+        checker.violations().is_empty(),
+        "violations: {:#?}",
+        checker.violations()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Completely unstructured skeletons + noise: the estimator lemmas must
+    /// hold even when no Psrcs(k) holds for small k.
+    #[test]
+    fn lemmas_hold_on_arbitrary_noisy_runs(
+        seed in any::<u64>(),
+        n in 2usize..9,
+        skel_milli in 0u32..400,
+        noise_milli in 0u32..400,
+    ) {
+        let skel = random_skeleton(seed, n, skel_milli);
+        let s = NoisySchedule::new(skel, noise_milli, 4, seed ^ 0xabcd);
+        check_invariants(&s, 3 * n as Round + 6)?;
+    }
+
+    /// Planted Psrcs(k) skeletons with noise.
+    #[test]
+    fn lemmas_hold_on_planted_runs(
+        seed in any::<u64>(),
+        n in 3usize..10,
+        k_raw in 1usize..5,
+    ) {
+        let k = k_raw.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = planted_psrcs_schedule(&mut rng, n, k, 0.12, 300, 5);
+        check_invariants(&s, 3 * n as Round + 6)?;
+    }
+
+    /// Chaotic prefixes of arbitrary length.
+    #[test]
+    fn lemmas_hold_with_chaotic_prefixes(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        chaos in 0u32..12,
+        blocks in 1usize..4,
+    ) {
+        let b = blocks.min(n);
+        let base = PartitionSchedule::even(n, b, 0);
+        let s = EventuallyStable::new(base, chaos, 350, seed);
+        check_invariants(&s, chaos + 3 * n as Round + 4)?;
+    }
+
+    /// Agreement properties on arbitrary planted runs, verified at the
+    /// tight k with the Lemma-11 bound. Uses the freshness-guarded decision
+    /// rule: the paper's literal rule is *unsound* on runs with transient
+    /// early edges (see tests/counterexample.rs).
+    #[test]
+    fn agreement_holds_at_tight_k(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        k_raw in 1usize..6,
+    ) {
+        let k = k_raw.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = planted_psrcs_schedule(&mut rng, n, k, 0.15, 200, 4);
+        let inputs: Vec<Value> = (0..n as Value).map(|i| i + 10).collect();
+        let algs = KSetAgreement::spawn_all_with(n, &inputs, DecisionRule::FreshnessGuarded);
+        let bound = lemma11_bound(&s);
+        let (trace, _) = run_lockstep(&s, algs, RunUntil::AllDecided { max_rounds: bound + 2 });
+        let tight_k = guaranteed_k(&s);
+        let verdict = verify(&trace, &VerifySpec::new(tight_k, inputs).with_lemma11_bound(&s));
+        prop_assert!(verdict.is_ok(), "{:?}", verdict.violations);
+    }
+
+    /// Theorem 1 on arbitrary (not planted!) skeletons: roots ≤ min_k.
+    #[test]
+    fn theorem1_tight_on_arbitrary_skeletons(
+        seed in any::<u64>(),
+        n in 1usize..16,
+        milli in 0u32..500,
+    ) {
+        let skel = random_skeleton(seed, n, milli);
+        let (roots, mk) = check_theorem1_tight(&skel)
+            .map_err(TestCaseError::fail)?;
+        prop_assert!(roots <= mk);
+        prop_assert!(mk <= n);
+        prop_assert!(roots >= 1);
+    }
+}
