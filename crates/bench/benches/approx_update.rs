@@ -14,16 +14,12 @@ use sskel_kset::SkeletonEstimator;
 
 /// Builds the steady-state broadcast graphs of every process after `warm`
 /// rounds on a fixed skeleton, then measures one more update at process 0.
-fn steady_state(
-    skeleton: &Digraph,
-    warm: Round,
-) -> (Vec<SkeletonEstimator>, Vec<LabeledDigraph>) {
+fn steady_state(skeleton: &Digraph, warm: Round) -> (Vec<SkeletonEstimator>, Vec<LabeledDigraph>) {
     let n = skeleton.n();
     let mut ests: Vec<SkeletonEstimator> = (0..n)
         .map(|i| SkeletonEstimator::new(n, ProcessId::from_usize(i)))
         .collect();
-    let mut broadcast: Vec<LabeledDigraph> =
-        ests.iter().map(|e| e.graph().clone()).collect();
+    let mut broadcast: Vec<LabeledDigraph> = ests.iter().map(|e| e.graph().clone()).collect();
     for r in 1..=warm {
         let prev = broadcast;
         for (i, est) in ests.iter_mut().enumerate() {
@@ -46,18 +42,21 @@ fn bench_update(c: &mut Criterion) {
             ("sparse", ring_skeleton(n)),
         ] {
             let warm = 2 * n as Round;
-            let (ests, broadcast) = steady_state(&skeleton, warm);
+            let (mut ests, broadcast) = steady_state(&skeleton, warm);
             let me = ProcessId::new(0);
             let pt = skeleton.in_neighbors(me).clone();
             group.throughput(Throughput::Elements(n as u64));
             group.bench_with_input(BenchmarkId::new(density, n), &n, |b, _| {
+                // Keep ONE warm estimator (cloning it per iteration would
+                // share the Arc buffers and bench the allocating fallback)
+                // and re-run the round-(warm + 1) update against the frozen
+                // broadcasts: the state reaches a fixed point after the
+                // first iteration, so every measured iteration performs the
+                // full steady-state merge/purge/retain at realistic labels.
+                let est = &mut ests[0];
+                let r = warm + 1;
                 b.iter(|| {
-                    let mut est = ests[0].clone();
-                    est.update(
-                        warm + 1,
-                        &pt,
-                        pt.iter().map(|q| (q, &broadcast[q.index()])),
-                    );
+                    est.update(r, &pt, pt.iter().map(|q| (q, &broadcast[q.index()])));
                     std::hint::black_box(est.graph().edge_count())
                 })
             });
@@ -71,7 +70,7 @@ fn bench_decision_test(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     for &n in &[8usize, 16, 32, 64] {
-        let (ests, _) = steady_state(&Digraph::complete(n), 2 * n as Round);
+        let (mut ests, _) = steady_state(&Digraph::complete(n), 2 * n as Round);
         group.bench_with_input(BenchmarkId::new("strongly_connected", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(ests[0].is_strongly_connected()))
         });

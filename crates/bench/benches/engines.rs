@@ -26,10 +26,18 @@ fn bench_engines(c: &mut Criterion) {
             max_rounds: 2 * n as u32 + 2,
         };
         group.bench_with_input(BenchmarkId::new("lockstep", n), &n, |b, _| {
-            b.iter(|| run_lockstep(&s, KSetAgreement::spawn_all(n, &ins), until).0.rounds_executed)
+            b.iter(|| {
+                run_lockstep(&s, KSetAgreement::spawn_all(n, &ins), until)
+                    .0
+                    .rounds_executed
+            })
         });
         group.bench_with_input(BenchmarkId::new("threaded", n), &n, |b, _| {
-            b.iter(|| run_threaded(&s, KSetAgreement::spawn_all(n, &ins), until).0.rounds_executed)
+            b.iter(|| {
+                run_threaded(&s, KSetAgreement::spawn_all(n, &ins), until)
+                    .0
+                    .rounds_executed
+            })
         });
     }
     group.finish();
@@ -61,25 +69,21 @@ fn bench_barriers(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("std", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let barrier = Arc::new(std::sync::Barrier::new(threads));
-                    std::thread::scope(|scope| {
-                        for _ in 0..threads {
-                            let bar = Arc::clone(&barrier);
-                            scope.spawn(move || {
-                                for _ in 0..ROUNDS {
-                                    bar.wait();
-                                }
-                            });
-                        }
-                    });
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("std", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let barrier = Arc::new(std::sync::Barrier::new(threads));
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let bar = Arc::clone(&barrier);
+                        scope.spawn(move || {
+                            for _ in 0..ROUNDS {
+                                bar.wait();
+                            }
+                        });
+                    }
+                });
+            })
+        });
     }
     group.finish();
 }

@@ -71,5 +71,10 @@ fn bench_set_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_intersection, bench_reachability, bench_set_ops);
+criterion_group!(
+    benches,
+    bench_intersection,
+    bench_reachability,
+    bench_set_ops
+);
 criterion_main!(benches);

@@ -23,7 +23,7 @@ fn msg_for(skeleton: &Digraph, label: u32) -> KSetMsg {
     KSetMsg {
         kind: MsgKind::Prop,
         x: 123,
-        graph: g,
+        graph: std::sync::Arc::new(g),
     }
 }
 
@@ -32,7 +32,10 @@ fn bench_wire(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     for &n in &[8usize, 32, 128] {
-        for (shape, skel) in [("dense", Digraph::complete(n)), ("sparse", ring_skeleton(n))] {
+        for (shape, skel) in [
+            ("dense", Digraph::complete(n)),
+            ("sparse", ring_skeleton(n)),
+        ] {
             let msg = msg_for(&skel, 17);
             let bytes = msg.to_bytes();
             group.throughput(Throughput::Bytes(bytes.len() as u64));

@@ -12,8 +12,8 @@ use rand::SeedableRng;
 use sskel_bench::{inputs, SEED};
 use sskel_kset::{lemma11_bound, DecisionRule, KSetAgreement};
 use sskel_model::parallel::{default_threads, par_map};
-use sskel_model::{run_lockstep, RunUntil};
 use sskel_model::Schedule;
+use sskel_model::{run_lockstep, RunUntil};
 use sskel_predicates::{min_k_on_skeleton, planted_psrcs_schedule};
 
 fn main() {

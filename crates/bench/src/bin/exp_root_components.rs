@@ -29,13 +29,17 @@ fn main() {
             }
             let jobs: Vec<u64> = (0..SAMPLES_PER_CELL as u64).collect();
             let rows = par_map(jobs, default_threads(16), |i, _| {
-                let mut rng =
-                    StdRng::seed_from_u64(SEED ^ ((n as u64) << 32) ^ ((k as u64) << 16) ^ i as u64);
+                let mut rng = StdRng::seed_from_u64(
+                    SEED ^ ((n as u64) << 32) ^ ((k as u64) << 16) ^ i as u64,
+                );
                 let (skel, _) = planted_psrcs_skeleton(&mut rng, n, k, 0.06);
                 let roots = root_component_count(&skel);
                 let mk = min_k_on_skeleton(&skel);
                 assert!(mk <= k, "planted certificate violated");
-                assert!(roots <= mk, "THEOREM 1 VIOLATED: {roots} roots > min_k {mk}");
+                assert!(
+                    roots <= mk,
+                    "THEOREM 1 VIOLATED: {roots} roots > min_k {mk}"
+                );
                 (roots, mk)
             });
             let max_roots = rows.iter().map(|&(r, _)| r).max().unwrap();

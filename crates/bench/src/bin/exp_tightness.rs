@@ -29,7 +29,11 @@ fn main() {
     ] {
         let s = Theorem2Schedule::new(n, k);
         let trace = run_alg1(&s, n);
-        verify(&trace, &VerifySpec::new(k, inputs(n)).with_lemma11_bound(&s)).assert_ok();
+        verify(
+            &trace,
+            &VerifySpec::new(k, inputs(n)).with_lemma11_bound(&s),
+        )
+        .assert_ok();
         let distinct = trace.distinct_decision_values().len();
         assert_eq!(distinct, k, "tightness must be achieved");
         println!(

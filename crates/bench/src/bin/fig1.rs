@@ -40,7 +40,12 @@ fn main() {
         },
     );
     for (i, snap) in snaps.iter().enumerate() {
-        println!("({}) G^{}_p6: {}", (b'c' + i as u8) as char, i + 1, labeled_to_ascii(snap));
+        println!(
+            "({}) G^{}_p6: {}",
+            (b'c' + i as u8) as char,
+            i + 1,
+            labeled_to_ascii(snap)
+        );
     }
     println!(
         "\ndecisions: {:?} ({} distinct ≤ k = 3), last at round {}",

@@ -1,0 +1,189 @@
+//! Hot-path performance record: runs the `full_run`, `approx_update` and
+//! `engines` workloads with a plain wall-clock harness and writes
+//! `BENCH_hotpath.json` at the repository root, seeding the perf
+//! trajectory that future PRs extend.
+//!
+//! ```text
+//! cargo run --release -p sskel-bench --bin perf_report
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sskel_bench::{inputs, ring_skeleton, std_schedule, SEED};
+use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round};
+use sskel_kset::{lemma11_bound, KSetAgreement, SkeletonEstimator};
+use sskel_model::{run_lockstep, run_threaded, FixedSchedule, RunUntil, Schedule};
+
+struct Record {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+/// Times `f` with a short calibrated warm-up, then `samples` batches.
+fn measure<O>(id: &str, mut f: impl FnMut() -> O) -> Record {
+    const WARMUP: Duration = Duration::from_millis(200);
+    const BUDGET: Duration = Duration::from_millis(800);
+    const SAMPLES: usize = 15;
+
+    let warm_start = Instant::now();
+    let mut iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let per_iter = (warm_start.elapsed().as_nanos() as u64 / iters.max(1)).max(1);
+    let batch = ((BUDGET.as_nanos() as u64 / SAMPLES as u64) / per_iter).clamp(1, 1_000_000);
+
+    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("time is finite"));
+    let rec = Record {
+        id: id.to_owned(),
+        median_ns: per_iter_ns[per_iter_ns.len() / 2],
+        min_ns: per_iter_ns[0],
+        samples: SAMPLES,
+    };
+    eprintln!("{:<40} median {:>12.1} ns", rec.id, rec.median_ns);
+    rec
+}
+
+fn full_run_workloads(out: &mut Vec<Record>) {
+    for &n in &[8usize, 16, 32] {
+        let ins = inputs(n);
+        let shapes: Vec<(&str, Box<dyn Schedule>)> = vec![
+            ("synchronous", Box::new(FixedSchedule::synchronous(n))),
+            ("ring", Box::new(FixedSchedule::new(ring_skeleton(n)))),
+            ("planted_noisy", Box::new(std_schedule(SEED, n, 3.min(n)))),
+        ];
+        for (shape, s) in shapes {
+            let until = RunUntil::AllDecided {
+                max_rounds: lemma11_bound(s.as_ref()) + 2,
+            };
+            out.push(measure(&format!("full_run/{shape}/{n}"), || {
+                let algs = KSetAgreement::spawn_all(n, &ins);
+                run_lockstep(s.as_ref(), algs, until).0.rounds_executed
+            }));
+        }
+    }
+}
+
+/// Steady-state estimators over `skeleton`, plus their broadcast handles.
+fn steady_state(skeleton: &Digraph, rounds: Round) -> Vec<SkeletonEstimator> {
+    let n = skeleton.n();
+    let mut ests: Vec<SkeletonEstimator> = (0..n)
+        .map(|i| SkeletonEstimator::new(n, ProcessId::from_usize(i)))
+        .collect();
+    let mut msgs: Vec<std::sync::Arc<LabeledDigraph>> = Vec::with_capacity(n);
+    for r in 1..=rounds {
+        msgs.clear();
+        msgs.extend(ests.iter().map(|e| e.graph_arc()));
+        for (i, est) in ests.iter_mut().enumerate() {
+            let pt = skeleton.in_neighbors(ProcessId::from_usize(i));
+            est.update(
+                r,
+                pt,
+                (0..n)
+                    .filter(|&q| pt.contains(ProcessId::from_usize(q)))
+                    .map(|q| (ProcessId::from_usize(q), &*msgs[q])),
+            );
+        }
+    }
+    ests
+}
+
+fn approx_update_workloads(out: &mut Vec<Record>) {
+    for &n in &[8usize, 16, 32, 64] {
+        for (shape, skel) in [
+            ("dense", Digraph::complete(n)),
+            ("sparse", ring_skeleton(n)),
+        ] {
+            let mut ests = steady_state(&skel, 2 * n as Round);
+            let mut msgs: Vec<std::sync::Arc<LabeledDigraph>> = Vec::with_capacity(n);
+            // Precomputed outside the measured closure: the workload must
+            // time only the zero-allocation update path.
+            let pt_of: Vec<ProcessSet> = (0..n)
+                .map(|i| skel.in_neighbors(ProcessId::from_usize(i)).clone())
+                .collect();
+            let mut r = 2 * n as Round;
+            out.push(measure(&format!("approx_update/{shape}/{n}"), || {
+                r += 1;
+                msgs.clear();
+                msgs.extend(ests.iter().map(|e| e.graph_arc()));
+                for (i, est) in ests.iter_mut().enumerate() {
+                    let pt = &pt_of[i];
+                    est.update(
+                        r,
+                        pt,
+                        (0..n)
+                            .filter(|&q| pt.contains(ProcessId::from_usize(q)))
+                            .map(|q| (ProcessId::from_usize(q), &*msgs[q])),
+                    );
+                }
+                ests[0].graph().edge_count()
+            }));
+        }
+    }
+}
+
+fn engines_workloads(out: &mut Vec<Record>) {
+    for &n in &[8usize, 16] {
+        let s = FixedSchedule::synchronous(n);
+        let ins = inputs(n);
+        let until = RunUntil::AllDecided {
+            max_rounds: lemma11_bound(&s) + 2,
+        };
+        out.push(measure(&format!("engines/lockstep/{n}"), || {
+            run_lockstep(&s, KSetAgreement::spawn_all(n, &ins), until)
+                .0
+                .rounds_executed
+        }));
+        out.push(measure(&format!("engines/threaded/{n}"), || {
+            run_threaded(&s, KSetAgreement::spawn_all(n, &ins), until)
+                .0
+                .rounds_executed
+        }));
+    }
+}
+
+fn main() {
+    let mut records = Vec::new();
+    full_run_workloads(&mut records);
+    approx_update_workloads(&mut records);
+    engines_workloads(&mut records);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"sskel-perf-v1\",");
+    let _ = writeln!(
+        json,
+        "  \"unix_time\": {},",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(json, "  \"benches\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{comma}",
+            r.id, r.median_ns, r.min_ns, r.samples
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    // crates/bench/ → repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, &json).expect("write BENCH_hotpath.json");
+    println!("wrote {path}");
+}

@@ -164,7 +164,8 @@ impl KSetAgreement {
 impl RoundAlgorithm for KSetAgreement {
     type Msg = KSetMsg;
 
-    // Lines 5–8.
+    // Lines 5–8. The graph payload is a shared handle to the estimator's
+    // current buffer — broadcasting is O(1), not O(n²).
     fn send(&self, _r: Round) -> KSetMsg {
         KSetMsg {
             kind: if self.decided {
@@ -173,7 +174,7 @@ impl RoundAlgorithm for KSetAgreement {
                 MsgKind::Prop
             },
             x: self.x,
-            graph: self.est.graph().clone(),
+            graph: self.est.graph_arc(),
         }
     }
 
@@ -206,7 +207,7 @@ impl RoundAlgorithm for KSetAgreement {
             &self.pt,
             self.pt
                 .iter()
-                .filter_map(|q| received.get(q).map(|m| (q, &m.graph))),
+                .filter_map(|q| received.get(q).map(|m| (q, m.graph.as_ref()))),
         );
 
         // Lines 26–30.
@@ -311,7 +312,11 @@ mod tests {
         let s = FixedSchedule::synchronous(n);
         let algs = KSetAgreement::spawn_all(n, &vec![7; n]);
         let (trace, _) = run_lockstep(&s, algs, RunUntil::Rounds(n as Round - 1));
-        assert_eq!(trace.decided_count(), 0, "Lemma 14: no decision before round n");
+        assert_eq!(
+            trace.decided_count(),
+            0,
+            "Lemma 14: no decision before round n"
+        );
     }
 
     #[test]

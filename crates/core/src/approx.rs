@@ -21,9 +21,45 @@
 //! standalone here so it can be reused to monitor perpetual synchrony even
 //! when no agreement is being solved (see `examples/skeleton_monitor.rs`).
 
+use std::sync::Arc;
+
+use sskel_graph::reach::BfsScratch;
+use sskel_graph::scc::SccScratch;
 use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet, Round};
 
+/// Reusable per-estimator working memory: BFS frontiers, node-set buffers
+/// and the freshness-test distance array. Rebuilding these each round was
+/// the dominant allocation cost of the faithful implementation.
+#[derive(Clone, Debug)]
+struct EstimatorScratch {
+    keep: ProcessSet,
+    dropped: ProcessSet,
+    bfs: BfsScratch,
+    scc: SccScratch,
+    dist: Vec<u32>,
+}
+
+impl EstimatorScratch {
+    fn new(n: usize) -> Self {
+        EstimatorScratch {
+            keep: ProcessSet::empty(n),
+            dropped: ProcessSet::empty(n),
+            bfs: BfsScratch::new(n),
+            scc: SccScratch::new(n),
+            dist: vec![u32::MAX; n],
+        }
+    }
+}
+
 /// Per-process stable-skeleton estimator.
+///
+/// The approximation graph is double-buffered: [`SkeletonEstimator::update`]
+/// builds `G_p^r` in place into the buffer that carried `G_p^{r-2}`, while
+/// `G_p^{r-1}` stays alive for the round's broadcast
+/// ([`SkeletonEstimator::graph_arc`] hands out a shared reference, so
+/// `send` never deep-copies the dense matrix). After warm-up, one `update`
+/// performs **zero heap allocations** (verified by
+/// `tests/alloc_counter.rs`).
 ///
 /// ```
 /// use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet};
@@ -34,16 +70,21 @@ use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet, Round};
 /// let mut est = SkeletonEstimator::new(2, p0);
 /// // round 1: p0 hears itself and p1; p1's graph is still ⟨{p1}, ∅⟩
 /// let pt = ProcessSet::from_indices(2, [0, 1]);
-/// let own = est.graph().clone();
+/// let own = est.graph_arc();
 /// let other = LabeledDigraph::with_node(2, p1);
-/// est.update(1, &pt, [(p0, &own), (p1, &other)].into_iter());
+/// est.update(1, &pt, [(p0, &*own), (p1, &other)].into_iter());
 /// assert_eq!(est.graph().label(p1, p0), Some(1));
 /// ```
 #[derive(Clone, Debug)]
 pub struct SkeletonEstimator {
     me: ProcessId,
     n: usize,
-    g: LabeledDigraph,
+    /// `G_p^{r-1}`, shared with this round's outgoing message.
+    cur: Arc<LabeledDigraph>,
+    /// The other buffer, reused to build `G_p^r` once all round-`(r-1)`
+    /// messages have been dropped.
+    spare: Arc<LabeledDigraph>,
+    scratch: EstimatorScratch,
 }
 
 impl SkeletonEstimator {
@@ -54,14 +95,23 @@ impl SkeletonEstimator {
         SkeletonEstimator {
             me,
             n,
-            g: LabeledDigraph::with_node(n, me),
+            cur: Arc::new(LabeledDigraph::with_node(n, me)),
+            spare: Arc::new(LabeledDigraph::with_node(n, me)),
+            scratch: EstimatorScratch::new(n),
         }
     }
 
     /// The current approximation `G_p^r`.
     #[inline]
     pub fn graph(&self) -> &LabeledDigraph {
-        &self.g
+        &self.cur
+    }
+
+    /// The current approximation as a shared handle — what `send` puts in
+    /// the round message, avoiding the dense-matrix clone per broadcast.
+    #[inline]
+    pub fn graph_arc(&self) -> Arc<LabeledDigraph> {
+        Arc::clone(&self.cur)
     }
 
     /// The owning process.
@@ -86,28 +136,50 @@ impl SkeletonEstimator {
         received: impl Iterator<Item = (ProcessId, &'a LabeledDigraph)>,
     ) {
         debug_assert!(pt.contains(self.me), "p must always perceive itself timely");
-        // line 15
-        self.g = LabeledDigraph::with_node(self.n, self.me);
+        // line 15 — reset the spare buffer in place. The spare held
+        // G_p^{r-2}, whose message handles were dropped when round r-1
+        // ended; if something still shares it (an engine that keeps old
+        // messages alive, a cloned estimator), fall back to a fresh buffer.
+        let g = match Arc::get_mut(&mut self.spare) {
+            Some(g) => {
+                g.reset_to_node(self.me);
+                g
+            }
+            None => {
+                self.spare = Arc::new(LabeledDigraph::with_node(self.n, self.me));
+                Arc::get_mut(&mut self.spare).expect("freshly allocated Arc is unique")
+            }
+        };
         // lines 16–23
         for (q, gq) in received {
             debug_assert!(pt.contains(q), "received a graph from outside PT_p");
             debug_assert_eq!(gq.universe(), self.n, "foreign universe");
-            self.g.set_edge_max(q, self.me, r); // line 17
-            self.g.merge_max(gq); // lines 18–23 (max-combine keeps r on (q→p))
+            g.set_edge_max(q, self.me, r); // line 17
+            g.merge_max(gq); // lines 18–23 (max-combine keeps r on (q→p))
         }
         // line 24: discard labels ≤ r − n
         let cutoff = r.saturating_sub(self.n as Round);
         if cutoff >= 1 {
-            self.g.purge_labels_le(cutoff);
+            g.purge_labels_le(cutoff);
         }
         // line 25: discard nodes from which p is unreachable
-        self.g.retain_reaching(self.me);
+        g.retain_reaching_into(
+            self.me,
+            &mut self.scratch.keep,
+            &mut self.scratch.dropped,
+            &mut self.scratch.bfs,
+        );
+        // Publish G_p^r; the old `cur` keeps serving in-flight messages.
+        std::mem::swap(&mut self.cur, &mut self.spare);
     }
 
     /// Algorithm 1's decision test (line 28): is `G_p` strongly connected?
+    ///
+    /// Takes `&mut self` to reuse the BFS buffers; the graph itself is not
+    /// modified.
     #[inline]
-    pub fn is_strongly_connected(&self) -> bool {
-        self.g.is_strongly_connected()
+    pub fn is_strongly_connected(&mut self) -> bool {
+        self.cur.is_strongly_connected_with(&mut self.scratch.scc)
     }
 
     /// Coherent-freshness test for the repaired decision rule
@@ -128,30 +200,24 @@ impl SkeletonEstimator {
     /// In runs whose skeleton has stabilized it holds with equality from
     /// round `rST + n − 1` on, so the Lemma-11 termination bound is
     /// unaffected.
-    pub fn is_coherently_fresh(&self, r: Round) -> bool {
-        let n = self.n;
-        // BFS levels: dist[v] = length of the shortest path v → me in G_p.
-        let mut dist = vec![u32::MAX; n];
-        dist[self.me.index()] = 0;
-        let mut visited = ProcessSet::singleton(n, self.me);
-        let mut frontier = visited.clone();
-        let mut level = 0u32;
-        while !frontier.is_empty() {
-            level += 1;
-            let mut next = ProcessSet::empty(n);
-            for v in frontier.iter() {
-                next.union_with_masked(sskel_graph::Adjacency::in_row(&self.g, v), self.g.nodes());
-            }
-            next.difference_with(&visited);
-            for w in next.iter() {
-                dist[w.index()] = level;
-            }
-            visited.union_with(&next);
-            frontier = next;
-        }
-        self.g.edges().all(|(_, v, s)| {
-            let d = dist[v.index()];
-            d != u32::MAX && s.saturating_add(d) >= r
+    /// Takes `&mut self` to reuse the BFS level buffers; the graph itself
+    /// is not modified.
+    pub fn is_coherently_fresh(&mut self, r: Round) -> bool {
+        let g = &*self.cur;
+        let s = &mut self.scratch;
+        // dist[v] = length of the shortest path v → me in G_p (`keep` is
+        // free outside `update` and doubles as the BFS visited set).
+        sskel_graph::reach::ancestor_distances_into(
+            g,
+            self.me,
+            g.nodes(),
+            &mut s.dist,
+            &mut s.keep,
+            &mut s.bfs,
+        );
+        g.edges().all(|(_, v, lbl)| {
+            let d = s.dist[v.index()];
+            d != u32::MAX && lbl.saturating_add(d) >= r
         })
     }
 }
@@ -185,7 +251,7 @@ mod tests {
 
     #[test]
     fn initial_state_is_single_node() {
-        let est = SkeletonEstimator::new(4, p(2));
+        let mut est = SkeletonEstimator::new(4, p(2));
         assert_eq!(est.graph().node_count(), 1);
         assert!(est.graph().contains_node(p(2)));
         assert!(est.is_strongly_connected()); // singleton convention
@@ -196,7 +262,10 @@ mod tests {
         // skeleton: p0 ↔ p1 (plus self-loops): both timely to each other
         let n = 2;
         let pt_full = vec![ProcessSet::full(n), ProcessSet::full(n)];
-        let mut ests = vec![SkeletonEstimator::new(n, p(0)), SkeletonEstimator::new(n, p(1))];
+        let mut ests = vec![
+            SkeletonEstimator::new(n, p(0)),
+            SkeletonEstimator::new(n, p(1)),
+        ];
         step_all(&mut ests, 1, &pt_full, |_, _| true);
         // after round 1 each knows the inbound edges but not the reverse
         assert_eq!(ests[0].graph().label(p(1), p(0)), Some(1));
@@ -215,7 +284,10 @@ mod tests {
             ProcessSet::from_indices(n, [0]),
             ProcessSet::from_indices(n, [0, 1]),
         ];
-        let mut ests = vec![SkeletonEstimator::new(n, p(0)), SkeletonEstimator::new(n, p(1))];
+        let mut ests = vec![
+            SkeletonEstimator::new(n, p(0)),
+            SkeletonEstimator::new(n, p(1)),
+        ];
         for r in 1..=6 {
             step_all(&mut ests, r, &pts, |i, q| pts[i].contains(p(q)));
             // p0 sees only itself: SC (singleton). p1 sees p0 → p1 but no

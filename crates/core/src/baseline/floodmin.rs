@@ -113,12 +113,7 @@ mod tests {
     #[test]
     fn k_set_agreement_with_fewer_rounds() {
         // f = 4, k = 2 ⇒ horizon 3 rounds; at most 2 values
-        let vals = run(
-            6,
-            4,
-            2,
-            vec![(p(0), 1), (p(1), 1), (p(2), 2), (p(3), 3)],
-        );
+        let vals = run(6, 4, 2, vec![(p(0), 1), (p(1), 1), (p(2), 2), (p(3), 3)]);
         assert!(vals.len() <= 2, "k-agreement violated: {vals:?}");
     }
 

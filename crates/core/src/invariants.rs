@@ -19,9 +19,7 @@
 //! These checks are *independent* of the algorithm's own data structures:
 //! the checker recomputes skeletons from the schedule's graphs.
 
-use sskel_graph::{
-    is_strongly_connected, tarjan, Digraph, ProcessId, ProcessSet, Round,
-};
+use sskel_graph::{is_strongly_connected, tarjan, Digraph, ProcessId, ProcessSet, Round};
 use sskel_model::{SkeletonTracker, Value};
 
 use crate::alg1::{DecisionPath, KSetAgreement};

@@ -5,6 +5,8 @@
 //! makes the message bit complexity polynomial in `n` (§V) — measured
 //! exactly by the [`Wire`] encoding.
 
+use std::sync::Arc;
+
 use bytes::{Buf, BufMut};
 use sskel_graph::LabeledDigraph;
 use sskel_model::{Value, Wire, WireError, WireSized};
@@ -25,8 +27,10 @@ pub struct KSetMsg {
     pub kind: MsgKind,
     /// The sender's current estimate `x_p` (its decision value if decided).
     pub x: Value,
-    /// The sender's approximation graph `G_p` at the beginning of the round.
-    pub graph: LabeledDigraph,
+    /// The sender's approximation graph `G_p` at the beginning of the
+    /// round. Shared with the sender's estimator: broadcasting does not
+    /// deep-copy the dense label matrix.
+    pub graph: Arc<LabeledDigraph>,
 }
 
 impl KSetMsg {
@@ -63,7 +67,7 @@ impl Wire for KSetMsg {
             _ => return Err(WireError::InvalidValue("unknown message kind")),
         };
         let x = Value::decode(buf)?;
-        let graph = LabeledDigraph::decode(buf)?;
+        let graph = Arc::new(LabeledDigraph::decode(buf)?);
         Ok(KSetMsg { kind, x, graph })
     }
 }
@@ -80,7 +84,7 @@ mod tests {
         KSetMsg {
             kind: MsgKind::Prop,
             x: 42,
-            graph: g,
+            graph: Arc::new(g),
         }
     }
 

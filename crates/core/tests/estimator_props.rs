@@ -132,9 +132,17 @@ fn repeated_update_with_same_inputs_is_stable() {
     let other = LabeledDigraph::with_node(N, ProcessId::new(1));
     let mut a = SkeletonEstimator::new(N, me);
     let own = a.graph().clone();
-    a.update(3, &pt, [(me, &own), (ProcessId::new(1), &other)].into_iter());
+    a.update(
+        3,
+        &pt,
+        [(me, &own), (ProcessId::new(1), &other)].into_iter(),
+    );
     let first = a.graph().clone();
     let mut b = SkeletonEstimator::new(N, me);
-    b.update(3, &pt, [(me, &own), (ProcessId::new(1), &other)].into_iter());
+    b.update(
+        3,
+        &pt,
+        [(me, &own), (ProcessId::new(1), &other)].into_iter(),
+    );
     assert_eq!(b.graph(), &first);
 }

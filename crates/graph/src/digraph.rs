@@ -7,11 +7,9 @@
 //! neighborhoods `PT(p, r)` (the in-neighborhood of `p` in `G∩r`) are
 //! word-parallel operations.
 
-use core::fmt;
-use serde::{Deserialize, Serialize};
-
 use crate::process::ProcessId;
 use crate::pset::ProcessSet;
+use core::fmt;
 
 /// A directed graph over the fixed universe `{p1, …, pn}`.
 ///
@@ -24,13 +22,31 @@ use crate::pset::ProcessSet;
 /// assert!(g.has_edge(ProcessId::new(0), ProcessId::new(1)));
 /// assert_eq!(g.edge_count(), 1);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(PartialEq, Eq)]
 pub struct Digraph {
     n: u32,
     /// `out[u]` = successors of `u` (processes that hear `u`).
     out: Vec<ProcessSet>,
     /// `inn[v]` = predecessors of `v` (processes `v` hears of).
     inn: Vec<ProcessSet>,
+}
+
+impl Clone for Digraph {
+    fn clone(&self) -> Self {
+        Digraph {
+            n: self.n,
+            out: self.out.clone(),
+            inn: self.inn.clone(),
+        }
+    }
+
+    /// Allocation-free when both graphs share a universe size: row buffers
+    /// are reused via `ProcessSet::clone_from`.
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.out.clone_from(&source.out);
+        self.inn.clone_from(&source.inn);
+    }
 }
 
 impl Digraph {
@@ -184,8 +200,9 @@ impl Digraph {
     pub fn induced(&self, nodes: &ProcessSet) -> Self {
         assert_eq!(self.n(), nodes.universe(), "node mask universe mismatch");
         let mut g = Self::empty(self.n());
+        let mut row = ProcessSet::empty(self.n());
         for u in nodes.iter() {
-            let mut row = self.out[u.index()].clone();
+            row.clone_from(&self.out[u.index()]);
             row.intersect_with(nodes);
             for v in row.iter() {
                 g.add_edge(u, v);

@@ -60,7 +60,10 @@ pub fn digraph_to_dot(g: &Digraph, opts: &DotOptions) -> String {
 /// Renders a round-labelled digraph as DOT; edge labels carry the round the
 /// edge was added, exactly like Figures 1c–1h.
 pub fn labeled_to_dot(g: &LabeledDigraph, opts: &DotOptions) -> String {
-    let nodes = opts.restrict_to.clone().unwrap_or_else(|| g.nodes().clone());
+    let nodes = opts
+        .restrict_to
+        .clone()
+        .unwrap_or_else(|| g.nodes().clone());
     let mut out = String::new();
     let _ = writeln!(out, "digraph {} {{", opts.name);
     let _ = writeln!(out, "    rankdir=LR;");

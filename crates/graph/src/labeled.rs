@@ -12,15 +12,13 @@
 //! line 18 unions node sets, line 25 prunes nodes), which can temporarily
 //! contain nodes without incident edges.
 
-use core::fmt;
-use serde::{Deserialize, Serialize};
-
 use crate::adjacency::Adjacency;
 use crate::digraph::Digraph;
 use crate::process::{ProcessId, Round};
 use crate::pset::ProcessSet;
 use crate::reach;
 use crate::scc;
+use core::fmt;
 
 /// Absent-edge sentinel in the dense label matrix (rounds start at 1).
 const NO_EDGE: Round = 0;
@@ -42,7 +40,7 @@ const NO_EDGE: Round = 0;
 /// g.set_edge_max(q, p, 2);                     // older label loses
 /// assert_eq!(g.label(q, p), Some(3));
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(PartialEq, Eq)]
 pub struct LabeledDigraph {
     n: u32,
     nodes: ProcessSet,
@@ -50,6 +48,28 @@ pub struct LabeledDigraph {
     labels: Vec<Round>,
     out: Vec<ProcessSet>,
     inn: Vec<ProcessSet>,
+}
+
+impl Clone for LabeledDigraph {
+    fn clone(&self) -> Self {
+        LabeledDigraph {
+            n: self.n,
+            nodes: self.nodes.clone(),
+            labels: self.labels.clone(),
+            out: self.out.clone(),
+            inn: self.inn.clone(),
+        }
+    }
+
+    /// Allocation-free when both graphs share a universe size: the label
+    /// matrix and every bitset row buffer are reused.
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.nodes.clone_from(&source.nodes);
+        self.labels.clone_from(&source.labels);
+        self.out.clone_from(&source.out);
+        self.inn.clone_from(&source.inn);
+    }
 }
 
 impl LabeledDigraph {
@@ -69,6 +89,23 @@ impl LabeledDigraph {
         let mut g = Self::new(n);
         g.insert_node(p);
         g
+    }
+
+    /// In-place reset to `⟨{p}, ∅⟩` (Algorithm 1 line 15) without freeing
+    /// the label matrix or the bitset rows. Equivalent to
+    /// `*self = LabeledDigraph::with_node(self.universe(), p)` but
+    /// allocation-free — this is what makes the estimator's per-round
+    /// rebuild cheap.
+    pub fn reset_to_node(&mut self, p: ProcessId) {
+        self.nodes.clear();
+        self.labels.fill(NO_EDGE);
+        for row in &mut self.out {
+            row.clear();
+        }
+        for row in &mut self.inn {
+            row.clear();
+        }
+        self.nodes.insert(p);
     }
 
     /// Universe size `n`.
@@ -162,19 +199,50 @@ impl LabeledDigraph {
     /// every edge of `other` is inserted with max-combine. Applying this to
     /// each received graph `G_q`, `q ∈ PT_p`, implements lines 18–23 of
     /// Algorithm 1.
+    ///
+    /// Runs row-wise over the label matrix: per source row, only the 64-bit
+    /// adjacency words `other` actually populates are visited, labels are
+    /// max-combined in the row slice, and the `out`/`inn` bitsets are
+    /// updated word-at-a-time from the edge additions. No allocation, no
+    /// per-edge index arithmetic.
     pub fn merge_max(&mut self, other: &Self) {
         assert_eq!(self.n, other.n, "labelled graphs over different universes");
+        let n = self.n as usize;
         self.nodes.union_with(&other.nodes);
         for u in other.nodes.iter() {
-            for v in other.out[u.index()].iter() {
-                let label = other.labels[other.idx(u, v)];
-                debug_assert_ne!(label, NO_EDGE);
-                let i = self.idx(u, v);
-                if self.labels[i] == NO_EDGE {
-                    self.out[u.index()].insert(v);
-                    self.inn[v.index()].insert(u);
+            let ui = u.index();
+            let other_row = &other.out[ui];
+            if other_row.is_empty() {
+                continue;
+            }
+            let base = ui * n;
+            let src = &other.labels[base..base + n];
+            let dst = &mut self.labels[base..base + n];
+            for (wi, &ow) in other_row.words().iter().enumerate() {
+                if ow == 0 {
+                    continue;
                 }
-                self.labels[i] = self.labels[i].max(label);
+                let lo = wi * 64;
+                let hi = (lo + 64).min(n);
+                // Element-wise max over the whole 64-column chunk: absent
+                // edges carry NO_EDGE = 0, so max is the identity there and
+                // the loop vectorizes (no per-bit branching).
+                for (a, &b) in dst[lo..hi].iter_mut().zip(&src[lo..hi]) {
+                    *a = (*a).max(b);
+                }
+                // A column is labelled afterwards iff it was labelled in
+                // either operand, so the new out-word is exactly old | ow.
+                let old = self.out[ui].word(wi);
+                let added = ow & !old;
+                if added != 0 {
+                    self.out[ui].set_word(wi, old | ow);
+                    let mut a = added;
+                    while a != 0 {
+                        let v = lo + a.trailing_zeros() as usize;
+                        a &= a - 1;
+                        self.inn[v].insert(u);
+                    }
+                }
             }
         }
     }
@@ -182,16 +250,51 @@ impl LabeledDigraph {
     /// Discards every edge with label `≤ cutoff` (Algorithm 1 line 24 with
     /// `cutoff = r − n`; Observation 1: no surviving edge has `s ≤ r − n`).
     /// Nodes are untouched. Returns the number of purged edges.
+    ///
+    /// Runs row-wise without cloning any bitset: per populated adjacency
+    /// word, stale columns are zeroed in the label row and the word is
+    /// rewritten once.
     pub fn purge_labels_le(&mut self, cutoff: Round) -> usize {
+        let n = self.n as usize;
         let mut purged = 0;
-        for u in self.nodes.clone().iter() {
-            for v in self.out[u.index()].clone().iter() {
-                let i = self.idx(u, v);
-                if self.labels[i] <= cutoff {
-                    self.labels[i] = NO_EDGE;
-                    self.out[u.index()].remove(v);
-                    self.inn[v.index()].remove(u);
-                    purged += 1;
+        let LabeledDigraph {
+            nodes,
+            labels,
+            out,
+            inn,
+            ..
+        } = self;
+        for u in nodes.iter() {
+            let ui = u.index();
+            let base = ui * n;
+            let row = &mut labels[base..base + n];
+            let out_row = &mut out[ui];
+            for wi in 0..out_row.words().len() {
+                let w = out_row.word(wi);
+                if w == 0 {
+                    continue;
+                }
+                let lo = wi * 64;
+                let mut removed = 0u64;
+                let mut bits = w;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let col = lo + bit;
+                    if row[col] <= cutoff {
+                        row[col] = NO_EDGE;
+                        removed |= 1 << bit;
+                    }
+                }
+                if removed != 0 {
+                    out_row.set_word(wi, w & !removed);
+                    let mut r = removed;
+                    while r != 0 {
+                        let v = lo + r.trailing_zeros() as usize;
+                        r &= r - 1;
+                        inn[v].remove(u);
+                    }
+                    purged += removed.count_ones() as usize;
                 }
             }
         }
@@ -203,22 +306,65 @@ impl LabeledDigraph {
     /// Algorithm 1 line 25 with `target = p`. Returns the set of dropped
     /// nodes.
     pub fn retain_reaching(&mut self, target: ProcessId) -> ProcessSet {
-        let keep = reach::ancestors(self, target, &self.nodes.clone());
-        let mut dropped = self.nodes.clone();
-        dropped.difference_with(&keep);
+        let n = self.universe();
+        let mut keep = ProcessSet::empty(n);
+        let mut dropped = ProcessSet::empty(n);
+        let mut bfs = reach::BfsScratch::new(n);
+        self.retain_reaching_into(target, &mut keep, &mut dropped, &mut bfs);
+        dropped
+    }
+
+    /// [`LabeledDigraph::retain_reaching`] with caller-provided buffers —
+    /// allocation-free when warm. After the call `keep` holds the surviving
+    /// node set and `dropped` the removed one.
+    pub fn retain_reaching_into(
+        &mut self,
+        target: ProcessId,
+        keep: &mut ProcessSet,
+        dropped: &mut ProcessSet,
+        bfs: &mut reach::BfsScratch,
+    ) {
+        reach::ancestors_into(&*self, target, &self.nodes, keep, bfs);
+        dropped.clone_from(&self.nodes);
+        dropped.difference_with(keep);
+        let n = self.n as usize;
+        let LabeledDigraph {
+            nodes,
+            labels,
+            out,
+            inn,
+            ..
+        } = self;
         for gone in dropped.iter() {
-            for v in self.out[gone.index()].clone().iter() {
-                self.remove_edge(gone, v);
+            let gi = gone.index();
+            // Out-edges of `gone`: zero the label row, fix the inn rows.
+            let base = gi * n;
+            for (wi, &w) in out[gi].words().iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let v = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    labels[base + v] = NO_EDGE;
+                    inn[v].remove(gone);
+                }
             }
-            for u in self.inn[gone.index()].clone().iter() {
-                self.remove_edge(u, gone);
+            out[gi].clear();
+            // In-edges of `gone`: zero the label column, fix the out rows.
+            for (wi, &w) in inn[gi].words().iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let u = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    labels[u * n + gi] = NO_EDGE;
+                    out[u].remove(gone);
+                }
             }
-            self.nodes.remove(gone);
+            inn[gi].clear();
+            nodes.remove(gone);
         }
         // `target` stays even if it was absent before (defensive; Algorithm 1
         // guarantees p ∈ V_p).
         self.nodes.insert(target);
-        dropped
     }
 
     /// Strong-connectivity of the node set under the current edges —
@@ -226,6 +372,20 @@ impl LabeledDigraph {
     /// strongly connected; the empty graph does not.
     pub fn is_strongly_connected(&self) -> bool {
         scc::is_strongly_connected(self, &self.nodes)
+    }
+
+    /// [`LabeledDigraph::is_strongly_connected`] with caller-provided
+    /// buffers — the allocation-free form of the per-round decision test.
+    pub fn is_strongly_connected_with(&self, scratch: &mut scc::SccScratch) -> bool {
+        scc::is_strongly_connected_with(self, &self.nodes, scratch)
+    }
+
+    /// The label row of `u`: `n` labels indexed by target, `0` = absent.
+    /// Read-only view used by the wire codec and differential tests.
+    #[inline]
+    pub fn label_row(&self, u: ProcessId) -> &[Round] {
+        let n = self.n as usize;
+        &self.labels[u.index() * n..(u.index() + 1) * n]
     }
 
     /// Iterates over all labelled edges as `(u, v, label)`, lexicographically.

@@ -6,8 +6,6 @@
 //! them `p1, …, pn` (1-based) to match the paper's figures.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
-
 /// A round number, starting at 1 as in the paper (`r > 0`).
 ///
 /// Round `0` never occurs as an actual round; it is occasionally useful as a
@@ -28,7 +26,7 @@ pub const FIRST_ROUND: Round = 1;
 /// assert_eq!(p.to_string(), "p1");
 /// assert_eq!(p.index(), 0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(u32);
 
 impl ProcessId {

@@ -6,11 +6,9 @@
 //! [`ProcessSet`] packs such subsets into `u64` words so that intersection,
 //! union, and subset tests run in `O(n / 64)`.
 
+use crate::process::ProcessId;
 use core::fmt;
 use core::ops::{BitAnd, BitOr, Sub};
-use serde::{Deserialize, Serialize};
-
-use crate::process::ProcessId;
 
 const WORD_BITS: usize = 64;
 
@@ -34,12 +32,28 @@ fn word_count(n: usize) -> usize {
 /// assert_eq!(s.to_string(), "{p1, p5}");
 /// assert!(s.is_subset_of(&ProcessSet::full(6)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct ProcessSet {
     /// Universe size `n`.
     n: u32,
     /// `ceil(n / 64)` words; bits at positions `>= n` are always zero.
     words: Vec<u64>,
+}
+
+impl Clone for ProcessSet {
+    fn clone(&self) -> Self {
+        ProcessSet {
+            n: self.n,
+            words: self.words.clone(),
+        }
+    }
+
+    /// Allocation-free when `self` already has the same universe size:
+    /// reuses the word buffer (`Vec::clone_from` of `u64`s is a `memcpy`).
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.words.clone_from(&source.words);
+    }
 }
 
 impl ProcessSet {
@@ -261,6 +275,26 @@ impl ProcessSet {
     #[inline]
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// The `i`-th backing word.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Overwrites the `i`-th backing word. Crate-internal: callers must not
+    /// set bits at positions `≥ n` (the representation invariant).
+    #[inline]
+    pub(crate) fn set_word(&mut self, i: usize, w: u64) {
+        debug_assert!(
+            i + 1 < self.words.len() || {
+                let rem = self.n as usize % WORD_BITS;
+                rem == 0 || w & !((1u64 << rem) - 1) == 0
+            },
+            "set_word would set bits beyond the universe"
+        );
+        self.words[i] = w;
     }
 
     /// Word-parallel `self ∪= (other ∩ mask)`, returning `true` if `self`

@@ -9,53 +9,173 @@
 //! Both are breadth-first searches whose frontier expansion unions whole
 //! bitset adjacency rows, so one BFS costs `O(|reached| · n / 64)`.
 
+use core::mem;
+
 use crate::adjacency::Adjacency;
 use crate::process::ProcessId;
 use crate::pset::ProcessSet;
+
+/// Reusable frontier buffers for the BFS primitives, so per-round
+/// reachability runs without heap allocation (the `*_into` variants).
+///
+/// A scratch adapts lazily to whatever universe size it is used with;
+/// re-sizing allocates once, steady-state reuse does not.
+#[derive(Clone, Debug)]
+pub struct BfsScratch {
+    frontier: ProcessSet,
+    next: ProcessSet,
+}
+
+impl BfsScratch {
+    /// Scratch pre-sized for a universe of `n` processes.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            frontier: ProcessSet::empty(n),
+            next: ProcessSet::empty(n),
+        }
+    }
+
+    /// Clears both buffers, re-sizing them to universe `n` if needed.
+    #[inline]
+    fn reset(&mut self, n: usize) {
+        if self.frontier.universe() != n {
+            self.frontier = ProcessSet::empty(n);
+            self.next = ProcessSet::empty(n);
+        } else {
+            self.frontier.clear();
+            self.next.clear();
+        }
+    }
+}
+
+/// Direction of a [`bfs_into`] sweep.
+#[derive(Clone, Copy)]
+enum Dir {
+    Forward,
+    Backward,
+}
+
+/// Frontier BFS from `seed` within `within`, writing the reached set
+/// (including `seed`) into `visited`. Allocation-free given a warm scratch.
+fn bfs_into<G: Adjacency>(
+    g: &G,
+    seed: ProcessId,
+    within: &ProcessSet,
+    dir: Dir,
+    visited: &mut ProcessSet,
+    scratch: &mut BfsScratch,
+) {
+    let n = g.n();
+    assert_eq!(n, within.universe(), "mask universe mismatch");
+    if visited.universe() != n {
+        *visited = ProcessSet::empty(n);
+    } else {
+        visited.clear();
+    }
+    if !within.contains(seed) {
+        return;
+    }
+    visited.insert(seed);
+    scratch.reset(n);
+    scratch.frontier.insert(seed);
+    while !scratch.frontier.is_empty() {
+        scratch.next.clear();
+        for u in scratch.frontier.iter() {
+            let row = match dir {
+                Dir::Forward => g.out_row(u),
+                Dir::Backward => g.in_row(u),
+            };
+            scratch.next.union_with_masked(row, within);
+        }
+        scratch.next.difference_with(visited);
+        visited.union_with(&scratch.next);
+        mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+}
+
+/// Backward BFS from `dst` within `within`, recording levels:
+/// `dist[v]` = length of the shortest directed path `v → dst`
+/// (`u32::MAX` when unreachable). `visited` ends as the ancestor set.
+/// Allocation-free given warm, correctly-sized buffers.
+pub fn ancestor_distances_into<G: Adjacency>(
+    g: &G,
+    dst: ProcessId,
+    within: &ProcessSet,
+    dist: &mut Vec<u32>,
+    visited: &mut ProcessSet,
+    scratch: &mut BfsScratch,
+) {
+    let n = g.n();
+    assert_eq!(n, within.universe(), "mask universe mismatch");
+    dist.clear();
+    dist.resize(n, u32::MAX);
+    if visited.universe() != n {
+        *visited = ProcessSet::empty(n);
+    } else {
+        visited.clear();
+    }
+    if !within.contains(dst) {
+        return;
+    }
+    visited.insert(dst);
+    dist[dst.index()] = 0;
+    scratch.reset(n);
+    scratch.frontier.insert(dst);
+    let mut level = 0u32;
+    while !scratch.frontier.is_empty() {
+        level += 1;
+        scratch.next.clear();
+        for v in scratch.frontier.iter() {
+            scratch.next.union_with_masked(g.in_row(v), within);
+        }
+        scratch.next.difference_with(visited);
+        for w in scratch.next.iter() {
+            dist[w.index()] = level;
+        }
+        visited.union_with(&scratch.next);
+        mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+}
+
+/// [`descendants`] into caller-provided buffers (no allocation when warm).
+pub fn descendants_into<G: Adjacency>(
+    g: &G,
+    src: ProcessId,
+    within: &ProcessSet,
+    visited: &mut ProcessSet,
+    scratch: &mut BfsScratch,
+) {
+    bfs_into(g, src, within, Dir::Forward, visited, scratch);
+}
+
+/// [`ancestors`] into caller-provided buffers (no allocation when warm).
+pub fn ancestors_into<G: Adjacency>(
+    g: &G,
+    dst: ProcessId,
+    within: &ProcessSet,
+    visited: &mut ProcessSet,
+    scratch: &mut BfsScratch,
+) {
+    bfs_into(g, dst, within, Dir::Backward, visited, scratch);
+}
 
 /// All nodes reachable from `src` (including `src` itself) along directed
 /// edges, restricted to the node mask `within`.
 ///
 /// If `src ∉ within`, the result is empty.
 pub fn descendants<G: Adjacency>(g: &G, src: ProcessId, within: &ProcessSet) -> ProcessSet {
-    assert_eq!(g.n(), within.universe(), "mask universe mismatch");
     let mut visited = ProcessSet::empty(g.n());
-    if !within.contains(src) {
-        return visited;
-    }
-    visited.insert(src);
-    let mut frontier = visited.clone();
-    while !frontier.is_empty() {
-        let mut next = ProcessSet::empty(g.n());
-        for u in frontier.iter() {
-            next.union_with_masked(g.out_row(u), within);
-        }
-        next.difference_with(&visited);
-        visited.union_with(&next);
-        frontier = next;
-    }
+    let mut scratch = BfsScratch::new(g.n());
+    descendants_into(g, src, within, &mut visited, &mut scratch);
     visited
 }
 
 /// All nodes that can reach `dst` (including `dst` itself) along directed
 /// edges, restricted to the node mask `within`.
 pub fn ancestors<G: Adjacency>(g: &G, dst: ProcessId, within: &ProcessSet) -> ProcessSet {
-    assert_eq!(g.n(), within.universe(), "mask universe mismatch");
     let mut visited = ProcessSet::empty(g.n());
-    if !within.contains(dst) {
-        return visited;
-    }
-    visited.insert(dst);
-    let mut frontier = visited.clone();
-    while !frontier.is_empty() {
-        let mut next = ProcessSet::empty(g.n());
-        for v in frontier.iter() {
-            next.union_with_masked(g.in_row(v), within);
-        }
-        next.difference_with(&visited);
-        visited.union_with(&next);
-        frontier = next;
-    }
+    let mut scratch = BfsScratch::new(g.n());
+    ancestors_into(g, dst, within, &mut visited, &mut scratch);
     visited
 }
 
@@ -71,19 +191,25 @@ pub fn can_reach<G: Adjacency>(g: &G, u: ProcessId, v: ProcessId) -> bool {
 /// The paper repeatedly uses that simple paths have length at most `n − 1`
 /// (e.g. in Lemma 4 and Theorem 8); this function lets tests check those
 /// bounds explicitly.
-pub fn distance<G: Adjacency>(g: &G, u: ProcessId, v: ProcessId, within: &ProcessSet) -> Option<usize> {
+pub fn distance<G: Adjacency>(
+    g: &G,
+    u: ProcessId,
+    v: ProcessId,
+    within: &ProcessSet,
+) -> Option<usize> {
     assert_eq!(g.n(), within.universe(), "mask universe mismatch");
     if !within.contains(u) || !within.contains(v) {
         return None;
     }
     let mut visited = ProcessSet::singleton(g.n(), u);
     let mut frontier = visited.clone();
+    let mut next = ProcessSet::empty(g.n());
     let mut dist = 0usize;
     loop {
         if frontier.contains(v) {
             return Some(dist);
         }
-        let mut next = ProcessSet::empty(g.n());
+        next.clear();
         for w in frontier.iter() {
             next.union_with_masked(g.out_row(w), within);
         }
@@ -92,7 +218,7 @@ pub fn distance<G: Adjacency>(g: &G, u: ProcessId, v: ProcessId, within: &Proces
             return None;
         }
         visited.union_with(&next);
-        frontier = next;
+        mem::swap(&mut frontier, &mut next);
         dist += 1;
     }
 }
@@ -123,7 +249,10 @@ mod tests {
             descendants(&g, p(0), &full),
             ProcessSet::from_indices(5, [0, 1, 2])
         );
-        assert_eq!(descendants(&g, p(4), &full), ProcessSet::from_indices(5, [4]));
+        assert_eq!(
+            descendants(&g, p(4), &full),
+            ProcessSet::from_indices(5, [4])
+        );
     }
 
     #[test]

@@ -35,9 +35,10 @@ impl Condensation {
         let mut dag_in_degree = vec![0u32; ncomp];
         let mut seen = vec![u32::MAX; ncomp]; // dedup marker per source comp
 
+        let mut succ = ProcessSet::empty(g.n());
         for (cid, comp) in scc.components().iter().enumerate() {
             for u in comp.iter() {
-                let mut succ = g.out_row(u).clone();
+                succ.clone_from(g.out_row(u));
                 succ.intersect_with(within);
                 for v in succ.iter() {
                     let dst = scc

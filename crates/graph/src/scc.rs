@@ -185,6 +185,8 @@ pub fn kosaraju<G: Adjacency>(g: &G, within: &ProcessSet) -> SccDecomposition {
     // Pass 2: DFS on the reverse graph in reverse finish order.
     let mut comp_of = vec![UNVISITED; n];
     let mut comps: Vec<ProcessSet> = Vec::new();
+    let mut todo: Vec<usize> = Vec::new();
+    let mut preds = ProcessSet::empty(n);
     for &v in finish.iter().rev() {
         let v = v as usize;
         if comp_of[v] != UNVISITED {
@@ -192,11 +194,11 @@ pub fn kosaraju<G: Adjacency>(g: &G, within: &ProcessSet) -> SccDecomposition {
         }
         let cid = comps.len() as u32;
         let mut comp = ProcessSet::empty(n);
-        let mut todo = vec![v];
+        todo.push(v);
         comp_of[v] = cid;
         comp.insert(ProcessId::from_usize(v));
         while let Some(u) = todo.pop() {
-            let mut preds = g.in_row(ProcessId::from_usize(u)).clone();
+            preds.clone_from(g.in_row(ProcessId::from_usize(u)));
             preds.intersect_with(within);
             for w_id in preds.iter() {
                 let w = w_id.index();
@@ -213,6 +215,24 @@ pub fn kosaraju<G: Adjacency>(g: &G, within: &ProcessSet) -> SccDecomposition {
     SccDecomposition { comp_of, comps }
 }
 
+/// Reusable buffers for [`is_strongly_connected_with`], so the per-round
+/// decision test runs without heap allocation.
+#[derive(Clone, Debug)]
+pub struct SccScratch {
+    reached: ProcessSet,
+    bfs: reach::BfsScratch,
+}
+
+impl SccScratch {
+    /// Scratch pre-sized for a universe of `n` processes.
+    pub fn new(n: usize) -> Self {
+        SccScratch {
+            reached: ProcessSet::empty(n),
+            bfs: reach::BfsScratch::new(n),
+        }
+    }
+}
+
 /// Strong-connectivity test for the subgraph induced by `within`: every node
 /// of `within` reaches every other. This is Algorithm 1's line-28 decision
 /// test applied to `G_p`.
@@ -224,13 +244,28 @@ pub fn kosaraju<G: Adjacency>(g: &G, within: &ProcessSet) -> SccDecomposition {
 /// Implemented as two BFS sweeps (forward + backward from an arbitrary
 /// node), which is cheaper than a full SCC decomposition.
 pub fn is_strongly_connected<G: Adjacency>(g: &G, within: &ProcessSet) -> bool {
+    is_strongly_connected_with(g, within, &mut SccScratch::new(g.n()))
+}
+
+/// [`is_strongly_connected`] with caller-provided buffers (no allocation
+/// when warm).
+pub fn is_strongly_connected_with<G: Adjacency>(
+    g: &G,
+    within: &ProcessSet,
+    scratch: &mut SccScratch,
+) -> bool {
     let Some(seed) = within.first() else {
         return false;
     };
     if within.len() == 1 {
         return true;
     }
-    reach::descendants(g, seed, within) == *within && reach::ancestors(g, seed, within) == *within
+    reach::descendants_into(g, seed, within, &mut scratch.reached, &mut scratch.bfs);
+    if scratch.reached != *within {
+        return false;
+    }
+    reach::ancestors_into(g, seed, within, &mut scratch.reached, &mut scratch.bfs);
+    scratch.reached == *within
 }
 
 #[cfg(test)]
@@ -275,7 +310,10 @@ mod tests {
     fn kosaraju_matches_tarjan_on_figure() {
         let g = figure_1b();
         let full = ProcessSet::full(6);
-        assert_eq!(tarjan(&g, &full).canonical(), kosaraju(&g, &full).canonical());
+        assert_eq!(
+            tarjan(&g, &full).canonical(),
+            kosaraju(&g, &full).canonical()
+        );
     }
 
     #[test]
@@ -316,7 +354,10 @@ mod tests {
         let g = figure_1b();
         assert!(!is_strongly_connected(&g, &ProcessSet::empty(6)));
         assert!(is_strongly_connected(&g, &ProcessSet::from_indices(6, [5])));
-        assert!(is_strongly_connected(&g, &ProcessSet::from_indices(6, [0, 1])));
+        assert!(is_strongly_connected(
+            &g,
+            &ProcessSet::from_indices(6, [0, 1])
+        ));
         assert!(is_strongly_connected(
             &g,
             &ProcessSet::from_indices(6, [2, 3, 4])

@@ -1,0 +1,228 @@
+//! Differential property tests for the optimized labelled-digraph hot path.
+//!
+//! The word-parallel, allocation-free rewrites of `reset_to_node`,
+//! `merge_max`, `purge_labels_le` and `retain_reaching` are pinned against
+//! naive reference implementations built from the primitive per-edge API
+//! (`set_edge_max`/`remove_edge`), plus an adjacency-consistency check that
+//! the `out`/`inn` bitset rows and the label matrix never drift apart.
+
+use proptest::prelude::*;
+
+use sskel_graph::{Adjacency, LabeledDigraph, ProcessId, ProcessSet, Round};
+
+// Past 64 so every op crosses a bitset word boundary (wi > 0 paths).
+const MAX_N: usize = 130;
+
+type EdgeList = Vec<(usize, usize, Round)>;
+
+fn build(n: usize, edges: &EdgeList, extra_nodes: &[usize]) -> LabeledDigraph {
+    let mut g = LabeledDigraph::new(n);
+    for &(u, v, l) in edges {
+        g.set_edge_max(ProcessId::from_usize(u), ProcessId::from_usize(v), l);
+    }
+    for &p in extra_nodes {
+        g.insert_node(ProcessId::from_usize(p));
+    }
+    g
+}
+
+/// Strategy: universe size plus two edge lists and node paddings over it.
+#[allow(clippy::type_complexity)]
+fn arb_two_graphs() -> impl Strategy<Value = (usize, EdgeList, Vec<usize>, EdgeList, Vec<usize>)> {
+    (1..MAX_N).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 1..40u32), 0..80),
+            proptest::collection::vec(0..n, 0..3),
+            proptest::collection::vec((0..n, 0..n, 1..40u32), 0..80),
+            proptest::collection::vec(0..n, 0..3),
+        )
+    })
+}
+
+/// The `out`/`inn` rows must stay exact transposes of the label matrix.
+fn assert_adjacency_consistent(g: &LabeledDigraph) {
+    let n = g.universe();
+    for u in 0..n {
+        let pu = ProcessId::from_usize(u);
+        for v in 0..n {
+            let pv = ProcessId::from_usize(v);
+            let labelled = g.label(pu, pv).is_some();
+            assert_eq!(
+                labelled,
+                g.out_row(pu).contains(pv),
+                "out row vs labels at ({u},{v})"
+            );
+            assert_eq!(
+                labelled,
+                g.in_row(pv).contains(pu),
+                "inn row vs labels at ({u},{v})"
+            );
+            assert_eq!(
+                labelled,
+                g.has_edge(pu, pv),
+                "has_edge vs labels at ({u},{v})"
+            );
+        }
+    }
+}
+
+/// Reference merge: per-edge max-combine through the public primitive.
+fn naive_merge_max(a: &LabeledDigraph, b: &LabeledDigraph) -> LabeledDigraph {
+    let mut out = a.clone();
+    out.union_nodes(b.nodes());
+    for (u, v, l) in b.edges() {
+        out.set_edge_max(u, v, l);
+    }
+    out
+}
+
+/// Reference purge: collect stale edges, remove them one by one.
+fn naive_purge(g: &LabeledDigraph, cutoff: Round) -> (LabeledDigraph, usize) {
+    let mut out = g.clone();
+    let stale: Vec<(ProcessId, ProcessId)> = g
+        .edges()
+        .filter(|&(_, _, l)| l <= cutoff)
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    for &(u, v) in &stale {
+        out.remove_edge(u, v);
+    }
+    (out, stale.len())
+}
+
+/// Reference retain: transitive-closure reachability over the edge list.
+fn naive_retain(g: &LabeledDigraph, target: ProcessId) -> (LabeledDigraph, ProcessSet) {
+    let n = g.universe();
+    // reaches[u] = u can reach target
+    let mut reaches = vec![false; n];
+    if g.contains_node(target) {
+        reaches[target.index()] = true;
+        // Bellman-Ford style relaxation over the node-restricted edges.
+        for _ in 0..n {
+            for (u, v, _) in g.edges() {
+                if g.contains_node(u) && g.contains_node(v) && reaches[v.index()] {
+                    reaches[u.index()] = true;
+                }
+            }
+        }
+    }
+    let mut out = g.clone();
+    let mut dropped = ProcessSet::empty(n);
+    for p in g.nodes().iter() {
+        if !reaches[p.index()] {
+            dropped.insert(p);
+        }
+    }
+    let survivors: Vec<(ProcessId, ProcessId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    for (u, v) in survivors {
+        if dropped.contains(u) || dropped.contains(v) {
+            out.remove_edge(u, v);
+        }
+    }
+    for p in dropped.iter() {
+        out.remove_node_for_test(p);
+    }
+    (out, dropped)
+}
+
+/// Test-only node removal built from the public API.
+trait RemoveNode {
+    fn remove_node_for_test(&mut self, p: ProcessId);
+}
+
+impl RemoveNode for LabeledDigraph {
+    fn remove_node_for_test(&mut self, p: ProcessId) {
+        // All incident edges must already be gone; rebuild the node set.
+        let keep: Vec<ProcessId> = self.nodes().iter().filter(|&q| q != p).collect();
+        let mut fresh = LabeledDigraph::new(self.universe());
+        for q in keep {
+            fresh.insert_node(q);
+        }
+        let edges: Vec<(ProcessId, ProcessId, Round)> = self.edges().collect();
+        for (u, v, l) in edges {
+            fresh.set_edge_max(u, v, l);
+        }
+        *self = fresh;
+    }
+}
+
+proptest! {
+    #[test]
+    fn reset_to_node_equals_fresh_graph((n, e1, x1, _e2, _x2) in arb_two_graphs(), p_raw in 0..MAX_N) {
+        let p = ProcessId::from_usize(p_raw % n);
+        let mut g = build(n, &e1, &x1);
+        g.reset_to_node(p);
+        prop_assert_eq!(&g, &LabeledDigraph::with_node(n, p));
+        assert_adjacency_consistent(&g);
+        // The reset graph must behave like a fresh one under further edits.
+        if n > 1 {
+            let q = ProcessId::from_usize((p.index() + 1) % n);
+            g.set_edge_max(q, p, 7);
+            prop_assert_eq!(g.edge_count(), 1);
+            prop_assert_eq!(g.label(q, p), Some(7));
+        }
+    }
+
+    #[test]
+    fn merge_max_equals_naive_reference((n, e1, x1, e2, x2) in arb_two_graphs()) {
+        let a = build(n, &e1, &x1);
+        let b = build(n, &e2, &x2);
+        let expected = naive_merge_max(&a, &b);
+        let mut optimized = a.clone();
+        optimized.merge_max(&b);
+        prop_assert_eq!(&optimized, &expected);
+        assert_adjacency_consistent(&optimized);
+    }
+
+    #[test]
+    fn purge_labels_le_equals_naive_reference((n, e1, x1, _e2, _x2) in arb_two_graphs(), cutoff in 0..45u32) {
+        let g = build(n, &e1, &x1);
+        let (expected, expected_count) = naive_purge(&g, cutoff);
+        let mut optimized = g.clone();
+        let count = optimized.purge_labels_le(cutoff);
+        prop_assert_eq!(&optimized, &expected);
+        prop_assert_eq!(count, expected_count);
+        assert_adjacency_consistent(&optimized);
+    }
+
+    #[test]
+    fn retain_reaching_equals_naive_reference((n, e1, x1, _e2, _x2) in arb_two_graphs(), t_raw in 0..MAX_N) {
+        let target = ProcessId::from_usize(t_raw % n);
+        let mut g = build(n, &e1, &x1);
+        g.insert_node(target); // Algorithm 1 guarantees p ∈ V_p
+        let (mut expected, expected_dropped) = naive_retain(&g, target);
+        expected.insert_node(target);
+        let mut optimized = g.clone();
+        let dropped = optimized.retain_reaching(target);
+        prop_assert_eq!(&optimized, &expected);
+        prop_assert_eq!(&dropped, &expected_dropped);
+        assert_adjacency_consistent(&optimized);
+    }
+
+    #[test]
+    fn merge_then_purge_then_retain_round_trip((n, e1, x1, e2, x2) in arb_two_graphs(), cutoff in 0..20u32) {
+        // The composed per-round pipeline (lines 15–25) on the optimized
+        // path matches the same pipeline built from naive pieces.
+        let a = build(n, &e1, &x1);
+        let b = build(n, &e2, &x2);
+        let target = ProcessId::from_usize(0);
+
+        let mut optimized = a.clone();
+        optimized.merge_max(&b);
+        optimized.purge_labels_le(cutoff);
+        optimized.insert_node(target);
+        let dropped_opt = optimized.retain_reaching(target);
+
+        let merged = naive_merge_max(&a, &b);
+        let (purged, _) = naive_purge(&merged, cutoff);
+        let mut with_target = purged.clone();
+        with_target.insert_node(target);
+        let (mut expected, dropped_naive) = naive_retain(&with_target, target);
+        expected.insert_node(target);
+
+        prop_assert_eq!(&optimized, &expected);
+        prop_assert_eq!(&dropped_opt, &dropped_naive);
+        assert_adjacency_consistent(&optimized);
+    }
+}

@@ -57,6 +57,16 @@ impl<M> Received<M> {
         self.msgs[q.index()] = Some(msg);
     }
 
+    /// Empties the delivery vector (dropping the message handles) so the
+    /// buffer can be reused for the next process or round without
+    /// reallocating.
+    pub fn clear(&mut self) {
+        self.senders.clear();
+        for m in &mut self.msgs {
+            *m = None;
+        }
+    }
+
     /// The set of processes heard from this round — `HO(p, r)` in Heard-Of
     /// terms.
     #[inline]

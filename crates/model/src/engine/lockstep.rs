@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use sskel_graph::{ProcessId, Round, FIRST_ROUND};
+use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
 
 use crate::algorithm::{Received, RoundAlgorithm};
 use crate::engine::RunUntil;
@@ -42,36 +42,56 @@ where
     O: FnMut(Round, &[A]),
 {
     let n = schedule.n();
-    assert_eq!(algs.len(), n, "need exactly one algorithm instance per process");
+    assert_eq!(
+        algs.len(),
+        n,
+        "need exactly one algorithm instance per process"
+    );
     let mut trace = RunTrace::new(n);
+
+    // Round-loop buffers, reused across rounds: the communication graph,
+    // the broadcast vector, one delivery vector, and the per-sender
+    // receiver counts (popcounted once per round, not once per message).
+    let mut g = Digraph::empty(n);
+    let mut msgs: Vec<Arc<A::Msg>> = Vec::with_capacity(n);
+    let mut rcv: Received<A::Msg> = Received::new(n);
+    let mut receivers: Vec<u64> = vec![0; n];
 
     let mut r: Round = FIRST_ROUND;
     loop {
-        let g = schedule.graph(r);
+        schedule.graph_into(r, &mut g);
         debug_assert_eq!(g.n(), n, "schedule emitted graph over wrong universe");
 
-        // Sending functions S_p^r (state at beginning of round r).
-        let msgs: Vec<Arc<A::Msg>> = algs.iter().map(|a| Arc::new(a.send(r))).collect();
+        // Sending functions S_p^r (state at beginning of round r). Clearing
+        // first drops the previous round's message handles, so estimators
+        // double-buffering their payload can reclaim the old buffer.
+        msgs.clear();
+        msgs.extend(algs.iter().map(|a| Arc::new(a.send(r))));
 
-        // Accounting.
-        for (p, m) in msgs.iter().enumerate() {
+        // Accounting — one bitset walk per sender per round.
+        for (p, deg) in receivers.iter_mut().enumerate() {
+            *deg = g.out_neighbors(ProcessId::from_usize(p)).len() as u64;
+        }
+        for (m, &recv_count) in msgs.iter().zip(&receivers) {
             let sz = m.wire_bytes() as u64;
-            let receivers = g.out_neighbors(ProcessId::from_usize(p)).len() as u64;
             trace.msg_stats.broadcasts += 1;
             trace.msg_stats.broadcast_bytes += sz;
-            trace.msg_stats.deliveries += receivers;
-            trace.msg_stats.delivered_bytes += sz * receivers;
+            trace.msg_stats.deliveries += recv_count;
+            trace.msg_stats.delivered_bytes += sz * recv_count;
         }
 
         // Deliveries along G^r, then transition functions T_p^r.
         for (p, alg) in algs.iter_mut().enumerate() {
             let me = ProcessId::from_usize(p);
-            let mut rcv = Received::new(n);
+            rcv.clear();
             for q in g.in_neighbors(me).iter() {
                 rcv.insert(q, Arc::clone(&msgs[q.index()]));
             }
             alg.receive(r, &rcv);
         }
+        // Drop this round's handles so `send` state can be reclaimed at the
+        // start of the next round.
+        rcv.clear();
 
         // Poll decisions.
         for (p, alg) in algs.iter().enumerate() {

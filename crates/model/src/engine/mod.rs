@@ -6,7 +6,7 @@
 //! * [`lockstep`] — deterministic, single-threaded, supports per-round
 //!   observers (used for Figure 1 and the lemma-invariant tests);
 //! * [`threaded`] — one OS thread per process, real message channels
-//!   (crossbeam) and a spin barrier per round; asserted to produce traces
+//!   (std mpsc) and a spin barrier per round; asserted to produce traces
 //!   identical to lockstep.
 //!
 //! Both deliver round-`r` messages exactly along the edges of `G^r`:

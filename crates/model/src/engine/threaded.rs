@@ -1,7 +1,7 @@
 //! Threaded round engine: one OS thread per process, real message channels.
 //!
 //! This engine exercises the same [`RoundAlgorithm`] instances over actual
-//! inter-thread message passing (crossbeam MPSC channels), implementing
+//! inter-thread message passing (std MPSC channels), implementing
 //! communication-closed rounds with a [`SpinBarrier`] per round:
 //!
 //! 1. every thread runs its sending function and pushes the round message
@@ -23,9 +23,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
-use sskel_graph::{ProcessId, Round, FIRST_ROUND};
+use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
 
 use crate::algorithm::{Received, RoundAlgorithm, Value};
 use crate::engine::RunUntil;
@@ -58,7 +58,11 @@ where
     A::Msg: WireSized,
 {
     let n = schedule.n();
-    assert_eq!(algs.len(), n, "need exactly one algorithm instance per process");
+    assert_eq!(
+        algs.len(),
+        n,
+        "need exactly one algorithm instance per process"
+    );
 
     let mut trace = RunTrace::new(n);
     let barrier = SpinBarrier::new(n);
@@ -133,10 +137,13 @@ where
     let mut anomalies = Vec::new();
     // Early arrivals from the next round (sender raced ahead of us).
     let mut stash: VecDeque<Packet<A::Msg>> = VecDeque::new();
+    // Round-loop buffers, reused across rounds.
+    let mut g = Digraph::empty(n);
+    let mut rcv: Received<A::Msg> = Received::new(n);
     let mut r: Round = FIRST_ROUND;
 
     loop {
-        let g = schedule.graph(r);
+        schedule.graph_into(r, &mut g);
 
         // 1. Send along the out-edges of G^r.
         let msg = Arc::new(alg.send(r));
@@ -151,10 +158,11 @@ where
                 .send((r, me, Arc::clone(&msg)))
                 .expect("recipient channel closed");
         }
+        drop(msg);
 
         // 2. Receive one message per in-edge of G^r.
         let expected = g.in_neighbors(me);
-        let mut rcv = Received::new(n);
+        rcv.clear();
         let mut remaining = expected.len();
         // First consume stashed packets that belong to this round.
         let stashed = std::mem::take(&mut stash);
@@ -179,8 +187,12 @@ where
             }
         }
 
-        // 3. Transition, then publish decision status.
+        // 3. Transition, then publish decision status. The handles are
+        // dropped right after, before the round-closing barrier, so by the
+        // time any thread enters round r + 1 every round-r message is gone
+        // and double-buffered senders can reclaim their old payload buffer.
         alg.receive(r, &rcv);
+        rcv.clear();
         if let Some(v) = alg.decision() {
             match first_decision {
                 None => {

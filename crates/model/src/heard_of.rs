@@ -50,7 +50,9 @@ pub fn graph_from_ho(ho: &[ProcessSet]) -> Digraph {
 
 /// Folds a round sequence of HO collections into the timely neighborhoods
 /// `PT(p, r) = ⋂_{r' ≤ r} HO(p, r')` — the HO side of eq. (7).
-pub fn pt_from_ho_history<'a>(rounds: impl IntoIterator<Item = &'a [ProcessSet]>) -> Vec<ProcessSet> {
+pub fn pt_from_ho_history<'a>(
+    rounds: impl IntoIterator<Item = &'a [ProcessSet]>,
+) -> Vec<ProcessSet> {
     let mut acc: Option<Vec<ProcessSet>> = None;
     for ho in rounds {
         match &mut acc {
@@ -76,7 +78,11 @@ pub fn pt_from_rrfd_history<'a>(
         match &mut union {
             None => union = Some(d.to_vec()),
             Some(a) => {
-                assert_eq!(a.len(), d.len(), "RRFD collections over different universes");
+                assert_eq!(
+                    a.len(),
+                    d.len(),
+                    "RRFD collections over different universes"
+                );
                 for (x, y) in a.iter_mut().zip(d) {
                     x.union_with(y);
                 }

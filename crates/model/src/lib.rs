@@ -11,7 +11,7 @@
 //!
 //! * [`engine::run_lockstep`] — deterministic, single-threaded, observable
 //!   round by round;
-//! * [`engine::run_threaded`] — one OS thread per process with crossbeam
+//! * [`engine::run_threaded`] — one OS thread per process with std mpsc
 //!   channels and a spin barrier per round, producing identical traces.
 //!
 //! [`parallel::par_map`] fans independent simulations out across cores for

@@ -8,8 +8,7 @@
 //! static partition would.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item on `threads` worker threads, preserving input
 /// order in the output.
@@ -47,16 +46,24 @@ where
                 if i >= len {
                     return;
                 }
-                let item = slots[i].lock().take().expect("slot claimed twice");
+                let item = slots[i]
+                    .lock()
+                    .expect("slot mutex poisoned")
+                    .take()
+                    .expect("slot claimed twice");
                 let r = f(i, item);
-                *results[i].lock() = Some(r);
+                *results[i].lock().expect("result mutex poisoned") = Some(r);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("worker skipped a slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result mutex poisoned")
+                .expect("worker skipped a slot")
+        })
         .collect()
 }
 

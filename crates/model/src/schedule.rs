@@ -30,6 +30,15 @@ pub trait Schedule: Send + Sync {
     /// The communication graph `G^r` of round `r ≥ 1`.
     fn graph(&self, r: Round) -> Digraph;
 
+    /// Writes `G^r` into `out`, reusing its buffers where possible. The
+    /// engines call this once per round on a long-lived graph; schedules
+    /// that repeat stored graphs override it to copy in place
+    /// (allocation-free when the universe matches), the default delegates
+    /// to [`Schedule::graph`].
+    fn graph_into(&self, r: Round, out: &mut Digraph) {
+        *out = self.graph(r);
+    }
+
     /// A round `rST` such that `∀r ≥ rST: G∩r = G∩∞` (the skeleton has
     /// stabilized). Does not need to be tight, but must be sound.
     fn stabilization_round(&self) -> Round;
@@ -54,6 +63,9 @@ impl<S: Schedule + ?Sized> Schedule for &S {
     fn graph(&self, r: Round) -> Digraph {
         (**self).graph(r)
     }
+    fn graph_into(&self, r: Round, out: &mut Digraph) {
+        (**self).graph_into(r, out)
+    }
     fn stabilization_round(&self) -> Round {
         (**self).stabilization_round()
     }
@@ -68,6 +80,9 @@ impl<S: Schedule + ?Sized> Schedule for Arc<S> {
     }
     fn graph(&self, r: Round) -> Digraph {
         (**self).graph(r)
+    }
+    fn graph_into(&self, r: Round, out: &mut Digraph) {
+        (**self).graph_into(r, out)
     }
     fn stabilization_round(&self) -> Round {
         (**self).stabilization_round()
@@ -110,6 +125,9 @@ impl Schedule for FixedSchedule {
     fn graph(&self, _r: Round) -> Digraph {
         self.g.clone()
     }
+    fn graph_into(&self, _r: Round, out: &mut Digraph) {
+        out.clone_from(&self.g);
+    }
     fn stabilization_round(&self) -> Round {
         FIRST_ROUND
     }
@@ -141,7 +159,12 @@ impl TableSchedule {
             "tail graph must contain all self-loops"
         );
         for (i, g) in prefix.iter().enumerate() {
-            assert_eq!(g.n(), tail.n(), "universe mismatch at prefix round {}", i + 1);
+            assert_eq!(
+                g.n(),
+                tail.n(),
+                "universe mismatch at prefix round {}",
+                i + 1
+            );
             assert!(
                 g.has_all_self_loops(),
                 "prefix graph {} must contain all self-loops",
@@ -173,6 +196,11 @@ impl Schedule for TableSchedule {
             .get((r - 1) as usize)
             .cloned()
             .unwrap_or_else(|| self.tail.clone())
+    }
+
+    fn graph_into(&self, r: Round, out: &mut Digraph) {
+        assert!(r >= FIRST_ROUND, "rounds are 1-based");
+        out.clone_from(self.prefix.get((r - 1) as usize).unwrap_or(&self.tail));
     }
 
     fn stabilization_round(&self) -> Round {

@@ -87,7 +87,11 @@ impl SkeletonTracker {
 /// `pt_sets(skel)[p] = {q | (q → p) ∈ G∩∞}`.
 pub fn pt_sets(stable_skeleton: &Digraph) -> Vec<ProcessSet> {
     (0..stable_skeleton.n())
-        .map(|p| stable_skeleton.in_neighbors(ProcessId::from_usize(p)).clone())
+        .map(|p| {
+            stable_skeleton
+                .in_neighbors(ProcessId::from_usize(p))
+                .clone()
+        })
         .collect()
 }
 

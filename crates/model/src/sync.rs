@@ -67,7 +67,8 @@ impl SpinBarrier {
             // Last thread: reset the counter, then release the others by
             // advancing the generation.
             self.arrived.store(0, Ordering::Relaxed);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
             true
         } else {
             let mut spins = 0u32;

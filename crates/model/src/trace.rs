@@ -1,12 +1,11 @@
 //! Run traces: what a simulation engine records about a run.
 
-use serde::{Deserialize, Serialize};
 use sskel_graph::{ProcessId, Round};
 
 use crate::algorithm::Value;
 
 /// One process's irrevocable decision.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DecisionRecord {
     /// The decided value.
     pub value: Value,
@@ -15,7 +14,7 @@ pub struct DecisionRecord {
 }
 
 /// Aggregate message-traffic statistics of a run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MsgStats {
     /// Broadcasts performed (one per process per round).
     pub broadcasts: u64,
@@ -29,7 +28,7 @@ pub struct MsgStats {
 }
 
 /// Everything an engine records about one run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunTrace {
     /// Universe size.
     pub n: usize,
@@ -121,7 +120,10 @@ mod tests {
         assert_eq!(t.last_decision_round(), Some(6));
         assert_eq!(
             t.decision_of(ProcessId::new(2)),
-            Some(DecisionRecord { value: 20, round: 6 })
+            Some(DecisionRecord {
+                value: 20,
+                round: 6
+            })
         );
         assert!(t.anomalies.is_empty());
     }

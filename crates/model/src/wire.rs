@@ -177,13 +177,26 @@ impl Wire for ProcessSet {
 
 impl WireSized for LabeledDigraph {
     fn wire_bytes(&self) -> usize {
+        // Row-wise walk (this runs once per broadcast per round): the
+        // source-id varint is sized once per row, target ids and labels
+        // once per set adjacency bit.
         let mut sz = uvarint_len(self.universe() as u64);
         sz += self.nodes().wire_bytes();
-        sz += uvarint_len(self.edge_count() as u64);
-        for (u, v, l) in self.edges() {
-            sz += uvarint_len(u.get() as u64) + uvarint_len(v.get() as u64) + uvarint_len(l as u64);
+        let mut edges = 0u64;
+        for u in self.nodes().iter() {
+            let row = sskel_graph::Adjacency::out_row(self, u);
+            let row_edges = row.len();
+            if row_edges == 0 {
+                continue;
+            }
+            edges += row_edges as u64;
+            sz += row_edges * uvarint_len(u.get() as u64);
+            let labels = self.label_row(u);
+            for v in row.iter() {
+                sz += uvarint_len(v.get() as u64) + uvarint_len(u64::from(labels[v.index()]));
+            }
         }
-        sz
+        sz + uvarint_len(edges)
     }
 }
 
@@ -218,11 +231,7 @@ impl Wire for LabeledDigraph {
             if l == 0 || l > u64::from(u32::MAX) {
                 return Err(WireError::InvalidValue("edge label out of range"));
             }
-            g.set_edge_max(
-                ProcessId::from_usize(u),
-                ProcessId::from_usize(v),
-                l as u32,
-            );
+            g.set_edge_max(ProcessId::from_usize(u), ProcessId::from_usize(v), l as u32);
         }
         Ok(g)
     }

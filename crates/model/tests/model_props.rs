@@ -13,21 +13,19 @@ use sskel_model::{SkeletonTracker, Wire, WireSized};
 
 fn arb_graph_sequence() -> impl Strategy<Value = (usize, Vec<Digraph>)> {
     (1usize..10).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec((0..n, 0..n), 0..n * n),
-            1..6,
+        proptest::collection::vec(proptest::collection::vec((0..n, 0..n), 0..n * n), 1..6).prop_map(
+            move |rounds| {
+                let graphs = rounds
+                    .into_iter()
+                    .map(|edges| {
+                        let mut g = Digraph::from_edges(n, edges);
+                        g.add_self_loops();
+                        g
+                    })
+                    .collect();
+                (n, graphs)
+            },
         )
-        .prop_map(move |rounds| {
-            let graphs = rounds
-                .into_iter()
-                .map(|edges| {
-                    let mut g = Digraph::from_edges(n, edges);
-                    g.add_self_loops();
-                    g
-                })
-                .collect();
-            (n, graphs)
-        })
     })
 }
 
@@ -74,7 +72,7 @@ proptest! {
     }
 
     #[test]
-    fn truncated_input_never_panics((n, g) in (1usize..8).prop_flat_map(|n| (Just(n), arb_labeled(n))), cut in 0usize..64) {
+    fn truncated_input_never_panics((_n, g) in (1usize..8).prop_flat_map(|n| (Just(n), arb_labeled(n))), cut in 0usize..64) {
         let bytes = g.to_bytes();
         let cut = cut.min(bytes.len());
         let mut rd = bytes.slice(0..cut);

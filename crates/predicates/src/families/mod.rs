@@ -21,8 +21,8 @@
 //!   base schedule, to control the stabilization round `rST`.
 
 pub mod crash;
-pub mod figure1;
 pub mod eventually;
+pub mod figure1;
 pub mod isolation;
 pub mod noise;
 pub mod partition;
@@ -30,8 +30,8 @@ pub mod planted;
 pub mod theorem2;
 
 pub use crash::CrashSchedule;
-pub use figure1::Figure1Schedule;
 pub use eventually::EventuallyStable;
+pub use figure1::Figure1Schedule;
 pub use isolation::IsolationThenBase;
 pub use noise::NoisySchedule;
 pub use partition::PartitionSchedule;
@@ -50,9 +50,7 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 
 /// Hash of an (edge, round) tuple under a seed.
 pub(crate) fn edge_round_hash(seed: u64, u: usize, v: usize, r: u32) -> u64 {
-    splitmix64(
-        seed ^ splitmix64(u as u64 ^ splitmix64((v as u64) << 20 ^ ((r as u64) << 40))),
-    )
+    splitmix64(seed ^ splitmix64(u as u64 ^ splitmix64((v as u64) << 20 ^ ((r as u64) << 40))))
 }
 
 #[cfg(test)]

@@ -70,8 +70,8 @@ impl Schedule for NoisySchedule {
                     continue;
                 }
                 // forced drop round for this edge
-                let phase = (edge_round_hash(self.seed, u, v, 0) % u64::from(self.drop_period))
-                    as Round;
+                let phase =
+                    (edge_round_hash(self.seed, u, v, 0) % u64::from(self.drop_period)) as Round;
                 if r % self.drop_period == phase {
                     continue;
                 }

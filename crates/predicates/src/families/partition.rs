@@ -134,11 +134,7 @@ mod tests {
     fn min_k_equals_block_count() {
         for b in 1..=4 {
             let s = PartitionSchedule::even(8, b, 1);
-            assert_eq!(
-                psrcs::min_k_on_skeleton(&s.stable_skeleton()),
-                b,
-                "b={b}"
-            );
+            assert_eq!(psrcs::min_k_on_skeleton(&s.stable_skeleton()), b, "b={b}");
             assert_eq!(root_component_count(&s.stable_skeleton()), b);
         }
     }

@@ -32,7 +32,10 @@ impl Theorem2Schedule {
     /// # Panics
     /// Panics unless `1 < k < n`.
     pub fn new(n: usize, k: usize) -> Self {
-        assert!(k > 1 && k < n, "Theorem 2 requires 1 < k < n (got k={k}, n={n})");
+        assert!(
+            k > 1 && k < n,
+            "Theorem 2 requires 1 < k < n (got k={k}, n={n})"
+        );
         let mut skeleton = Digraph::empty(n);
         skeleton.add_self_loops();
         let s = ProcessId::from_usize(k - 1);

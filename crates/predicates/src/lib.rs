@@ -23,8 +23,8 @@ pub mod theorems;
 
 pub use common_source::CommonSourceGraph;
 pub use families::{
-    planted_psrcs_schedule, planted_psrcs_skeleton, CrashSchedule, EventuallyStable, Figure1Schedule, IsolationThenBase,
-    NoisySchedule, PartitionSchedule, Theorem2Schedule,
+    planted_psrcs_schedule, planted_psrcs_skeleton, CrashSchedule, EventuallyStable,
+    Figure1Schedule, IsolationThenBase, NoisySchedule, PartitionSchedule, Theorem2Schedule,
 };
 pub use predicate::{CommPredicate, PTrue, Psrcs};
 pub use psrcs::{holds as psrcs_holds, min_k, min_k_on_skeleton};

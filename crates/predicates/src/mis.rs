@@ -38,7 +38,13 @@ pub fn has_independent_set_of_size(adj: &[ProcessSet], target: usize) -> bool {
     }
     let mut best = 0usize;
     let mut current = ProcessSet::empty(n);
-    branch(adj, &ProcessSet::full(n), &mut current, &mut best, Some(target));
+    branch(
+        adj,
+        &ProcessSet::full(n),
+        &mut current,
+        &mut best,
+        Some(target),
+    );
     best >= target
 }
 

@@ -138,9 +138,7 @@ mod tests {
     /// only Psrcs(n−1)… in fact only Psrcs(k) for k ≥ n… no wait:
     /// every pair has empty common sources, so α(H) = n.
     fn isolated_pt(n: usize) -> Vec<ProcessSet> {
-        (0..n)
-            .map(|i| ProcessSet::from_indices(n, [i]))
-            .collect()
+        (0..n).map(|i| ProcessSet::from_indices(n, [i])).collect()
     }
 
     #[test]
@@ -228,9 +226,7 @@ mod tests {
         skel.add_self_loops();
         skel.add_edge(pid(0), pid(1));
         skel.add_edge(pid(0), pid(2));
-        let pt: Vec<ProcessSet> = (0..4)
-            .map(|p| skel.in_neighbors(pid(p)).clone())
-            .collect();
+        let pt: Vec<ProcessSet> = (0..4).map(|p| skel.in_neighbors(pid(p)).clone()).collect();
         assert_eq!(min_k_on_skeleton(&skel), min_k(&pt));
         for k in 1..4 {
             assert_eq!(holds_on_skeleton(&skel, k), holds(&pt, k));

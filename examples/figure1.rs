@@ -7,8 +7,8 @@
 //! cargo run --example figure1 -- --dot   # Graphviz DOT on stdout
 //! ```
 
-use sskel::graph::dot::{digraph_to_dot, labeled_to_dot, DotOptions};
 use sskel::graph::dot::{digraph_to_ascii, labeled_to_ascii};
+use sskel::graph::dot::{digraph_to_dot, labeled_to_dot, DotOptions};
 use sskel::prelude::*;
 
 fn main() {

@@ -39,8 +39,11 @@ fn run_case(label: &str, prefix_rounds: Round) -> usize {
         },
     );
 
-    verify(&trace, &VerifySpec::new(blocks.len(), inputs).with_lemma11_bound(&schedule))
-        .assert_ok();
+    verify(
+        &trace,
+        &VerifySpec::new(blocks.len(), inputs).with_lemma11_bound(&schedule),
+    )
+    .assert_ok();
 
     println!("── {label} (min_k = {})", guaranteed_k(&schedule));
     for (b, block) in blocks.iter().enumerate() {

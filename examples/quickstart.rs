@@ -27,7 +27,10 @@ fn run_and_report<S: Schedule>(name: &str, schedule: &S, inputs: &[Value]) {
 
     println!("── {name}");
     if k > 1 {
-        println!("   n = {n}, min_k = {k} (Psrcs({k}) holds, Psrcs({}) does not)", k - 1);
+        println!(
+            "   n = {n}, min_k = {k} (Psrcs({k}) holds, Psrcs({}) does not)",
+            k - 1
+        );
     } else {
         println!("   n = {n}, min_k = 1 (Psrcs(1) holds ⇒ consensus)");
     }
@@ -53,7 +56,11 @@ fn main() {
 
     // 2. The paper's Figure 1 run: Psrcs(3) tight, two root components.
     let fig1 = Figure1Schedule::new();
-    run_and_report("Figure 1 run (Psrcs(3))", &fig1, &Figure1Schedule::example_inputs());
+    run_and_report(
+        "Figure 1 run (Psrcs(3))",
+        &fig1,
+        &Figure1Schedule::example_inputs(),
+    );
 
     // 3. The Theorem 2 lower-bound run: Psrcs(4) tight, and any correct
     //    algorithm is forced into exactly 4 distinct values.

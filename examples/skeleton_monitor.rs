@@ -34,7 +34,11 @@ impl Schedule for DegradingSchedule {
         g
     }
     fn stabilization_round(&self) -> Round {
-        self.failures.iter().map(|&(_, _, at)| at).max().unwrap_or(1)
+        self.failures
+            .iter()
+            .map(|&(_, _, at)| at)
+            .max()
+            .unwrap_or(1)
     }
 }
 
@@ -82,6 +86,9 @@ fn main() {
         },
     );
 
-    println!("\nground truth G∩14: {}", sskel::graph::dot::digraph_to_ascii(truth.current()));
+    println!(
+        "\nground truth G∩14: {}",
+        sskel::graph::dot::digraph_to_ascii(truth.current())
+    );
     println!("(Lemma 5 checked each round from r = n on: C^r_p ⊆ G_p)");
 }

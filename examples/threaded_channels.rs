@@ -61,7 +61,10 @@ impl Figure1ishSchedule {
         skel.add_self_loops();
         let half = n / 2;
         for i in 0..half {
-            skel.add_edge(ProcessId::from_usize(i), ProcessId::from_usize((i + 1) % half));
+            skel.add_edge(
+                ProcessId::from_usize(i),
+                ProcessId::from_usize((i + 1) % half),
+            );
         }
         for i in half..n {
             skel.add_edge(

@@ -14,7 +14,10 @@ use sskel::prelude::*;
 
 fn main() {
     println!("k-set agreement lower bound (Theorem 2): runs forcing k values\n");
-    println!("{:>4} {:>4} | {:>8} {:>14} {:>12}", "n", "k", "min_k", "distinct vals", "last round");
+    println!(
+        "{:>4} {:>4} | {:>8} {:>14} {:>12}",
+        "n", "k", "min_k", "distinct vals", "last round"
+    );
     println!("{}", "-".repeat(50));
 
     for (n, k) in [(4usize, 2usize), (6, 3), (8, 4), (12, 6), (16, 8), (24, 12)] {
@@ -32,7 +35,11 @@ fn main() {
         );
 
         // Correct as k-set agreement…
-        verify(&trace, &VerifySpec::new(k, inputs).with_lemma11_bound(&schedule)).assert_ok();
+        verify(
+            &trace,
+            &VerifySpec::new(k, inputs).with_lemma11_bound(&schedule),
+        )
+        .assert_ok();
         let distinct = trace.distinct_decision_values().len();
         // …and the adversary forces exactly k values: (k−1)-agreement is out.
         assert_eq!(distinct, k, "lower bound must be achieved");

@@ -53,13 +53,11 @@ pub use sskel_predicates as predicates;
 
 /// Everything needed for typical simulations, in one import.
 pub mod prelude {
-    pub use sskel_graph::{
-        Digraph, LabeledDigraph, ProcessId, ProcessSet, Round, FIRST_ROUND,
-    };
+    pub use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round, FIRST_ROUND};
     pub use sskel_kset::consensus::{guaranteed_k, guarantees_consensus};
     pub use sskel_kset::{
-        lemma11_bound, verify, DecisionPath, DecisionRule, FloodMin, InvariantChecker, KSetAgreement, KSetMsg,
-        NaiveMinHorizon, SkeletonEstimator, Verdict, VerifySpec,
+        lemma11_bound, verify, DecisionPath, DecisionRule, FloodMin, InvariantChecker,
+        KSetAgreement, KSetMsg, NaiveMinHorizon, SkeletonEstimator, Verdict, VerifySpec,
     };
     pub use sskel_model::{
         run_lockstep, run_lockstep_observed, run_threaded, FixedSchedule, ProcessCtx, Received,

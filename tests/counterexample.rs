@@ -16,14 +16,15 @@
 //!
 //! # The run
 //!
-//! 10 processes, stable skeleton with the single root `{p3}` (so
-//! `Psrcs(1)` holds — consensus should be guaranteed), plus transient
-//! round-1/2 edges, among them `p8 → p3` and `p10 → p3`. At round
-//! `r = n = 10`, processes p4/p8/p9 see a strongly connected approximation
-//! *through the stale `p8 → p3` edge (label 1 — legal, since the first
-//! purge happens at round n + 1)* and decide the value 10; the true root
-//! p3 can never learn anything, so it later decides its own value 12.
-//! Two decision values under `Psrcs(1)`.
+//! 10 processes, stable skeleton with the single root component
+//! `{p3, p5, p10}` (so `Psrcs(1)` holds — consensus should be
+//! guaranteed), plus transient round-1/2 edges (among them `p7 → p4`,
+//! `p7 → p8` and `p8 → p7`). At round `r = n = 10`, process p7 sees a
+//! strongly connected approximation *through those stale edges (labels
+//! 1/2 — legal, since the first purge happens at round n + 1)* and
+//! decides the value 10; the root component can never learn anything
+//! from outside, so it settles on its own minimum 12. Two decision
+//! values under `Psrcs(1)`.
 //!
 //! # The repair
 //!
@@ -38,9 +39,10 @@ use rand::SeedableRng;
 
 use sskel::prelude::*;
 
-/// The exact schedule found by proptest (seed recorded verbatim).
+/// The exact schedule exhibiting the gap (seed recorded verbatim against
+/// the vendored deterministic PRNG stream).
 fn counterexample_schedule() -> NoisySchedule {
-    let mut rng = StdRng::seed_from_u64(11539593876277205866);
+    let mut rng = StdRng::seed_from_u64(27);
     planted_psrcs_schedule(&mut rng, 10, 1, 0.15, 200, 4)
 }
 
@@ -73,8 +75,8 @@ fn paper_rule_violates_consensus_on_this_run() {
         vec![10, 12],
         "this documents the Lemma 15 gap: two values under Psrcs(1)"
     );
-    // the early deciders pass line 28 exactly at round n = 10, before the
-    // first purge could remove the stale round-1 edge they relied on
+    // the early decider passes line 28 exactly at round n = 10, before the
+    // first purge could remove the stale round-1/2 edges it relied on
     assert_eq!(trace.first_decision_round(), Some(10));
 }
 
@@ -84,10 +86,17 @@ fn freshness_guarded_rule_restores_consensus() {
     let inputs: Vec<Value> = (0..10).map(|i| i + 10).collect();
     let algs = KSetAgreement::spawn_all_with(10, &inputs, DecisionRule::FreshnessGuarded);
     let bound = lemma11_bound(&s);
-    let (trace, _) = run_lockstep(&s, algs, RunUntil::AllDecided { max_rounds: bound + 2 });
+    let (trace, _) = run_lockstep(
+        &s,
+        algs,
+        RunUntil::AllDecided {
+            max_rounds: bound + 2,
+        },
+    );
     let verdict = verify(&trace, &VerifySpec::new(1, inputs).with_lemma11_bound(&s));
     verdict.assert_ok();
-    // consensus on the root's value: p3 proposes 12 and can learn nothing else
+    // consensus on the root component's minimum: {p3, p5, p10} propose
+    // {12, 14, 19} and can learn nothing from outside
     assert_eq!(trace.distinct_decision_values(), vec![12]);
 }
 

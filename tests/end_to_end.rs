@@ -24,11 +24,7 @@ fn check<S: Schedule>(schedule: &S, inputs: Vec<Value>, label: &str) -> RunTrace
         &trace,
         &VerifySpec::new(k, inputs).with_lemma11_bound(schedule),
     );
-    assert!(
-        verdict.is_ok(),
-        "{label}: {:?}",
-        verdict.violations
-    );
+    assert!(verdict.is_ok(), "{label}: {:?}", verdict.violations);
     trace
 }
 
@@ -57,7 +53,13 @@ fn theorem2_family_forces_exactly_k() {
 
 #[test]
 fn partitions_decide_per_block() {
-    for (n, b, prefix) in [(6usize, 2usize, 0u32), (9, 3, 2), (12, 4, 5), (8, 8, 0), (10, 1, 3)] {
+    for (n, b, prefix) in [
+        (6usize, 2usize, 0u32),
+        (9, 3, 2),
+        (12, 4, 5),
+        (8, 8, 0),
+        (10, 1, 3),
+    ] {
         let s = PartitionSchedule::even(n, b, prefix);
         let trace = check(&s, distinct_inputs(n), &format!("part n={n} b={b}"));
         assert!(trace.distinct_decision_values().len() <= b);

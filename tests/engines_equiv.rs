@@ -99,3 +99,78 @@ fn oversubscribed_threaded_run() {
     assert_eq!(a.decisions, b.decisions);
     assert_eq!(a.rounds_executed, n as Round);
 }
+
+/// The shared-payload (`Arc`) broadcast must be observationally identical
+/// to deep-copying the approximation graph into every message — the
+/// pre-optimization behavior. `DeepCloneKSet` restores that behavior by
+/// cloning the dense matrix per broadcast (which also defeats the
+/// estimator's buffer reuse), so a byte-identical trace pins the whole
+/// zero-copy round path.
+#[test]
+fn shared_payload_trace_identical_to_deep_copied_payload() {
+    use sskel::model::{ProcessCtx, Received, RoundAlgorithm};
+    use std::sync::Arc;
+
+    struct DeepCloneKSet(KSetAgreement);
+
+    impl RoundAlgorithm for DeepCloneKSet {
+        type Msg = KSetMsg;
+        fn send(&self, r: Round) -> KSetMsg {
+            let m = self.0.send(r);
+            KSetMsg {
+                graph: Arc::new((*m.graph).clone()),
+                ..m
+            }
+        }
+        fn receive(&mut self, r: Round, received: &Received<KSetMsg>) {
+            self.0.receive(r, received);
+        }
+        fn decision(&self) -> Option<Value> {
+            self.0.decision()
+        }
+    }
+
+    let spawn_cloning = |n: usize, inputs: &[Value]| -> Vec<DeepCloneKSet> {
+        ProcessId::all(n)
+            .map(|id| {
+                DeepCloneKSet(KSetAgreement::new(ProcessCtx {
+                    id,
+                    n,
+                    input: inputs[id.index()],
+                }))
+            })
+            .collect()
+    };
+
+    let schedules: Vec<(&str, Box<dyn Schedule>)> = vec![
+        ("sync", Box::new(FixedSchedule::synchronous(9))),
+        ("figure1", Box::new(Figure1Schedule::new())),
+        ("theorem2", Box::new(Theorem2Schedule::new(8, 3))),
+        ("partition", Box::new(PartitionSchedule::even(9, 3, 2))),
+    ];
+    for (name, s) in &schedules {
+        let n = s.n();
+        let inputs: Vec<Value> = (0..n as Value).map(|i| 3 * i + 11).collect();
+        let until = RunUntil::AllDecided {
+            max_rounds: lemma11_bound(s.as_ref()) + 2,
+        };
+        let (shared, finals_shared) =
+            run_lockstep(s.as_ref(), KSetAgreement::spawn_all(n, &inputs), until);
+        let (cloned, finals_cloned) = run_lockstep(s.as_ref(), spawn_cloning(n, &inputs), until);
+        assert_eq!(
+            shared.decisions, cloned.decisions,
+            "{name}: decisions diverged"
+        );
+        assert_eq!(shared.rounds_executed, cloned.rounds_executed, "{name}");
+        assert_eq!(
+            shared.msg_stats, cloned.msg_stats,
+            "{name}: wire accounting diverged"
+        );
+        assert_eq!(shared.anomalies, cloned.anomalies, "{name}");
+        for (a, b) in finals_shared.iter().zip(&finals_cloned) {
+            assert_eq!(a.approx_graph(), b.0.approx_graph(), "{name}: G_p diverged");
+            assert_eq!(a.estimate(), b.0.estimate(), "{name}");
+            assert_eq!(a.pt(), b.0.pt(), "{name}");
+        }
+    }
+}

@@ -68,7 +68,9 @@ fn decision_count_transitions_at_the_first_bad_round() {
     assert_eq!(run_with_isolation(n, 0).distinct_decision_values().len(), 1);
     for isolation in 1..=(n as Round + 2) {
         assert_eq!(
-            run_with_isolation(n, isolation).distinct_decision_values().len(),
+            run_with_isolation(n, isolation)
+                .distinct_decision_values()
+                .len(),
             n,
             "isolation {isolation}"
         );

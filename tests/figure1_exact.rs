@@ -42,7 +42,14 @@ fn sub_figures_c_through_h_match_pinned_expectations() {
         // (e) round 3: the 3-cycle's tail plus the transient p6 → p4 edge
         vec![(2, 3, 1), (3, 4, 2), (4, 5, 3), (5, 3, 1)],
         // (f) round 4: transient p2 → p3 edge arrives; p5 → p3 closes the cycle
-        vec![(1, 2, 1), (2, 3, 2), (3, 4, 3), (4, 2, 1), (4, 5, 4), (5, 3, 2)],
+        vec![
+            (1, 2, 1),
+            (2, 3, 2),
+            (3, 4, 3),
+            (4, 2, 1),
+            (4, 5, 4),
+            (5, 3, 2),
+        ],
         // (g) round 5: p1 → p2 arrives through the (stale) p2 → p3 link
         vec![
             (0, 1, 1),
@@ -92,11 +99,7 @@ fn decision_dynamics_of_the_figure_run() {
     let schedule = Figure1Schedule::new();
     let inputs = Figure1Schedule::example_inputs();
     let algs = KSetAgreement::spawn_all(6, &inputs);
-    let (trace, finals) = run_lockstep(
-        &schedule,
-        algs,
-        RunUntil::AllDecided { max_rounds: 40 },
-    );
+    let (trace, finals) = run_lockstep(&schedule, algs, RunUntil::AllDecided { max_rounds: 40 });
 
     verify(
         &trace,

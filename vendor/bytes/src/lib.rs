@@ -1,0 +1,230 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the wire codec uses: [`Buf`]/[`BufMut`] byte-cursor
+//! traits, an immutable shared [`Bytes`] buffer, and a growable
+//! [`BytesMut`] builder. Backed by `Arc<[u8]>`/`Vec<u8>` — no custom vtable
+//! tricks, but the same observable semantics for encode/decode round-trips.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Read cursor over a byte sequence.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// `true` iff at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes and returns the next byte.
+    ///
+    /// # Panics
+    /// Panics if the buffer is exhausted.
+    fn get_u8(&mut self) -> u8;
+}
+
+/// Write cursor appending to a byte sequence.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("buffer exhausted");
+        *self = rest;
+        *first
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+}
+
+/// A cheaply cloneable, immutable window into shared bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// The current window as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Length of the current window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` iff the window is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-window relative to the current one (shares the backing
+    /// storage).
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the window into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.start < self.end, "buffer exhausted");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{:02x?}\"", self.as_slice())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+/// A growable byte builder; [`BytesMut::freeze`] converts it into
+/// [`Bytes`] without copying.
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, b: u8) {
+        (**self).put_u8(b);
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn get_u8(&mut self) -> u8 {
+        (**self).get_u8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_slice() {
+        let mut b = BytesMut::with_capacity(4);
+        for x in [1u8, 2, 3, 4] {
+            b.put_u8(x);
+        }
+        assert_eq!(b.len(), 4);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 4);
+        let mut rd = frozen.clone();
+        assert_eq!(rd.get_u8(), 1);
+        assert_eq!(rd.remaining(), 3);
+        let tail = frozen.slice(1..4);
+        assert_eq!(tail.to_vec(), vec![2, 3, 4]);
+        let mid = tail.slice(1..2);
+        assert_eq!(mid.to_vec(), vec![3]);
+        assert_eq!(frozen, frozen.clone());
+    }
+
+    #[test]
+    fn slice_buf_reads() {
+        let mut s: &[u8] = &[9, 8];
+        assert!(s.has_remaining());
+        assert_eq!(s.get_u8(), 9);
+        assert_eq!(s.get_u8(), 8);
+        assert!(!s.has_remaining());
+    }
+}

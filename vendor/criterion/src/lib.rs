@@ -1,0 +1,360 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, `criterion_group!`/`criterion_main!` — with a
+//! simple but honest measurement loop: timed warm-up, then `sample_size`
+//! samples of auto-calibrated batches within `measurement_time`, reporting
+//! min/median/mean per iteration.
+//!
+//! No statistics beyond that, no HTML reports, no saved baselines. The
+//! `--bench` CLI filter argument is accepted and ignored.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark result line.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Full benchmark id, e.g. `full_run/synchronous/32`.
+    pub id: String,
+    /// Minimum observed time per iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Sample>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into().render(None);
+        let sample = run_benchmark(
+            &id,
+            Duration::from_millis(300),
+            Duration::from_secs(1),
+            20,
+            None,
+            &mut f,
+        );
+        self.results.push(sample);
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {
+        eprintln!("benchmarks complete: {} results", self.results.len());
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work per iteration for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into().render(Some(&self.name));
+        let sample = run_benchmark(
+            &id,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self.parent.results.push(sample);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (results were already recorded per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// `group/parameter` form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut s = String::new();
+        if let Some(g) = group {
+            s.push_str(g);
+        }
+        for part in [&self.function, &self.parameter].into_iter().flatten() {
+            if !s.is_empty() {
+                s.push('/');
+            }
+            s.push_str(part);
+        }
+        s
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Work performed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    /// (batch iterations, elapsed) pairs recorded by `iter`.
+    samples: Vec<(u64, Duration)>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as u64 / iters.max(1);
+        // Pick a batch size so that sample_size batches fit the budget.
+        let budget_per_sample =
+            (self.measurement.as_nanos() as u64 / self.sample_size.max(1) as u64).max(1);
+        let batch = (budget_per_sample / per_iter.max(1)).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push((batch, start.elapsed()));
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) -> Sample {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        warm_up,
+        measurement,
+        sample_size,
+    };
+    f(&mut b);
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(n, d)| d.as_nanos() as f64 / *n as f64)
+        .collect();
+    if per_iter.is_empty() {
+        per_iter.push(0.0);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min_ns = per_iter[0];
+    let median_ns = per_iter[per_iter.len() / 2];
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let mut line = format!("{id:<40} time: [{}]", fmt_ns(median_ns));
+    if let Some(t) = throughput {
+        match t {
+            Throughput::Elements(n) => {
+                let _ = write!(line, "  thrpt: {:.1} Melem/s", n as f64 / median_ns * 1e3);
+            }
+            Throughput::Bytes(n) => {
+                let _ = write!(
+                    line,
+                    "  thrpt: {:.1} MiB/s",
+                    n as f64 / median_ns * 1e9 / (1 << 20) as f64
+                );
+            }
+        }
+    }
+    eprintln!("{line}");
+    Sample {
+        id: id.to_owned(),
+        min_ns,
+        median_ns,
+        mean_ns,
+        throughput,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.warm_up_time(Duration::from_millis(5));
+            g.measurement_time(Duration::from_millis(20));
+            g.sample_size(5);
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 1);
+        let s = &c.results()[0];
+        assert_eq!(s.id, "demo/sum/10");
+        assert!(s.median_ns >= 0.0 && s.min_ns <= s.median_ns);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).render(Some("g")), "g/f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).render(Some("g")), "g/7");
+        assert_eq!(BenchmarkId::from("plain").render(None), "plain");
+    }
+}
