@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sskel_bench::inputs;
 use sskel_kset::KSetAgreement;
-use sskel_model::sync::SpinBarrier;
+use sskel_model::sync::{ParkingBarrier, SpinBarrier};
 use sskel_model::{run_lockstep, run_threaded, FixedSchedule, RunUntil};
 
 fn bench_engines(c: &mut Criterion) {
@@ -56,6 +56,25 @@ fn bench_barriers(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let barrier = Arc::new(SpinBarrier::new(threads));
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let bar = Arc::clone(&barrier);
+                            scope.spawn(move || {
+                                for _ in 0..ROUNDS {
+                                    bar.wait();
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("park", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let barrier = Arc::new(ParkingBarrier::new(threads));
                     std::thread::scope(|scope| {
                         for _ in 0..threads {
                             let bar = Arc::clone(&barrier);

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sskel_graph::{rand_graph, reach, ProcessId, ProcessSet};
+use sskel_graph::{rand_graph, reach, LabeledDigraph, ProcessId, ProcessSet, Round};
 
 fn bench_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("skeleton_intersection");
@@ -49,6 +49,60 @@ fn bench_reachability(c: &mut Criterion) {
     group.finish();
 }
 
+/// `n` labelled graphs of the given density over a universe of `n`, with
+/// labels in a band like the estimator's steady state.
+fn labelled_batch(rng: &mut StdRng, n: usize, p: f64) -> Vec<LabeledDigraph> {
+    (0..n)
+        .map(|i| {
+            let skel = rand_graph::gnp(rng, n, p, true);
+            let mut g = LabeledDigraph::new(n);
+            for u in 0..n {
+                let pu = ProcessId::from_usize(u);
+                for v in skel.out_neighbors(pu).iter() {
+                    g.set_edge_max(pu, v, (n + u + i) as Round);
+                }
+            }
+            g
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_max");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &n in &[32usize, 64] {
+        for (density, p) in [("dense", 0.9), ("sparse", 3.0 / n as f64)] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let batch = labelled_batch(&mut rng, n, p);
+            let refs: Vec<&LabeledDigraph> = batch.iter().collect();
+            let seed = ProcessId::new(0);
+            let id = format!("{density}_n{n}");
+            // One round's worth of received graphs, folded one at a time …
+            group.bench_function(BenchmarkId::new("sequential", &id), |b| {
+                let mut acc = LabeledDigraph::with_node(n, seed);
+                b.iter(|| {
+                    acc.reset_to_node(seed);
+                    for g in &batch {
+                        acc.merge_max(g);
+                    }
+                    std::hint::black_box(acc.edge_count())
+                })
+            });
+            // … versus the single row-major batched pass.
+            group.bench_function(BenchmarkId::new("batch", &id), |b| {
+                let mut acc = LabeledDigraph::with_node(n, seed);
+                b.iter(|| {
+                    acc.reset_to_node(seed);
+                    acc.merge_max_batch(&refs);
+                    std::hint::black_box(acc.edge_count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_set_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("process_set");
     group.warm_up_time(Duration::from_millis(300));
@@ -75,6 +129,7 @@ criterion_group!(
     benches,
     bench_intersection,
     bench_reachability,
+    bench_merge,
     bench_set_ops
 );
 criterion_main!(benches);

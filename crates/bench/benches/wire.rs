@@ -20,11 +20,7 @@ fn msg_for(skeleton: &Digraph, label: u32) -> KSetMsg {
             g.set_edge_max(ProcessId::from_usize(u), v, label);
         }
     }
-    KSetMsg {
-        kind: MsgKind::Prop,
-        x: 123,
-        graph: std::sync::Arc::new(g),
-    }
+    KSetMsg::new(MsgKind::Prop, 123, std::sync::Arc::new(g))
 }
 
 fn bench_wire(c: &mut Criterion) {

@@ -1,5 +1,5 @@
 //! **E7** — engine equivalence and scaling: the threaded engine (one OS
-//! thread per process, channels, spin barrier) produces identical traces to
+//! thread per process, channels, parking barrier) produces identical traces to
 //! the lockstep engine; wall-clock comparison shows where real threading
 //! pays off (it doesn't at simulation scale — the point is fidelity, not
 //! speed, exactly the "doable with channels" reproduction hint).

@@ -167,15 +167,15 @@ impl RoundAlgorithm for KSetAgreement {
     // Lines 5–8. The graph payload is a shared handle to the estimator's
     // current buffer — broadcasting is O(1), not O(n²).
     fn send(&self, _r: Round) -> KSetMsg {
-        KSetMsg {
-            kind: if self.decided {
+        KSetMsg::new(
+            if self.decided {
                 MsgKind::Decide
             } else {
                 MsgKind::Prop
             },
-            x: self.x,
-            graph: self.est.graph_arc(),
-        }
+            self.x,
+            self.est.graph_arc(),
+        )
     }
 
     fn receive(&mut self, r: Round, received: &Received<KSetMsg>) {
@@ -188,7 +188,7 @@ impl RoundAlgorithm for KSetAgreement {
             for q in self.pt.iter() {
                 if let Some(m) = received.get(q) {
                     if m.is_decide() {
-                        adopted = Some(adopted.map_or(m.x, |cur: Value| cur.min(m.x)));
+                        adopted = Some(adopted.map_or(m.x(), |cur: Value| cur.min(m.x())));
                     }
                 }
             }
@@ -207,7 +207,7 @@ impl RoundAlgorithm for KSetAgreement {
             &self.pt,
             self.pt
                 .iter()
-                .filter_map(|q| received.get(q).map(|m| (q, m.graph.as_ref()))),
+                .filter_map(|q| received.get(q).map(|m| (q, m.graph().as_ref()))),
         );
 
         // Lines 26–30.
@@ -216,7 +216,7 @@ impl RoundAlgorithm for KSetAgreement {
             // messages; includes p's own value since p ∈ PT_p).
             for q in self.pt.iter() {
                 if let Some(m) = received.get(q) {
-                    self.x = self.x.min(m.x);
+                    self.x = self.x.min(m.x());
                 }
             }
             // Line 28: decide once the approximation is strongly connected

@@ -27,6 +27,31 @@ use sskel_graph::reach::BfsScratch;
 use sskel_graph::scc::SccScratch;
 use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet, Round};
 
+/// Scratch buffer of borrowed graph payloads collected for the batched
+/// merge. Stored as raw pointers so the allocation persists across rounds
+/// without infecting the estimator with a lifetime parameter; the vector is
+/// filled and fully drained inside a single [`SkeletonEstimator::update`]
+/// call and never dereferenced outside it.
+struct GraphBatch(Vec<*const LabeledDigraph>);
+
+// SAFETY: the vector is empty whenever `update` is not executing, so moving
+// or sharing the estimator across threads never transfers live borrows.
+unsafe impl Send for GraphBatch {}
+unsafe impl Sync for GraphBatch {}
+
+impl Clone for GraphBatch {
+    fn clone(&self) -> Self {
+        // Only the (empty-between-rounds) capacity would be cloned.
+        GraphBatch(Vec::new())
+    }
+}
+
+impl std::fmt::Debug for GraphBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("GraphBatch").field(&self.0.len()).finish()
+    }
+}
+
 /// Reusable per-estimator working memory: BFS frontiers, node-set buffers
 /// and the freshness-test distance array. Rebuilding these each round was
 /// the dominant allocation cost of the faithful implementation.
@@ -37,6 +62,11 @@ struct EstimatorScratch {
     bfs: BfsScratch,
     scc: SccScratch,
     dist: Vec<u32>,
+    /// `PT_p` members whose graph arrived this round (line 17's fresh-edge
+    /// sources), rebuilt every `update`.
+    senders: ProcessSet,
+    /// The round's received payloads, folded in one batched merge.
+    batch: GraphBatch,
 }
 
 impl EstimatorScratch {
@@ -47,6 +77,8 @@ impl EstimatorScratch {
             bfs: BfsScratch::new(n),
             scc: SccScratch::new(n),
             dist: vec![u32::MAX; n],
+            senders: ProcessSet::empty(n),
+            batch: GraphBatch(Vec::new()),
         }
     }
 }
@@ -129,6 +161,15 @@ impl SkeletonEstimator {
     ///   `PT_p` must not be passed; passing fewer senders than `pt` models
     ///   the (never occurring, but defensively handled) case of a timely
     ///   process whose graph was not delivered.
+    ///
+    /// The round's payloads are folded in one **batched merge**
+    /// ([`LabeledDigraph::merge_max_batch`]). When `p`'s own previous
+    /// broadcast is among them (it always is under the engines, which hand
+    /// out shared [`SkeletonEstimator::graph_arc`] handles), line 15's reset
+    /// plus the re-merge of `G_p^{r-1}` collapse into a single `memcpy`
+    /// seed of the new buffer: the merge is a pure max/union, so starting
+    /// from `G_p^{r-1}` is exactly equivalent to resetting and merging it
+    /// back in — but skips rebuilding the adjacency bitsets bit by bit.
     pub fn update<'a>(
         &mut self,
         r: Round,
@@ -136,27 +177,56 @@ impl SkeletonEstimator {
         received: impl Iterator<Item = (ProcessId, &'a LabeledDigraph)>,
     ) {
         debug_assert!(pt.contains(self.me), "p must always perceive itself timely");
-        // line 15 — reset the spare buffer in place. The spare held
+        // Collect the round's payloads so they can be folded in one batched
+        // pass, and detect p's own re-received broadcast by address.
+        let cur_ptr: *const LabeledDigraph = &*self.cur;
+        let mut batch = std::mem::take(&mut self.scratch.batch.0);
+        debug_assert!(batch.is_empty());
+        self.scratch.senders.clear();
+        let mut own_rebroadcast = false;
+        for (q, gq) in received {
+            debug_assert!(pt.contains(q), "received a graph from outside PT_p");
+            debug_assert_eq!(gq.universe(), self.n, "foreign universe");
+            self.scratch.senders.insert(q);
+            let ptr: *const LabeledDigraph = gq;
+            if std::ptr::eq(ptr, cur_ptr) {
+                own_rebroadcast = true; // replayed wholesale by the seed below
+            } else {
+                batch.push(ptr);
+            }
+        }
+        // line 15 — rebuild into the spare buffer in place. The spare held
         // G_p^{r-2}, whose message handles were dropped when round r-1
         // ended; if something still shares it (an engine that keeps old
         // messages alive, a cloned estimator), fall back to a fresh buffer.
         let g = match Arc::get_mut(&mut self.spare) {
-            Some(g) => {
-                g.reset_to_node(self.me);
-                g
-            }
+            Some(g) => g,
             None => {
                 self.spare = Arc::new(LabeledDigraph::with_node(self.n, self.me));
                 Arc::get_mut(&mut self.spare).expect("freshly allocated Arc is unique")
             }
         };
-        // lines 16–23
-        for (q, gq) in received {
-            debug_assert!(pt.contains(q), "received a graph from outside PT_p");
-            debug_assert_eq!(gq.universe(), self.n, "foreign universe");
-            g.set_edge_max(q, self.me, r); // line 17
-            g.merge_max(gq); // lines 18–23 (max-combine keeps r on (q→p))
+        if own_rebroadcast {
+            // Seed with G_p^{r-1}: line 15's reset loses nothing precisely
+            // because p re-receives its own graph (p ∈ PT_p), so the reset
+            // and that merge fuse into one allocation-free matrix copy.
+            g.clone_from(&self.cur);
+        } else {
+            g.reset_to_node(self.me);
         }
+        // lines 16–23
+        for q in self.scratch.senders.iter() {
+            g.set_edge_max(q, self.me, r); // line 17
+        }
+        // SAFETY: every pointer was collected from a `&'a LabeledDigraph`
+        // above and is dereferenced strictly before this call returns;
+        // `&[&T]` and `&[*const T]` share one thin-pointer layout.
+        let others: &[&LabeledDigraph] =
+            unsafe { std::slice::from_raw_parts(batch.as_ptr().cast(), batch.len()) };
+        g.merge_max_batch(others); // lines 18–23 (max-combine keeps r on (q→p))
+        batch.clear();
+        self.scratch.batch.0 = batch;
+        let g = Arc::get_mut(&mut self.spare).expect("no new handles were created");
         // line 24: discard labels ≤ r − n
         let cutoff = r.saturating_sub(self.n as Round);
         if cutoff >= 1 {

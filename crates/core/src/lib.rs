@@ -18,6 +18,11 @@
 //! * [`baseline`] — FloodMin (crash-model k-set agreement) and a naive
 //!   fixed-horizon flooder that demonstrably violates k-agreement on
 //!   `Psrcs(k)` runs.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the paper-to-code
+//! map covering every public module.
+
+#![deny(missing_docs)]
 
 pub mod alg1;
 pub mod approx;

@@ -21,19 +21,53 @@ pub enum MsgKind {
 }
 
 /// A round message of Algorithm 1.
+///
+/// Built through [`KSetMsg::new`], which sizes the encoded payload once;
+/// the engines' per-delivery byte accounting then reads the cached size
+/// instead of re-walking `G_p`'s edges on every broadcast. The fields are
+/// private — messages are immutable once constructed, which is what keeps
+/// the cached size trustworthy.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KSetMsg {
-    /// `prop` or `decide`.
-    pub kind: MsgKind,
-    /// The sender's current estimate `x_p` (its decision value if decided).
-    pub x: Value,
-    /// The sender's approximation graph `G_p` at the beginning of the
-    /// round. Shared with the sender's estimator: broadcasting does not
-    /// deep-copy the dense label matrix.
-    pub graph: Arc<LabeledDigraph>,
+    kind: MsgKind,
+    x: Value,
+    graph: Arc<LabeledDigraph>,
+    /// Encoded size in bytes, computed at construction.
+    wire: usize,
 }
 
 impl KSetMsg {
+    /// Assembles a round message, computing its encoded size once.
+    pub fn new(kind: MsgKind, x: Value, graph: Arc<LabeledDigraph>) -> Self {
+        let wire = 1 + x.wire_bytes() + graph.wire_bytes();
+        KSetMsg {
+            kind,
+            x,
+            graph,
+            wire,
+        }
+    }
+
+    /// `prop` or `decide`.
+    #[inline]
+    pub fn kind(&self) -> MsgKind {
+        self.kind
+    }
+
+    /// The sender's current estimate `x_p` (its decision value if decided).
+    #[inline]
+    pub fn x(&self) -> Value {
+        self.x
+    }
+
+    /// The sender's approximation graph `G_p` at the beginning of the
+    /// round. Shared with the sender's estimator: broadcasting does not
+    /// deep-copy the dense label matrix.
+    #[inline]
+    pub fn graph(&self) -> &Arc<LabeledDigraph> {
+        &self.graph
+    }
+
     /// `true` iff this is a decide message.
     #[inline]
     pub fn is_decide(&self) -> bool {
@@ -42,8 +76,9 @@ impl KSetMsg {
 }
 
 impl WireSized for KSetMsg {
+    #[inline]
     fn wire_bytes(&self) -> usize {
-        1 + self.x.wire_bytes() + self.graph.wire_bytes()
+        self.wire
     }
 }
 
@@ -68,7 +103,7 @@ impl Wire for KSetMsg {
         };
         let x = Value::decode(buf)?;
         let graph = Arc::new(LabeledDigraph::decode(buf)?);
-        Ok(KSetMsg { kind, x, graph })
+        Ok(KSetMsg::new(kind, x, graph))
     }
 }
 
@@ -77,22 +112,17 @@ mod tests {
     use super::*;
     use sskel_graph::ProcessId;
 
-    fn sample_msg() -> KSetMsg {
+    fn sample_msg(kind: MsgKind) -> KSetMsg {
         let mut g = LabeledDigraph::with_node(5, ProcessId::new(0));
         g.set_edge_max(ProcessId::new(1), ProcessId::new(0), 3);
         g.set_edge_max(ProcessId::new(0), ProcessId::new(0), 4);
-        KSetMsg {
-            kind: MsgKind::Prop,
-            x: 42,
-            graph: Arc::new(g),
-        }
+        KSetMsg::new(kind, 42, Arc::new(g))
     }
 
     #[test]
     fn round_trips() {
         for kind in [MsgKind::Prop, MsgKind::Decide] {
-            let mut m = sample_msg();
-            m.kind = kind;
+            let m = sample_msg(kind);
             let bytes = m.to_bytes();
             assert_eq!(bytes.len(), m.wire_bytes());
             let mut rd = bytes.clone();
@@ -103,7 +133,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_kind() {
-        let mut bytes = sample_msg().to_bytes().to_vec();
+        let mut bytes = sample_msg(MsgKind::Prop).to_bytes().to_vec();
         bytes[0] = 9;
         let mut rd = &bytes[..];
         assert!(matches!(

@@ -7,11 +7,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-
-/// The harness runs `#[test]`s on parallel threads; counting is only
-/// meaningful while no other test is allocating.
-static EXCLUSIVE: Mutex<()> = Mutex::new(());
+use std::sync::Arc;
 
 use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet, Round};
 use sskel_kset::SkeletonEstimator;
@@ -79,9 +75,19 @@ fn run_round(
     inside
 }
 
+/// One `#[test]` for both scenarios: the libtest harness runs each test on
+/// its own thread, and a second test's post-body bookkeeping (result
+/// recording, output formatting) allocates outside any mutex we could
+/// take — inside our measurement window. A single test keeps the process
+/// single-threaded-ish while measuring, so the per-round assertion can stay
+/// exactly zero with no retry that could mask a one-shot lazy allocation.
 #[test]
+fn estimator_update_allocation_behaviour() {
+    estimator_update_is_allocation_free_after_warmup();
+    estimator_falls_back_gracefully_when_payload_is_retained();
+}
+
 fn estimator_update_is_allocation_free_after_warmup() {
-    let _guard = EXCLUSIVE.lock().unwrap();
     for (n, shape) in [(8usize, "complete"), (32, "complete"), (16, "ring")] {
         let mut ests: Vec<SkeletonEstimator> =
             (0..n).map(|i| SkeletonEstimator::new(n, pid(i))).collect();
@@ -99,7 +105,10 @@ fn estimator_update_is_allocation_free_after_warmup() {
             run_round(&mut ests, &mut msgs, &pt_of, r);
         }
 
-        // Steady state: every update must be allocation-free.
+        // Steady state: every update must be allocation-free. The window
+        // deliberately covers the first activation of the label purge
+        // (r > n, e.g. round 9 for n = 8) so lazily-sized buffers on that
+        // path would be caught, not warmed past.
         for r in 5..=20u32 {
             let inside = run_round(&mut ests, &mut msgs, &pt_of, r);
             assert_eq!(
@@ -110,9 +119,7 @@ fn estimator_update_is_allocation_free_after_warmup() {
     }
 }
 
-#[test]
 fn estimator_falls_back_gracefully_when_payload_is_retained() {
-    let _guard = EXCLUSIVE.lock().unwrap();
     // If a message handle outlives the round (e.g. a trace recorder keeps
     // it), the estimator must still be correct — it allocates a fresh
     // buffer instead of mutating the shared one.

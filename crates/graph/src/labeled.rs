@@ -40,7 +40,6 @@ const NO_EDGE: Round = 0;
 /// g.set_edge_max(q, p, 2);                     // older label loses
 /// assert_eq!(g.label(q, p), Some(3));
 /// ```
-#[derive(PartialEq, Eq)]
 pub struct LabeledDigraph {
     n: u32,
     nodes: ProcessSet,
@@ -48,7 +47,30 @@ pub struct LabeledDigraph {
     labels: Vec<Round>,
     out: Vec<ProcessSet>,
     inn: Vec<ProcessSet>,
+    /// Dirty-row bitset: a **superset** of the rows holding at least one
+    /// labelled edge. Maintained incrementally (insertions mark, removals
+    /// don't unmark; [`LabeledDigraph::reset_to_node`] clears), it lets the
+    /// incremental reset zero only the label rows that were ever written
+    /// and lets [`LabeledDigraph::merge_max_batch`] skip rows untouched by
+    /// every operand without probing their adjacency words.
+    row_dirty: ProcessSet,
 }
+
+/// Equality is over the logical graph — node set, edges, labels — and
+/// deliberately ignores the dirty-row superset, which depends on mutation
+/// history (e.g. a decoded graph records exactly the populated rows while
+/// the original may conservatively remember purged ones).
+impl PartialEq for LabeledDigraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.nodes == other.nodes
+            && self.labels == other.labels
+            && self.out == other.out
+            && self.inn == other.inn
+    }
+}
+
+impl Eq for LabeledDigraph {}
 
 impl Clone for LabeledDigraph {
     fn clone(&self) -> Self {
@@ -58,6 +80,7 @@ impl Clone for LabeledDigraph {
             labels: self.labels.clone(),
             out: self.out.clone(),
             inn: self.inn.clone(),
+            row_dirty: self.row_dirty.clone(),
         }
     }
 
@@ -69,6 +92,7 @@ impl Clone for LabeledDigraph {
         self.labels.clone_from(&source.labels);
         self.out.clone_from(&source.out);
         self.inn.clone_from(&source.inn);
+        self.row_dirty.clone_from(&source.row_dirty);
     }
 }
 
@@ -81,6 +105,7 @@ impl LabeledDigraph {
             labels: vec![NO_EDGE; n * n],
             out: vec![ProcessSet::empty(n); n],
             inn: vec![ProcessSet::empty(n); n],
+            row_dirty: ProcessSet::empty(n),
         }
     }
 
@@ -96,16 +121,33 @@ impl LabeledDigraph {
     /// `*self = LabeledDigraph::with_node(self.universe(), p)` but
     /// allocation-free — this is what makes the estimator's per-round
     /// rebuild cheap.
+    ///
+    /// The reset is **incremental**: only label rows recorded in the
+    /// dirty-row bitset are zeroed, so resetting a sparsely-populated graph
+    /// costs `O(dirty rows · n)` instead of `O(n²)`.
     pub fn reset_to_node(&mut self, p: ProcessId) {
-        self.nodes.clear();
-        self.labels.fill(NO_EDGE);
-        for row in &mut self.out {
+        let n = self.n as usize;
+        let LabeledDigraph {
+            nodes,
+            labels,
+            out,
+            inn,
+            row_dirty,
+            ..
+        } = self;
+        // Rows outside `row_dirty` were never written since the last reset:
+        // their label row is all-NO_EDGE and their out-row is empty already.
+        for u in row_dirty.iter() {
+            let base = u.index() * n;
+            labels[base..base + n].fill(NO_EDGE);
+            out[u.index()].clear();
+        }
+        row_dirty.clear();
+        for row in inn.iter_mut() {
             row.clear();
         }
-        for row in &mut self.inn {
-            row.clear();
-        }
-        self.nodes.insert(p);
+        nodes.clear();
+        nodes.insert(p);
     }
 
     /// Universe size `n`.
@@ -174,6 +216,7 @@ impl LabeledDigraph {
         assert_ne!(round, NO_EDGE, "edge labels are 1-based rounds");
         self.nodes.insert(u);
         self.nodes.insert(v);
+        self.row_dirty.insert(u);
         let i = self.idx(u, v);
         if self.labels[i] == NO_EDGE {
             self.out[u.index()].insert(v);
@@ -205,10 +248,25 @@ impl LabeledDigraph {
     /// max-combined in the row slice, and the `out`/`inn` bitsets are
     /// updated word-at-a-time from the edge additions. No allocation, no
     /// per-edge index arithmetic.
+    ///
+    /// ```
+    /// use sskel_graph::{LabeledDigraph, ProcessId};
+    /// let p = |i| ProcessId::new(i);
+    /// let mut g = LabeledDigraph::with_node(3, p(0));
+    /// g.set_edge_max(p(1), p(0), 2);
+    /// let mut h = LabeledDigraph::new(3);
+    /// h.set_edge_max(p(1), p(0), 7); // fresher label for the same edge
+    /// h.set_edge_max(p(2), p(0), 1);
+    /// g.merge_max(&h);
+    /// assert_eq!(g.label(p(1), p(0)), Some(7)); // rmax rule, lines 20–23
+    /// assert_eq!(g.label(p(2), p(0)), Some(1));
+    /// assert_eq!(g.node_count(), 3); // node sets unioned, line 18
+    /// ```
     pub fn merge_max(&mut self, other: &Self) {
         assert_eq!(self.n, other.n, "labelled graphs over different universes");
         let n = self.n as usize;
         self.nodes.union_with(&other.nodes);
+        self.row_dirty.union_with(&other.row_dirty);
         for u in other.nodes.iter() {
             let ui = u.index();
             let other_row = &other.out[ui];
@@ -241,6 +299,91 @@ impl LabeledDigraph {
                         let v = lo + a.trailing_zeros() as usize;
                         a &= a - 1;
                         self.inn[v].insert(u);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges a whole batch of labelled graphs into this one in a single
+    /// row-major pass: semantically identical to calling
+    /// [`LabeledDigraph::merge_max`] once per operand, but each destination
+    /// row is visited **once**, with every operand's matching row folded in
+    /// while the row is hot in cache. Rows untouched by *all* operands
+    /// (their union of dirty-row bitsets) are skipped entirely — this is
+    /// what makes Algorithm 1's lines 19–23 sub-cubic in practice when the
+    /// received graphs are sparse.
+    ///
+    /// ```
+    /// use sskel_graph::{LabeledDigraph, ProcessId};
+    /// let p = |i| ProcessId::new(i);
+    /// let mut acc = LabeledDigraph::with_node(4, p(0));
+    /// let mut a = LabeledDigraph::new(4);
+    /// a.set_edge_max(p(1), p(0), 3);
+    /// let mut b = LabeledDigraph::new(4);
+    /// b.set_edge_max(p(1), p(0), 5); // same edge, fresher label
+    /// b.set_edge_max(p(2), p(3), 1);
+    /// acc.merge_max_batch(&[&a, &b]);
+    /// assert_eq!(acc.label(p(1), p(0)), Some(5)); // max over the batch
+    /// assert_eq!(acc.label(p(2), p(3)), Some(1));
+    /// ```
+    pub fn merge_max_batch(&mut self, others: &[&Self]) {
+        let n = self.n as usize;
+        for o in others {
+            assert_eq!(self.n, o.n, "labelled graphs over different universes");
+            self.nodes.union_with(&o.nodes);
+            self.row_dirty.union_with(&o.row_dirty);
+        }
+        let row_words = self.row_dirty.words().len();
+        let LabeledDigraph {
+            labels, out, inn, ..
+        } = self;
+        for rwi in 0..row_words {
+            // Union of the operands' dirty rows for this 64-row block: a
+            // row no operand ever wrote needs no visit at all.
+            let mut rows = 0u64;
+            for o in others {
+                rows |= o.row_dirty.word(rwi);
+            }
+            while rows != 0 {
+                let bit_idx = rows.trailing_zeros();
+                rows &= rows - 1;
+                let ui = rwi * 64 + bit_idx as usize;
+                let u = ProcessId::from_usize(ui);
+                let base = ui * n;
+                let dst = &mut labels[base..base + n];
+                let out_row = &mut out[ui];
+                for o in others {
+                    // Operands that never wrote this row contribute nothing
+                    // — skip them without probing their adjacency words.
+                    if o.row_dirty.word(rwi) & (1 << bit_idx) == 0 {
+                        continue;
+                    }
+                    let orow = &o.out[ui];
+                    let src = &o.labels[base..base + n];
+                    for (wi, &ow) in orow.words().iter().enumerate() {
+                        if ow == 0 {
+                            continue;
+                        }
+                        let lo = wi * 64;
+                        let hi = (lo + 64).min(n);
+                        // Element-wise max over the 64-column chunk; absent
+                        // edges carry NO_EDGE = 0, so max is the identity
+                        // there and the loop vectorizes.
+                        for (a, &b) in dst[lo..hi].iter_mut().zip(&src[lo..hi]) {
+                            *a = (*a).max(b);
+                        }
+                        let old = out_row.word(wi);
+                        let added = ow & !old;
+                        if added != 0 {
+                            out_row.set_word(wi, old | ow);
+                            let mut a = added;
+                            while a != 0 {
+                                let v = lo + a.trailing_zeros() as usize;
+                                a &= a - 1;
+                                inn[v].insert(u);
+                            }
+                        }
                     }
                 }
             }
@@ -573,5 +716,71 @@ mod tests {
     fn zero_label_rejected() {
         let mut g = LabeledDigraph::new(2);
         g.set_edge_max(p(0), p(1), 0);
+    }
+
+    #[test]
+    fn batch_merge_equals_sequential_merge() {
+        let mut a = LabeledDigraph::with_node(5, p(0));
+        a.set_edge_max(p(1), p(0), 2);
+        let mut b = LabeledDigraph::new(5);
+        b.set_edge_max(p(1), p(0), 4);
+        b.set_edge_max(p(2), p(3), 1);
+        let mut c = LabeledDigraph::new(5);
+        c.set_edge_max(p(4), p(4), 9);
+        c.set_edge_max(p(1), p(0), 3);
+
+        let mut seq = a.clone();
+        seq.merge_max(&b);
+        seq.merge_max(&c);
+        let mut batch = a.clone();
+        batch.merge_max_batch(&[&b, &c]);
+        assert_eq!(batch, seq);
+        assert_eq!(batch.label(p(1), p(0)), Some(4));
+    }
+
+    #[test]
+    fn batch_merge_of_nothing_is_identity() {
+        let mut g = LabeledDigraph::with_node(3, p(1));
+        g.set_edge_max(p(0), p(1), 2);
+        let before = g.clone();
+        g.merge_max_batch(&[]);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn incremental_reset_equals_fresh_graph() {
+        // Exercise every mutation path (inserts, merge, purge, retain) and
+        // check reset_to_node restores exactly the with_node state — the
+        // dirty-row superset must cover every row that ever held a label.
+        let mut g = LabeledDigraph::with_node(70, p(0));
+        for i in 1..70 {
+            g.set_edge_max(p(i), p(i - 1), i as Round);
+        }
+        let mut other = LabeledDigraph::new(70);
+        other.set_edge_max(p(69), p(0), 99);
+        g.merge_max(&other);
+        g.purge_labels_le(30);
+        g.retain_reaching(p(0));
+        g.reset_to_node(p(3));
+        assert_eq!(g, LabeledDigraph::with_node(70, p(3)));
+        assert_eq!(g.edge_count(), 0);
+        // and the graph is fully usable after the incremental reset
+        g.set_edge_max(p(64), p(3), 5);
+        assert_eq!(g.label(p(64), p(3)), Some(5));
+    }
+
+    #[test]
+    fn equality_ignores_dirty_row_history() {
+        // Same logical graph, different mutation history: one graph wrote a
+        // row and purged it again, the other never touched it.
+        let mut a = LabeledDigraph::new(4);
+        a.set_edge_max(p(0), p(1), 5);
+        a.set_edge_max(p(2), p(3), 1);
+        a.purge_labels_le(1); // row 2 now empty but still marked dirty
+        let mut b = LabeledDigraph::new(4);
+        b.set_edge_max(p(0), p(1), 5);
+        b.insert_node(p(2));
+        b.insert_node(p(3));
+        assert_eq!(a, b);
     }
 }

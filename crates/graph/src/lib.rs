@@ -22,6 +22,11 @@
 //! The higher layers (`sskel-model`, `sskel-predicates`, `sskel-kset`) build
 //! the round model, the `Psrcs(k)` predicate machinery, and Algorithm 1 on
 //! top of this crate.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the paper-to-code
+//! map covering every public module.
+
+#![deny(missing_docs)]
 
 pub mod adjacency;
 pub mod digraph;

@@ -1,10 +1,13 @@
 //! Differential property tests for the optimized labelled-digraph hot path.
 //!
 //! The word-parallel, allocation-free rewrites of `reset_to_node`,
-//! `merge_max`, `purge_labels_le` and `retain_reaching` are pinned against
-//! naive reference implementations built from the primitive per-edge API
-//! (`set_edge_max`/`remove_edge`), plus an adjacency-consistency check that
-//! the `out`/`inn` bitset rows and the label matrix never drift apart.
+//! `merge_max`, `merge_max_batch`, `purge_labels_le` and `retain_reaching`
+//! are pinned against naive reference implementations built from the
+//! primitive per-edge API (`set_edge_max`/`remove_edge`), plus an
+//! adjacency-consistency check that the `out`/`inn` bitset rows and the
+//! label matrix never drift apart. The batched merge and the dirty-row
+//! bookkeeping it skips by are additionally exercised at bitset
+//! word-boundary universes (n = 63, 64, 65, 130).
 
 use proptest::prelude::*;
 
@@ -36,6 +39,26 @@ fn arb_two_graphs() -> impl Strategy<Value = (usize, EdgeList, Vec<usize>, EdgeL
             proptest::collection::vec(0..n, 0..3),
             proptest::collection::vec((0..n, 0..n, 1..40u32), 0..80),
             proptest::collection::vec(0..n, 0..3),
+        )
+    })
+}
+
+/// Strategy: a universe size sitting on a bitset word boundary (the sizes
+/// the issue calls out: 63, 64, 65, 130) plus a batch of up to five edge
+/// lists with node paddings.
+#[allow(clippy::type_complexity)]
+fn arb_graph_batch() -> impl Strategy<Value = (usize, Vec<(EdgeList, Vec<usize>)>)> {
+    (0usize..4).prop_flat_map(|i| {
+        let n = [63usize, 64, 65, 130][i];
+        (
+            Just(n),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec((0..n, 0..n, 1..40u32), 0..60),
+                    proptest::collection::vec(0..n, 0..3),
+                ),
+                0..5,
+            ),
         )
     })
 }
@@ -173,6 +196,69 @@ proptest! {
         optimized.merge_max(&b);
         prop_assert_eq!(&optimized, &expected);
         assert_adjacency_consistent(&optimized);
+    }
+
+    #[test]
+    fn merge_max_batch_equals_sequential_merge_max((n, batch) in arb_graph_batch(), seed in 0..2usize, extra in 0..3usize) {
+        // The batched single-pass fold must match folding the same graphs
+        // one at a time — across word-boundary universes (63, 64, 65, 130)
+        // and regardless of whether the accumulator starts empty, seeded
+        // with a node, or pre-populated by an earlier round.
+        let mut acc = match seed {
+            0 => LabeledDigraph::new(n),
+            _ => LabeledDigraph::with_node(n, ProcessId::from_usize(extra % n)),
+        };
+        if seed == 1 && !batch.is_empty() {
+            // pre-populate: an earlier round's merge left residue behind
+            acc.merge_max(&build(n, &batch[0].0, &batch[0].1));
+        }
+        let graphs: Vec<LabeledDigraph> =
+            batch.iter().map(|(e, x)| build(n, e, x)).collect();
+
+        let mut sequential = acc.clone();
+        for g in &graphs {
+            sequential.merge_max(g);
+        }
+
+        let refs: Vec<&LabeledDigraph> = graphs.iter().collect();
+        let mut batched = acc;
+        batched.merge_max_batch(&refs);
+
+        prop_assert_eq!(&batched, &sequential);
+        assert_adjacency_consistent(&batched);
+    }
+
+    #[test]
+    fn dirty_row_skipping_survives_mutation_history((n, batch) in arb_graph_batch(), cutoff in 0..45u32, t_raw in 0..4usize) {
+        // The dirty-row bitset is a conservative superset maintained across
+        // merges, purges and prunes. If skipping ever dropped a live row,
+        // either the incremental reset would leave stale labels behind or a
+        // batched merge would miss edges: pin both against full rebuilds
+        // after a maximally-mutated history.
+        let target = ProcessId::from_usize(t_raw.min(n - 1));
+        let graphs: Vec<LabeledDigraph> =
+            batch.iter().map(|(e, x)| build(n, e, x)).collect();
+        let refs: Vec<&LabeledDigraph> = graphs.iter().collect();
+
+        let mut g = LabeledDigraph::with_node(n, target);
+        g.merge_max_batch(&refs);
+        g.purge_labels_le(cutoff);
+        g.retain_reaching(target);
+
+        // merging the mutated graph into a fresh one sees every live edge
+        let mut expected = LabeledDigraph::new(n);
+        expected.union_nodes(g.nodes());
+        for (u, v, l) in g.edges() {
+            expected.set_edge_max(u, v, l);
+        }
+        let mut remerged = LabeledDigraph::new(n);
+        remerged.merge_max_batch(&[&g]);
+        prop_assert_eq!(&remerged, &expected);
+
+        // and the incremental reset leaves no residue of any of it
+        g.reset_to_node(target);
+        prop_assert_eq!(&g, &LabeledDigraph::with_node(n, target));
+        assert_adjacency_consistent(&g);
     }
 
     #[test]

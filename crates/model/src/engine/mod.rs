@@ -6,8 +6,8 @@
 //! * [`lockstep`] — deterministic, single-threaded, supports per-round
 //!   observers (used for Figure 1 and the lemma-invariant tests);
 //! * [`threaded`] — one OS thread per process, real message channels
-//!   (std mpsc) and a spin barrier per round; asserted to produce traces
-//!   identical to lockstep.
+//!   (std mpsc) and at most one parking barrier per round; asserted to
+//!   produce traces identical to lockstep.
 //!
 //! Both deliver round-`r` messages exactly along the edges of `G^r`:
 //! process `q` receives `p`'s round-`r` broadcast iff `(p → q) ∈ G^r`.
@@ -41,6 +41,17 @@ impl RunUntil {
         match self {
             RunUntil::Rounds(max) => r >= max,
             RunUntil::AllDecided { max_rounds } => all_decided || r >= max_rounds,
+        }
+    }
+
+    /// The round the run stops at when the stop condition depends on
+    /// nothing but the round number — in that case the threaded engine
+    /// needs no per-round global coordination at all.
+    #[inline]
+    pub(crate) fn static_horizon(self) -> Option<Round> {
+        match self {
+            RunUntil::Rounds(max) => Some(max),
+            RunUntil::AllDecided { .. } => None,
         }
     }
 }

@@ -2,22 +2,55 @@
 //!
 //! This engine exercises the same [`RoundAlgorithm`] instances over actual
 //! inter-thread message passing (std MPSC channels), implementing
-//! communication-closed rounds with a [`SpinBarrier`] per round:
+//! communication-closed rounds:
 //!
 //! 1. every thread runs its sending function and pushes the round message
 //!    into the channel of each recipient dictated by `G^r`;
 //! 2. every thread drains its channel until it has received one message from
 //!    each of its round-`r` in-neighbors (messages are round-tagged; early
-//!    arrivals from round `r + 1` are stashed);
+//!    arrivals from future rounds are stashed);
 //! 3. every thread runs its transition function and publishes its decision
 //!    status;
-//! 4. two barrier phases close the round: the leader evaluates the global
-//!    stop condition between them.
+//! 4. the round is closed:
+//!    * under a **fixed horizon** ([`RunUntil::Rounds`]) there is no global
+//!      stop condition to agree on, so no round-closing synchronization
+//!      runs at all — threads free-run on channel flow control alone, and
+//!      one wakeup lets a thread simulate as many rounds as its queued
+//!      messages allow (communication-closedness is preserved by the round
+//!      tags);
+//!    * under [`RunUntil::AllDecided`] a single [`ParkingBarrier`] phase
+//!      closes the round: the last arriver evaluates the stop condition
+//!      and every thread leaves the barrier with the verdict
+//!      ([`ParkingBarrier::wait_eval`]). Crucially, every thread
+//!      broadcasts its round-`(r+1)` messages **before** arriving at the
+//!      barrier, so once the barrier releases, the entire next round is
+//!      already queued on every channel: the receive phase drains without
+//!      blocking, channel sends never find (and never have to futex-wake)
+//!      a parked receiver, and a thread parks **at most once per
+//!      simulated round** — at the barrier, whose release is one
+//!      broadcast wakeup. The speculative broadcast is rolled back from
+//!      the byte accounting when the verdict stops the run. On an
+//!      oversubscribed machine, where a spin barrier burns whole
+//!      scheduler quanta, this is what closes the gap to the lockstep
+//!      engine.
 //!
 //! The trace produced is **bit-identical** to [`super::lockstep`] for the
 //! same schedule and algorithms (asserted by integration tests): the paper's
 //! runs are fully determined by initial states plus the graph sequence, and
 //! the engine introduces no other nondeterminism.
+//!
+//! Two consequences of the speculative broadcast are worth knowing:
+//!
+//! * the engine may query `Schedule::graph_into` and the (pure, `&self`)
+//!   sending function for **one round past** the round the run stops at —
+//!   within the [`Schedule`] contract, which defines `G^r` for every
+//!   `r ≥ 1`;
+//! * under a fixed horizon the absence of any barrier lets round skew grow
+//!   unboundedly: a process with no in-edges but its self-loop free-runs
+//!   to the horizon, queueing up to `horizon` payloads per out-neighbor
+//!   channel (and defeating double-buffered senders' `Arc` reuse while it
+//!   races ahead). For very long fixed-horizon runs over sparse schedules,
+//!   prefer [`RunUntil::AllDecided`]'s barrier mode or chunk the horizon.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,7 +63,7 @@ use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
 use crate::algorithm::{Received, RoundAlgorithm, Value};
 use crate::engine::RunUntil;
 use crate::schedule::Schedule;
-use crate::sync::SpinBarrier;
+use crate::sync::ParkingBarrier;
 use crate::trace::{MsgStats, RunTrace};
 use crate::wire::WireSized;
 
@@ -65,8 +98,7 @@ where
     );
 
     let mut trace = RunTrace::new(n);
-    let barrier = SpinBarrier::new(n);
-    let stop = AtomicBool::new(false);
+    let barrier = ParkingBarrier::new(n);
     let decided: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
 
     let mut txs: Vec<Sender<Packet<A::Msg>>> = Vec::with_capacity(n);
@@ -86,11 +118,12 @@ where
             let rx = rx.take().expect("receiver taken twice");
             let txs = &txs;
             let barrier = &barrier;
-            let stop = &stop;
             let decided = &decided;
-            handles.push(scope.spawn(move || {
-                run_process(schedule, me, alg, rx, txs, barrier, stop, decided, until)
-            }));
+            handles.push(
+                scope.spawn(move || {
+                    run_process(schedule, me, alg, rx, txs, barrier, decided, until)
+                }),
+            );
         }
         for (p, h) in handles.into_iter().enumerate() {
             outcomes[p] = Some(h.join().expect("process thread panicked"));
@@ -121,8 +154,7 @@ fn run_process<S, A>(
     mut alg: A,
     rx: Receiver<Packet<A::Msg>>,
     txs: &[Sender<Packet<A::Msg>>],
-    barrier: &SpinBarrier,
-    stop: &AtomicBool,
+    barrier: &ParkingBarrier,
     decided: &[AtomicBool],
     until: RunUntil,
 ) -> ThreadOutcome<A>
@@ -132,34 +164,24 @@ where
     A::Msg: WireSized,
 {
     let n = schedule.n();
+    // With a fixed horizon every thread stops at the same round without
+    // coordination, so rounds run barrier-free, batched per wakeup.
+    let static_horizon = until.static_horizon();
     let mut stats = MsgStats::default();
     let mut first_decision: Option<(Round, Value)> = None;
     let mut anomalies = Vec::new();
-    // Early arrivals from the next round (sender raced ahead of us).
-    let mut stash: VecDeque<Packet<A::Msg>> = VecDeque::new();
+    // Early arrivals from a future round (sender raced ahead of us).
+    let mut stash: VecDeque<(Round, ProcessId, Arc<A::Msg>)> = VecDeque::new();
     // Round-loop buffers, reused across rounds.
     let mut g = Digraph::empty(n);
     let mut rcv: Received<A::Msg> = Received::new(n);
     let mut r: Round = FIRST_ROUND;
 
+    // 1. Send along the out-edges of G^r (round 1 here; later rounds
+    //    broadcast at the close of the previous round, see step 4).
+    broadcast(schedule, me, &alg, r, &mut g, txs, &mut stats);
+
     loop {
-        schedule.graph_into(r, &mut g);
-
-        // 1. Send along the out-edges of G^r.
-        let msg = Arc::new(alg.send(r));
-        let sz = msg.wire_bytes() as u64;
-        let receivers = g.out_neighbors(me);
-        stats.broadcasts += 1;
-        stats.broadcast_bytes += sz;
-        stats.deliveries += receivers.len() as u64;
-        stats.delivered_bytes += sz * receivers.len() as u64;
-        for v in receivers.iter() {
-            txs[v.index()]
-                .send((r, me, Arc::clone(&msg)))
-                .expect("recipient channel closed");
-        }
-        drop(msg);
-
         // 2. Receive one message per in-edge of G^r.
         let expected = g.in_neighbors(me);
         rcv.clear();
@@ -188,9 +210,12 @@ where
         }
 
         // 3. Transition, then publish decision status. The handles are
-        // dropped right after, before the round-closing barrier, so by the
-        // time any thread enters round r + 1 every round-r message is gone
-        // and double-buffered senders can reclaim their old payload buffer.
+        // dropped right after, before the round closes, so by the time any
+        // thread enters round r + 1 every round-r message it delivered is
+        // gone and double-buffered senders can reclaim their old payload
+        // buffer (under the barrier-free fixed-horizon mode a racing
+        // neighbor may still hold one — senders then fall back to a fresh
+        // buffer, trading an allocation for the barrier).
         alg.receive(r, &rcv);
         rcv.clear();
         if let Some(v) = alg.decision() {
@@ -206,14 +231,44 @@ where
             }
         }
 
-        // 4. Close the round. The leader of the first barrier phase decides
-        //    whether the run stops; the second phase publishes that verdict.
-        if barrier.wait() {
-            let all = decided.iter().all(|d| d.load(Ordering::Acquire));
-            stop.store(until.should_stop(r, all), Ordering::Release);
-        }
-        barrier.wait();
-        if stop.load(Ordering::Acquire) {
+        // 4. Close the round.
+        let stop = match static_horizon {
+            // Fixed horizon: no global stop condition to agree on — no
+            // barrier. Channel flow control alone orders the rounds.
+            Some(horizon) => {
+                let stop = r >= horizon;
+                if !stop {
+                    broadcast(schedule, me, &alg, r + 1, &mut g, txs, &mut stats);
+                }
+                stop
+            }
+            // All-decided: broadcast round r + 1 *speculatively before
+            // arriving*, then close the round with a single parking-barrier
+            // phase — the last arriver evaluates the stop condition for
+            // everyone. Because every thread broadcast before arriving, the
+            // barrier release finds the entire next round already queued:
+            // the receive phase above never blocks, and this barrier is the
+            // round's only park.
+            None => {
+                let spec_send = broadcast(schedule, me, &alg, r + 1, &mut g, txs, &mut stats);
+                let stop = barrier.wait_eval(|| {
+                    let all = decided.iter().all(|d| d.load(Ordering::Acquire));
+                    until.should_stop(r, all)
+                });
+                if stop {
+                    // The speculative round-(r + 1) broadcast never
+                    // executes: take it back out of the accounting (its
+                    // packets die unread with the channels).
+                    let (sz, cnt) = spec_send;
+                    stats.broadcasts -= 1;
+                    stats.broadcast_bytes -= sz;
+                    stats.deliveries -= cnt;
+                    stats.delivered_bytes -= sz * cnt;
+                }
+                stop
+            }
+        };
+        if stop {
             return ThreadOutcome {
                 alg,
                 first_decision,
@@ -224,6 +279,41 @@ where
         }
         r += 1;
     }
+}
+
+/// Runs the sending function for round `r` and pushes the message along the
+/// out-edges of `G^r` (left in `g`), updating the sender-side byte
+/// accounting. Returns `(bytes, receivers)` so a speculative broadcast can
+/// be rolled back if the round never executes.
+fn broadcast<S, A>(
+    schedule: &S,
+    me: ProcessId,
+    alg: &A,
+    r: Round,
+    g: &mut Digraph,
+    txs: &[Sender<Packet<A::Msg>>],
+    stats: &mut MsgStats,
+) -> (u64, u64)
+where
+    S: Schedule + Sync + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: WireSized,
+{
+    schedule.graph_into(r, g);
+    let msg = Arc::new(alg.send(r));
+    let sz = msg.wire_bytes() as u64;
+    let receivers = g.out_neighbors(me);
+    let cnt = receivers.len() as u64;
+    stats.broadcasts += 1;
+    stats.broadcast_bytes += sz;
+    stats.deliveries += cnt;
+    stats.delivered_bytes += sz * cnt;
+    for v in receivers.iter() {
+        txs[v.index()]
+            .send((r, me, Arc::clone(&msg)))
+            .expect("recipient channel closed");
+    }
+    (sz, cnt)
 }
 
 #[cfg(test)]

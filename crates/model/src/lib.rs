@@ -12,7 +12,8 @@
 //! * [`engine::run_lockstep`] — deterministic, single-threaded, observable
 //!   round by round;
 //! * [`engine::run_threaded`] — one OS thread per process with std mpsc
-//!   channels and a spin barrier per round, producing identical traces.
+//!   channels and at most one parking barrier per round (none at all under
+//!   a fixed horizon), producing identical traces.
 //!
 //! [`parallel::par_map`] fans independent simulations out across cores for
 //! the Monte-Carlo experiments.

@@ -1,14 +1,158 @@
 //! Synchronization primitives for the threaded engine.
 //!
 //! The threaded simulator implements communication-closed rounds with one
-//! barrier per round. A sense-reversing spin barrier (built from two atomics,
-//! in the style of *Rust Atomics and Locks*, ch. 4/9) avoids the syscall per
-//! round that `std::sync::Barrier` pays, which matters when simulating
-//! thousands of rounds; the `engines` benchmark quantifies the difference.
+//! barrier per round. Two sense-reversing barriers are provided:
+//!
+//! * [`ParkingBarrier`] — what the engine uses: arrivals spin briefly and
+//!   then **park** on a `Condvar` (futex-backed on Linux), so stragglers
+//!   get the core immediately instead of contending with busy-waiting
+//!   peers. On an oversubscribed machine — more simulated processes than
+//!   hardware threads, the common case for this engine — parking is the
+//!   difference between one scheduler quantum per arrival and a direct
+//!   hand-off. The last arriver can additionally evaluate a round-closing
+//!   verdict for everyone ([`ParkingBarrier::wait_eval`]), which lets the
+//!   engine close a round with a *single* barrier phase instead of two.
+//! * [`SpinBarrier`] — the pure spin ablation baseline (two atomics, in
+//!   the style of *Rust Atomics and Locks*, ch. 4/9). It beats a syscall
+//!   per round when every participant has its own core and loses badly
+//!   when oversubscribed; the `engines` benchmark quantifies both.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
-/// A reusable sense-reversing spin barrier for a fixed number of threads.
+/// A reusable sense-reversing barrier that spins briefly, then parks.
+///
+/// All `total` threads must call [`ParkingBarrier::wait`] (or
+/// [`ParkingBarrier::wait_eval`]) for any of them to proceed; the barrier
+/// then resets itself for the next generation. Waiters spin for a short,
+/// contention-aware budget (zero when the participant count exceeds the
+/// machine's available parallelism) and then block on a `Condvar`, which
+/// parks the thread in the kernel — a futex wait on Linux.
+///
+/// ```
+/// use std::sync::Arc;
+/// use sskel_model::sync::ParkingBarrier;
+///
+/// let barrier = Arc::new(ParkingBarrier::new(4));
+/// let mut handles = Vec::new();
+/// for _ in 0..4 {
+///     let b = Arc::clone(&barrier);
+///     handles.push(std::thread::spawn(move || {
+///         for _ in 0..100 {
+///             b.wait();
+///         }
+///     }));
+/// }
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// ```
+pub struct ParkingBarrier {
+    /// Number of threads that have arrived in the current generation.
+    arrived: AtomicUsize,
+    /// Generation counter; advances when the last thread arrives.
+    generation: AtomicUsize,
+    /// The leader's verdict for the generation that just closed.
+    verdict: AtomicBool,
+    total: usize,
+    /// Spin iterations before parking; `0` when oversubscribed.
+    spin_budget: u32,
+    /// Guards the generation flip so a thread that just decided to park
+    /// cannot miss the wakeup.
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ParkingBarrier {
+    /// A barrier for `total ≥ 1` threads.
+    ///
+    /// # Panics
+    /// Panics if `total == 0`.
+    pub fn new(total: usize) -> Self {
+        assert!(total >= 1, "barrier needs at least one participant");
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        // Oversubscribed: a waiter's spinning only steals the quantum the
+        // stragglers need to arrive — park immediately. With a core per
+        // participant, a short spin usually wins the race with the flip.
+        let spin_budget = if total > cores { 0 } else { 128 };
+        ParkingBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            verdict: AtomicBool::new(false),
+            total,
+            spin_budget,
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.total
+    }
+
+    /// Blocks until all `total` threads have arrived for the current
+    /// generation. Returns `true` on exactly one thread per generation
+    /// (the leader, i.e. the last arriver).
+    pub fn wait(&self) -> bool {
+        self.sync_round(|| false).0
+    }
+
+    /// Like [`ParkingBarrier::wait`], but the leader evaluates `eval` while
+    /// every other thread is still blocked, and **all** threads return its
+    /// verdict. This folds a "leader decides, everyone learns" exchange —
+    /// two phases with a plain barrier — into one.
+    ///
+    /// All writes performed by other threads before they arrived are
+    /// visible to `eval`, and `eval`'s result is visible to every waiter.
+    pub fn wait_eval(&self, eval: impl FnOnce() -> bool) -> bool {
+        self.sync_round(eval).1
+    }
+
+    /// Returns `(is_leader, verdict)` for this generation.
+    fn sync_round(&self, eval: impl FnOnce() -> bool) -> (bool, bool) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Last thread: every earlier arrival's RMW on `arrived` is in
+            // this RMW's release sequence, so their prior writes are
+            // visible to `eval`.
+            let verdict = eval();
+            self.verdict.store(verdict, Ordering::Relaxed);
+            self.arrived.store(0, Ordering::Relaxed);
+            {
+                // Flip under the lock: a waiter only parks after checking
+                // the generation while holding it.
+                let _guard = self.lock.lock().expect("barrier mutex poisoned");
+                self.generation
+                    .store(gen.wrapping_add(1), Ordering::Release);
+            }
+            self.cv.notify_all();
+            (true, verdict)
+        } else {
+            let mut spins = self.spin_budget;
+            while spins > 0 {
+                if self.generation.load(Ordering::Acquire) != gen {
+                    return (false, self.verdict.load(Ordering::Relaxed));
+                }
+                spins -= 1;
+                std::hint::spin_loop();
+            }
+            let mut guard = self.lock.lock().expect("barrier mutex poisoned");
+            while self.generation.load(Ordering::Acquire) == gen {
+                guard = self.cv.wait(guard).expect("barrier mutex poisoned");
+            }
+            drop(guard);
+            (false, self.verdict.load(Ordering::Relaxed))
+        }
+    }
+}
+
+/// A reusable sense-reversing spin barrier for a fixed number of threads —
+/// kept as the pure-spin ablation baseline for [`ParkingBarrier`] (the
+/// `barrier_1000_rounds` benchmark compares spin, parking and
+/// `std::sync::Barrier`).
 ///
 /// All `total` threads must call [`SpinBarrier::wait`] for any of them to
 /// proceed; the barrier then resets itself for the next use. Waiting spins
@@ -156,5 +300,105 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_participants_rejected() {
         let _ = SpinBarrier::new(0);
+    }
+
+    #[test]
+    fn parking_single_thread_barrier_is_a_noop() {
+        let b = ParkingBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+            assert!(b.wait_eval(|| true));
+            assert!(!b.wait_eval(|| false));
+        }
+    }
+
+    #[test]
+    fn parking_all_threads_observe_each_round() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 200;
+        let barrier = Arc::new(ParkingBarrier::new(THREADS));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let b = Arc::clone(&barrier);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for round in 1..=ROUNDS as u64 {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    let seen = c.load(Ordering::SeqCst);
+                    assert_eq!(seen, THREADS as u64 * round, "torn round observed");
+                    b.wait(); // hold everyone until the assertion ran
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), (THREADS * ROUNDS) as u64);
+    }
+
+    #[test]
+    fn parking_exactly_one_leader_per_generation() {
+        const THREADS: usize = 6;
+        const ROUNDS: usize = 100;
+        let barrier = Arc::new(ParkingBarrier::new(THREADS));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let b = Arc::clone(&barrier);
+            let l = Arc::clone(&leaders);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    if b.wait() {
+                        l.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), ROUNDS as u64);
+    }
+
+    #[test]
+    fn wait_eval_publishes_leader_verdict_to_everyone() {
+        // The leader sums contributions published before arrival; every
+        // thread must observe the same per-round verdict.
+        const THREADS: usize = 5;
+        const ROUNDS: u64 = 100;
+        let barrier = Arc::new(ParkingBarrier::new(THREADS));
+        let contribution = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let b = Arc::clone(&barrier);
+            let c = Arc::clone(&contribution);
+            handles.push(std::thread::spawn(move || {
+                let mut verdicts = Vec::new();
+                for round in 1..=ROUNDS {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    let v = b.wait_eval(|| {
+                        // all contributions of the round are visible here
+                        assert_eq!(c.load(Ordering::Relaxed), THREADS as u64 * round);
+                        round % 3 == 0
+                    });
+                    verdicts.push(v);
+                    b.wait(); // keep rounds in lockstep for the assertion
+                }
+                verdicts
+            }));
+        }
+        let all: Vec<Vec<bool>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let expected: Vec<bool> = (1..=ROUNDS).map(|r| r % 3 == 0).collect();
+        for v in all {
+            assert_eq!(v, expected, "every thread sees the leader's verdict");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn parking_zero_participants_rejected() {
+        let _ = ParkingBarrier::new(0);
     }
 }

@@ -177,23 +177,55 @@ impl Wire for ProcessSet {
 
 impl WireSized for LabeledDigraph {
     fn wire_bytes(&self) -> usize {
-        // Row-wise walk (this runs once per broadcast per round): the
-        // source-id varint is sized once per row, target ids and labels
-        // once per set adjacency bit.
-        let mut sz = uvarint_len(self.universe() as u64);
+        // Sized without walking individual edges. Two observations make
+        // this a word-granular, branch-predictable scan:
+        //
+        // * varint-length bands for process ids start at powers of 128,
+        //   which are multiples of 64 — so every id inside one adjacency
+        //   word shares a single varint length, obtained from the word's
+        //   first column and multiplied by the word's popcount;
+        // * label lengths are a handful of range comparisons per column,
+        //   which the compiler vectorizes over each populated 64-column
+        //   chunk of the label row (absent columns carry 0 and are
+        //   masked); nearly-empty words fall back to visiting their few
+        //   set bits instead of scanning the chunk.
+        let n = self.universe();
+        let mut sz = uvarint_len(n as u64);
         sz += self.nodes().wire_bytes();
         let mut edges = 0u64;
         for u in self.nodes().iter() {
             let row = sskel_graph::Adjacency::out_row(self, u);
-            let row_edges = row.len();
-            if row_edges == 0 {
-                continue;
-            }
-            edges += row_edges as u64;
-            sz += row_edges * uvarint_len(u.get() as u64);
             let labels = self.label_row(u);
-            for v in row.iter() {
-                sz += uvarint_len(v.get() as u64) + uvarint_len(u64::from(labels[v.index()]));
+            let src_len = uvarint_len(u.get() as u64);
+            for (wi, &w) in row.words().iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                let cnt = w.count_ones() as usize;
+                edges += cnt as u64;
+                let lo = wi * 64;
+                let hi = (lo + 64).min(n);
+                sz += cnt * (src_len + uvarint_len(lo as u64));
+                let mut label_bytes = 0usize;
+                if cnt <= 8 {
+                    // Sparse word: visiting the few set bits beats scanning
+                    // the whole 64-column chunk.
+                    let mut bits = w;
+                    while bits != 0 {
+                        let l = labels[lo + bits.trailing_zeros() as usize];
+                        bits &= bits - 1;
+                        label_bytes += uvarint_len(u64::from(l));
+                    }
+                } else {
+                    for &l in &labels[lo..hi] {
+                        label_bytes += (l != 0) as usize
+                            * (1 + (l > 0x7f) as usize
+                                + (l > 0x3fff) as usize
+                                + (l > 0x1f_ffff) as usize
+                                + (l > 0x0fff_ffff) as usize);
+                    }
+                }
+                sz += label_bytes;
             }
         }
         sz + uvarint_len(edges)
@@ -299,6 +331,23 @@ mod tests {
         let back = LabeledDigraph::decode(&mut rd).unwrap();
         assert_eq!(back, g);
         assert!(!rd.has_remaining());
+    }
+
+    #[test]
+    fn labeled_digraph_size_covers_varint_bands() {
+        // ids beyond 127 need 2-byte varints, labels cross the 1/2/3-byte
+        // bands: the banded word-granular size must match the encoder.
+        let mut g = LabeledDigraph::new(200);
+        g.set_edge_max(ProcessId::new(0), ProcessId::new(127), 1);
+        g.set_edge_max(ProcessId::new(128), ProcessId::new(0), 127);
+        g.set_edge_max(ProcessId::new(130), ProcessId::new(199), 128);
+        g.set_edge_max(ProcessId::new(199), ProcessId::new(130), 16_383);
+        g.set_edge_max(ProcessId::new(64), ProcessId::new(65), 16_384);
+        g.set_edge_max(ProcessId::new(63), ProcessId::new(64), u32::MAX);
+        let bytes = g.to_bytes();
+        assert_eq!(bytes.len(), g.wire_bytes());
+        let mut rd = bytes.clone();
+        assert_eq!(LabeledDigraph::decode(&mut rd).unwrap(), g);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Algorithm 1 over real OS threads and message channels.
 //!
 //! One thread per process, crossbeam channels for round messages, and a
-//! spin barrier closing each round — then the exact same run replayed on
+//! parking barrier closing each round — then the exact same run replayed on
 //! the deterministic lockstep engine to confirm the traces are identical.
 //!
 //! ```text
@@ -20,7 +20,7 @@ fn main() {
         max_rounds: lemma11_bound(&schedule) + 5,
     };
 
-    println!("running Algorithm 1 on {n} OS threads (channels + spin barrier)…");
+    println!("running Algorithm 1 on {n} OS threads (channels + parking barrier)…");
     let t0 = Instant::now();
     let (threaded, _) = run_threaded(&schedule, KSetAgreement::spawn_all(n, &inputs), until);
     let threaded_time = t0.elapsed();

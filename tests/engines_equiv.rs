@@ -117,10 +117,7 @@ fn shared_payload_trace_identical_to_deep_copied_payload() {
         type Msg = KSetMsg;
         fn send(&self, r: Round) -> KSetMsg {
             let m = self.0.send(r);
-            KSetMsg {
-                graph: Arc::new((*m.graph).clone()),
-                ..m
-            }
+            KSetMsg::new(m.kind(), m.x(), Arc::new((**m.graph()).clone()))
         }
         fn receive(&mut self, r: Round, received: &Received<KSetMsg>) {
             self.0.receive(r, received);
