@@ -1,5 +1,6 @@
-//! Lockstep vs threaded engine, and the spin barrier vs `std::sync::Barrier`
-//! — ablation for DESIGN.md §5.4.
+//! Lockstep vs threaded vs sharded engine, and the spin barrier vs
+//! `std::sync::Barrier` — ablation for DESIGN.md §5.4 and
+//! docs/CONCURRENCY.md.
 
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
@@ -9,10 +10,10 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use sskel_bench::inputs;
+use sskel_bench::{inputs, ring_with_chords};
 use sskel_kset::KSetAgreement;
-use sskel_model::sync::{ParkingBarrier, SpinBarrier};
-use sskel_model::{run_lockstep, run_threaded, FixedSchedule, RunUntil};
+use sskel_model::sync::{ParkingBarrier, SpinBarrier, WindowedBarrier};
+use sskel_model::{run_lockstep, run_sharded, run_threaded, FixedSchedule, RunUntil, ShardPlan};
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines");
@@ -37,6 +38,55 @@ fn bench_engines(c: &mut Criterion) {
                 run_threaded(&s, KSetAgreement::spawn_all(n, &ins), until)
                     .0
                     .rounds_executed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sharded4", n), &n, |b, _| {
+            b.iter(|| {
+                run_sharded(
+                    &s,
+                    KSetAgreement::spawn_all(n, &ins),
+                    until,
+                    ShardPlan::new(4),
+                )
+                .0
+                .rounds_executed
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fixed-horizon runs at large n over a sparse skeleton: the regime the
+/// sharded engine exists for. One thread per process (`threaded`) pays a
+/// context switch per process per round; `sharded` pays at most one park
+/// per shard per window.
+fn bench_engines_large_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines_large_n");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let n = 256usize;
+    let s = FixedSchedule::new(ring_with_chords(n, 8));
+    let ins = inputs(n);
+    let until = RunUntil::Rounds(6);
+    group.bench_function(BenchmarkId::new("threaded", n), |b| {
+        b.iter(|| {
+            run_threaded(&s, KSetAgreement::spawn_all(n, &ins), until)
+                .0
+                .rounds_executed
+        })
+    });
+    for &shards in &[1usize, 4] {
+        group.bench_function(BenchmarkId::new(format!("sharded{shards}_w4"), n), |b| {
+            b.iter(|| {
+                run_sharded(
+                    &s,
+                    KSetAgreement::spawn_all(n, &ins),
+                    until,
+                    ShardPlan::new(shards).with_window(4),
+                )
+                .0
+                .rounds_executed
             })
         });
     }
@@ -88,6 +138,25 @@ fn bench_barriers(c: &mut Criterion) {
                 })
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("windowed8", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let barrier = Arc::new(WindowedBarrier::new(threads, 8));
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let bar = Arc::clone(&barrier);
+                            scope.spawn(move || {
+                                for r in 1..=ROUNDS as u32 {
+                                    bar.round_end(r);
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("std", threads), &threads, |b, &threads| {
             b.iter(|| {
                 let barrier = Arc::new(std::sync::Barrier::new(threads));
@@ -107,5 +176,10 @@ fn bench_barriers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_barriers);
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_engines_large_n,
+    bench_barriers
+);
 criterion_main!(benches);

@@ -10,10 +10,12 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use sskel_bench::{inputs, ring_skeleton, std_schedule, SEED};
+use sskel_bench::{inputs, ring_skeleton, ring_with_chords, std_schedule, SEED};
 use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round};
 use sskel_kset::{lemma11_bound, KSetAgreement, SkeletonEstimator};
-use sskel_model::{run_lockstep, run_threaded, FixedSchedule, RunUntil, Schedule};
+use sskel_model::{
+    run_lockstep, run_sharded, run_threaded, FixedSchedule, RunUntil, Schedule, ShardPlan,
+};
 
 struct Record {
     id: String,
@@ -152,7 +154,41 @@ fn engines_workloads(out: &mut Vec<Record>) {
                 .0
                 .rounds_executed
         }));
+        out.push(measure(&format!("engines/sharded/{n}"), || {
+            run_sharded(
+                &s,
+                KSetAgreement::spawn_all(n, &ins),
+                until,
+                ShardPlan::new(4),
+            )
+            .0
+            .rounds_executed
+        }));
     }
+
+    // Large-n fixed-horizon workload over a sparse skeleton: the regime
+    // sharding exists for. One thread per process (`threaded`) pays ~n
+    // context switches per round on the single-core container; `sharded`
+    // runs the same rounds on 4 threads with a barrier every 4th round.
+    let n = 256usize;
+    let s = FixedSchedule::new(ring_with_chords(n, 8));
+    let ins = inputs(n);
+    let until = RunUntil::Rounds(6);
+    out.push(measure("engines/threaded/256x6r", || {
+        run_threaded(&s, KSetAgreement::spawn_all(n, &ins), until)
+            .0
+            .rounds_executed
+    }));
+    out.push(measure("engines/sharded/256x6r_s4w4", || {
+        run_sharded(
+            &s,
+            KSetAgreement::spawn_all(n, &ins),
+            until,
+            ShardPlan::new(4).with_window(4),
+        )
+        .0
+        .rounds_executed
+    }));
 }
 
 fn main() {

@@ -2,6 +2,8 @@
 //! binaries (`src/bin/*`). Every experiment in `EXPERIMENTS.md` is
 //! regenerated from these, with fixed seeds for reproducibility.
 
+#![deny(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,21 +1,29 @@
 //! Simulation engines.
 //!
-//! Two engines drive [`crate::algorithm::RoundAlgorithm`] instances through
-//! the round structure of a [`crate::schedule::Schedule`]:
+//! Three engines drive [`crate::algorithm::RoundAlgorithm`] instances
+//! through the round structure of a [`crate::schedule::Schedule`]:
 //!
 //! * [`lockstep`] — deterministic, single-threaded, supports per-round
 //!   observers (used for Figure 1 and the lemma-invariant tests);
 //! * [`threaded`] — one OS thread per process, real message channels
 //!   (std mpsc) and at most one parking barrier per round; asserted to
-//!   produce traces identical to lockstep.
+//!   produce traces identical to lockstep;
+//! * [`sharded`] — `k` processes per thread ([`ShardPlan`]), one inbox per
+//!   shard, direct in-memory delivery inside a shard, and a bounded-skew
+//!   [`crate::sync::WindowedBarrier`] under a fixed horizon; also
+//!   trace-identical to lockstep.
 //!
-//! Both deliver round-`r` messages exactly along the edges of `G^r`:
+//! All deliver round-`r` messages exactly along the edges of `G^r`:
 //! process `q` receives `p`'s round-`r` broadcast iff `(p → q) ∈ G^r`.
+//! `docs/CONCURRENCY.md` at the repository root compares the engines and
+//! their synchronization protocols in detail.
 
 pub mod lockstep;
+pub mod sharded;
 pub mod threaded;
 
 pub use lockstep::{run_lockstep, run_lockstep_observed};
+pub use sharded::{run_sharded, ShardPlan};
 pub use threaded::run_threaded;
 
 use sskel_graph::Round;

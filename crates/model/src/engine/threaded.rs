@@ -50,7 +50,10 @@
 //!   to the horizon, queueing up to `horizon` payloads per out-neighbor
 //!   channel (and defeating double-buffered senders' `Arc` reuse while it
 //!   races ahead). For very long fixed-horizon runs over sparse schedules,
-//!   prefer [`RunUntil::AllDecided`]'s barrier mode or chunk the horizon.
+//!   use [`super::run_sharded`], whose windowed barrier bounds the skew —
+//!   and with it the backlog — to the configured window length (see
+//!   `docs/CONCURRENCY.md`), or fall back to [`RunUntil::AllDecided`]'s
+//!   barrier mode.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -136,10 +139,7 @@ where
         if let Some((round, value)) = o.first_decision {
             trace.record_decision(ProcessId::from_usize(p), round, value);
         }
-        trace.msg_stats.broadcasts += o.stats.broadcasts;
-        trace.msg_stats.deliveries += o.stats.deliveries;
-        trace.msg_stats.broadcast_bytes += o.stats.broadcast_bytes;
-        trace.msg_stats.delivered_bytes += o.stats.delivered_bytes;
+        trace.msg_stats += &o.stats;
         trace.anomalies.extend(o.anomalies);
         trace.rounds_executed = trace.rounds_executed.max(o.rounds_executed);
         algs_back.push(o.alg);
@@ -259,11 +259,7 @@ where
                     // The speculative round-(r + 1) broadcast never
                     // executes: take it back out of the accounting (its
                     // packets die unread with the channels).
-                    let (sz, cnt) = spec_send;
-                    stats.broadcasts -= 1;
-                    stats.broadcast_bytes -= sz;
-                    stats.deliveries -= cnt;
-                    stats.delivered_bytes -= sz * cnt;
+                    stats -= &spec_send;
                 }
                 stop
             }
@@ -283,8 +279,8 @@ where
 
 /// Runs the sending function for round `r` and pushes the message along the
 /// out-edges of `G^r` (left in `g`), updating the sender-side byte
-/// accounting. Returns `(bytes, receivers)` so a speculative broadcast can
-/// be rolled back if the round never executes.
+/// accounting. Returns the broadcast's own stats so a speculative broadcast
+/// can be rolled back if the round never executes.
 fn broadcast<S, A>(
     schedule: &S,
     me: ProcessId,
@@ -293,7 +289,7 @@ fn broadcast<S, A>(
     g: &mut Digraph,
     txs: &[Sender<Packet<A::Msg>>],
     stats: &mut MsgStats,
-) -> (u64, u64)
+) -> MsgStats
 where
     S: Schedule + Sync + ?Sized,
     A: RoundAlgorithm,
@@ -304,16 +300,19 @@ where
     let sz = msg.wire_bytes() as u64;
     let receivers = g.out_neighbors(me);
     let cnt = receivers.len() as u64;
-    stats.broadcasts += 1;
-    stats.broadcast_bytes += sz;
-    stats.deliveries += cnt;
-    stats.delivered_bytes += sz * cnt;
+    let own = MsgStats {
+        broadcasts: 1,
+        deliveries: cnt,
+        broadcast_bytes: sz,
+        delivered_bytes: sz * cnt,
+    };
+    *stats += &own;
     for v in receivers.iter() {
         txs[v.index()]
             .send((r, me, Arc::clone(&msg)))
             .expect("recipient channel closed");
     }
-    (sz, cnt)
+    own
 }
 
 #[cfg(test)]

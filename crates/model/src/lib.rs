@@ -7,16 +7,26 @@
 //! the Heard-Of / Round-by-Round-Fault-Detector correspondences (eqs.
 //! (6)–(7)).
 //!
-//! Two interchangeable simulation engines execute algorithms:
+//! Three interchangeable simulation engines execute algorithms:
 //!
 //! * [`engine::run_lockstep`] — deterministic, single-threaded, observable
 //!   round by round;
 //! * [`engine::run_threaded`] — one OS thread per process with std mpsc
 //!   channels and at most one parking barrier per round (none at all under
-//!   a fixed horizon), producing identical traces.
+//!   a fixed horizon), producing identical traces;
+//! * [`engine::run_sharded`] — `k` processes per thread
+//!   ([`engine::ShardPlan`]): one inbox per shard, channel-free delivery
+//!   inside a shard, and a bounded-skew windowed barrier
+//!   ([`sync::WindowedBarrier`]) under a fixed horizon — identical traces
+//!   again, at a fraction of the context switches.
+//!
+//! The engine taxonomy and every synchronization protocol are documented in
+//! `docs/CONCURRENCY.md` at the repository root.
 //!
 //! [`parallel::par_map`] fans independent simulations out across cores for
 //! the Monte-Carlo experiments.
+
+#![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod engine;
@@ -29,7 +39,9 @@ pub mod trace;
 pub mod wire;
 
 pub use algorithm::{ProcessCtx, Received, RoundAlgorithm, Value};
-pub use engine::{run_lockstep, run_lockstep_observed, run_threaded, RunUntil};
+pub use engine::{
+    run_lockstep, run_lockstep_observed, run_sharded, run_threaded, RunUntil, ShardPlan,
+};
 pub use schedule::{validate as validate_schedule, FixedSchedule, Schedule, TableSchedule};
 pub use skeleton::SkeletonTracker;
 pub use trace::{DecisionRecord, MsgStats, RunTrace};

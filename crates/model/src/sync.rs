@@ -1,9 +1,10 @@
 //! Synchronization primitives for the threaded engine.
 //!
-//! The threaded simulator implements communication-closed rounds with one
-//! barrier per round. Two sense-reversing barriers are provided:
+//! The threaded simulators implement communication-closed rounds with at
+//! most one barrier per round. Three barriers are provided (the trade-offs
+//! are laid out in `docs/CONCURRENCY.md`):
 //!
-//! * [`ParkingBarrier`] — what the engine uses: arrivals spin briefly and
+//! * [`ParkingBarrier`] — what the engines use: arrivals spin briefly and
 //!   then **park** on a `Condvar` (futex-backed on Linux), so stragglers
 //!   get the core immediately instead of contending with busy-waiting
 //!   peers. On an oversubscribed machine — more simulated processes than
@@ -12,6 +13,12 @@
 //!   hand-off. The last arriver can additionally evaluate a round-closing
 //!   verdict for everyone ([`ParkingBarrier::wait_eval`]), which lets the
 //!   engine close a round with a *single* barrier phase instead of two.
+//! * [`WindowedBarrier`] — a [`ParkingBarrier`] that fires only every `K`
+//!   rounds: participants report each round they finish, but only rounds
+//!   that are multiples of the window length synchronize. Used by the
+//!   sharded engine under a fixed horizon, where no per-round verdict is
+//!   needed and the barrier's only job is to bound how far threads can
+//!   drift apart (and with them, the channel backlog).
 //! * [`SpinBarrier`] — the pure spin ablation baseline (two atomics, in
 //!   the style of *Rust Atomics and Locks*, ch. 4/9). It beats a syscall
 //!   per round when every participant has its own core and loses badly
@@ -145,6 +152,93 @@ impl ParkingBarrier {
             }
             drop(guard);
             (false, self.verdict.load(Ordering::Relaxed))
+        }
+    }
+}
+
+/// A [`ParkingBarrier`] that synchronizes only every `window` rounds.
+///
+/// Each participant calls [`WindowedBarrier::round_end`] once per simulated
+/// round with its **own** round counter; the call is free except when the
+/// round number is a multiple of the window length, where it becomes a full
+/// parking-barrier phase. Because every participant executes the same round
+/// sequence `1, 2, 3, …`, all of them block on exactly the same rounds.
+///
+/// The point is the **skew bound**: a thread can only be executing round
+/// `r` once every thread has finished round `W·⌊(r − 1)/W⌋` (the last
+/// window boundary before `r`), so two threads' current rounds can differ
+/// by at most `W − 1`. For engines whose channels are unbounded, that turns
+/// an `O(horizon)` worst-case channel backlog into `O(W)` — the full
+/// argument is spelled out in `docs/CONCURRENCY.md`.
+///
+/// With `window == 1` this is exactly a [`ParkingBarrier`] per round; large
+/// windows approach free-running.
+///
+/// ```
+/// use std::sync::Arc;
+/// use sskel_model::sync::WindowedBarrier;
+///
+/// let barrier = Arc::new(WindowedBarrier::new(4, 8));
+/// let mut handles = Vec::new();
+/// for _ in 0..4 {
+///     let b = Arc::clone(&barrier);
+///     handles.push(std::thread::spawn(move || {
+///         let mut syncs = 0;
+///         for r in 1..=100u32 {
+///             if b.round_end(r) {
+///                 syncs += 1;
+///             }
+///         }
+///         assert_eq!(syncs, 12); // rounds 8, 16, …, 96
+///     }));
+/// }
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// ```
+pub struct WindowedBarrier {
+    inner: ParkingBarrier,
+    window: u32,
+}
+
+impl WindowedBarrier {
+    /// A barrier for `total ≥ 1` threads that fires every `window ≥ 1`
+    /// rounds.
+    ///
+    /// # Panics
+    /// Panics if `total == 0` or `window == 0`.
+    pub fn new(total: usize, window: u32) -> Self {
+        assert!(window >= 1, "window length must be at least one round");
+        WindowedBarrier {
+            inner: ParkingBarrier::new(total),
+            window,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.inner.participants()
+    }
+
+    /// The window length `W`: rounds `W, 2W, 3W, …` synchronize.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Reports that this participant finished round `r`. Blocks until all
+    /// participants have reported round `r` iff `r` is a multiple of the
+    /// window length; otherwise returns immediately.
+    ///
+    /// Returns `true` iff this call synchronized (every participant gets
+    /// the same answer for the same `r`, since they share the round
+    /// sequence).
+    #[inline]
+    pub fn round_end(&self, r: u32) -> bool {
+        if r.is_multiple_of(self.window) {
+            self.inner.wait();
+            true
+        } else {
+            false
         }
     }
 }
@@ -400,5 +494,81 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn parking_zero_participants_rejected() {
         let _ = ParkingBarrier::new(0);
+    }
+
+    #[test]
+    fn windowed_barrier_bounds_skew_to_window() {
+        // Each thread publishes its current round; whenever a thread is
+        // about to run round r, no other thread may be more than W − 1
+        // rounds behind (it must have passed the last window boundary).
+        const THREADS: usize = 4;
+        const ROUNDS: u32 = 200;
+        const WINDOW: u32 = 7;
+        let barrier = Arc::new(WindowedBarrier::new(THREADS, WINDOW));
+        let rounds: Arc<Vec<AtomicU64>> =
+            Arc::new((0..THREADS).map(|_| AtomicU64::new(0)).collect());
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let b = Arc::clone(&barrier);
+            let rs = Arc::clone(&rounds);
+            handles.push(std::thread::spawn(move || {
+                for r in 1..=ROUNDS {
+                    rs[t].store(r as u64, Ordering::SeqCst);
+                    // Entering round r: every peer must have finished the
+                    // last window boundary before r.
+                    let floor = (u64::from(r) - 1) / u64::from(WINDOW) * u64::from(WINDOW);
+                    for peer in rs.iter() {
+                        assert!(
+                            peer.load(Ordering::SeqCst) >= floor,
+                            "peer fell more than a window behind"
+                        );
+                    }
+                    b.round_end(r);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn windowed_barrier_window_one_is_per_round() {
+        const THREADS: usize = 3;
+        let barrier = Arc::new(WindowedBarrier::new(THREADS, 1));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let b = Arc::clone(&barrier);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for r in 1..=100u32 {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    assert!(b.round_end(r));
+                    // With W = 1 every round closes like a plain barrier, so
+                    // after it releases the counter can be at most one full
+                    // round ahead of this thread's view.
+                    assert!(c.load(Ordering::SeqCst) <= THREADS as u64 * (u64::from(r) + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn windowed_barrier_fires_only_on_boundaries() {
+        let b = WindowedBarrier::new(1, 3);
+        assert_eq!(b.window(), 3);
+        assert_eq!(b.participants(), 1);
+        let synced: Vec<u32> = (1..=9u32).filter(|&r| b.round_end(r)).collect();
+        assert_eq!(synced, vec![3, 6, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn windowed_zero_window_rejected() {
+        let _ = WindowedBarrier::new(2, 0);
     }
 }

@@ -14,6 +14,8 @@
 //!   including the Theorem-2 lower-bound run that forces any correct
 //!   algorithm into exactly `k` decision values.
 
+#![deny(missing_docs)]
+
 pub mod common_source;
 pub mod families;
 pub mod mis;

@@ -46,6 +46,8 @@
 //! | [`predicates`] | `Psrcs(k)` checkers, `min_k`, schedule families |
 //! | [`kset`] | Algorithm 1, estimator, baselines, verifier, lemma checkers |
 
+#![deny(missing_docs)]
+
 pub use sskel_graph as graph;
 pub use sskel_kset as kset;
 pub use sskel_model as model;
@@ -60,8 +62,9 @@ pub mod prelude {
         KSetAgreement, KSetMsg, NaiveMinHorizon, SkeletonEstimator, Verdict, VerifySpec,
     };
     pub use sskel_model::{
-        run_lockstep, run_lockstep_observed, run_threaded, FixedSchedule, ProcessCtx, Received,
-        RoundAlgorithm, RunTrace, RunUntil, Schedule, SkeletonTracker, TableSchedule, Value,
+        run_lockstep, run_lockstep_observed, run_sharded, run_threaded, FixedSchedule, ProcessCtx,
+        Received, RoundAlgorithm, RunTrace, RunUntil, Schedule, ShardPlan, SkeletonTracker,
+        TableSchedule, Value,
     };
     pub use sskel_predicates::{
         check_theorem1, check_theorem1_tight, min_k_on_skeleton, planted_psrcs_schedule,

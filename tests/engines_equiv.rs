@@ -1,8 +1,9 @@
-//! The threaded engine (real threads + channels + spin barrier) must
-//! produce byte-identical traces to the deterministic lockstep engine on
-//! arbitrary schedules — the paper's runs are fully determined by initial
-//! states and the communication-graph sequence, so any divergence is an
-//! engine bug.
+//! The concurrent engines (threaded: one thread + channel per process;
+//! sharded: k processes per thread, windowed barriers) must produce
+//! byte-identical traces and final estimator states to the deterministic
+//! lockstep engine on arbitrary schedules — the paper's runs are fully
+//! determined by initial states and the communication-graph sequence, so
+//! any divergence is an engine bug.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -33,6 +34,82 @@ proptest! {
         prop_assert_eq!(a.rounds_executed, b.rounds_executed);
         prop_assert_eq!(a.msg_stats, b.msg_stats);
         prop_assert!(b.anomalies.is_empty());
+    }
+
+    #[test]
+    fn sharded_equals_lockstep_on_random_planted_schedules(
+        seed in any::<u64>(),
+        n in 1usize..10,
+        k_raw in 1usize..4,
+        shards in 1usize..5,
+    ) {
+        let k = k_raw.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = planted_psrcs_schedule(&mut rng, n, k, 0.2, 300, 4);
+        let inputs: Vec<Value> = (0..n as Value).map(|i| 50 + i).collect();
+        let until = RunUntil::AllDecided { max_rounds: lemma11_bound(&s) + 3 };
+
+        let (a, finals_a) = run_lockstep(&s, KSetAgreement::spawn_all(n, &inputs), until);
+        let (b, finals_b) =
+            run_sharded(&s, KSetAgreement::spawn_all(n, &inputs), until, ShardPlan::new(shards));
+
+        prop_assert_eq!(&a.decisions, &b.decisions);
+        prop_assert_eq!(a.rounds_executed, b.rounds_executed);
+        prop_assert_eq!(a.msg_stats, b.msg_stats);
+        prop_assert!(b.anomalies.is_empty());
+        for (x, y) in finals_a.iter().zip(&finals_b) {
+            prop_assert_eq!(x.id(), y.id());
+            prop_assert_eq!(x.estimate(), y.estimate());
+            prop_assert_eq!(x.pt(), y.pt());
+            prop_assert_eq!(x.approx_graph(), y.approx_graph());
+        }
+    }
+
+    /// The acceptance sweep: sharded == lockstep **estimator states** for
+    /// every tested (n, shards, K), under the fixed-horizon mode where the
+    /// windowed barrier (skew ≤ K − 1) is actually in play.
+    #[test]
+    fn sharded_estimator_states_match_lockstep_across_windows(
+        seed in any::<u64>(),
+        n in 1usize..9,
+        shards in 1usize..5,
+        rounds in 1u32..12,
+    ) {
+        let skel = {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Digraph::empty(n);
+            g.add_self_loops();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.3) {
+                        g.add_edge(ProcessId::from_usize(u), ProcessId::from_usize(v));
+                    }
+                }
+            }
+            g
+        };
+        let s = NoisySchedule::new(skel, 250, 4, seed);
+        let inputs: Vec<Value> = (0..n as Value).collect();
+        let until = RunUntil::Rounds(rounds);
+        let (a, finals_a) = run_lockstep(&s, KSetAgreement::spawn_all(n, &inputs), until);
+
+        for window in [1u32, 2, 7] {
+            let plan = ShardPlan::new(shards).with_window(window);
+            let (b, finals_b) =
+                run_sharded(&s, KSetAgreement::spawn_all(n, &inputs), until, plan);
+            prop_assert_eq!(&a.decisions, &b.decisions, "window={}", window);
+            prop_assert_eq!(a.msg_stats, b.msg_stats, "window={}", window);
+            prop_assert_eq!(a.rounds_executed, b.rounds_executed);
+            for (x, y) in finals_a.iter().zip(&finals_b) {
+                prop_assert_eq!(x.id(), y.id());
+                prop_assert_eq!(x.estimate(), y.estimate(), "window={}", window);
+                prop_assert_eq!(x.pt(), y.pt(), "window={}", window);
+                prop_assert_eq!(x.approx_graph(), y.approx_graph(), "window={}", window);
+                prop_assert_eq!(x.has_decided(), y.has_decided());
+                prop_assert_eq!(x.decision_path(), y.decision_path());
+            }
+        }
     }
 
     #[test]
@@ -67,7 +144,8 @@ proptest! {
     }
 }
 
-/// Final algorithm states (not just traces) agree between engines.
+/// Final algorithm states (not just traces) agree between all three
+/// engines.
 #[test]
 fn final_states_identical_between_engines() {
     let s = Figure1Schedule::new();
@@ -75,13 +153,21 @@ fn final_states_identical_between_engines() {
     let until = RunUntil::Rounds(12);
     let (_, finals_a) = run_lockstep(&s, KSetAgreement::spawn_all(6, &inputs), until);
     let (_, finals_b) = run_threaded(&s, KSetAgreement::spawn_all(6, &inputs), until);
-    for (a, b) in finals_a.iter().zip(&finals_b) {
-        assert_eq!(a.id(), b.id());
-        assert_eq!(a.estimate(), b.estimate());
-        assert_eq!(a.pt(), b.pt());
-        assert_eq!(a.approx_graph(), b.approx_graph());
-        assert_eq!(a.has_decided(), b.has_decided());
-        assert_eq!(a.decision_path(), b.decision_path());
+    let (_, finals_c) = run_sharded(
+        &s,
+        KSetAgreement::spawn_all(6, &inputs),
+        until,
+        ShardPlan::new(2).with_window(5),
+    );
+    for finals in [&finals_b, &finals_c] {
+        for (a, b) in finals_a.iter().zip(finals.iter()) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.estimate(), b.estimate());
+            assert_eq!(a.pt(), b.pt());
+            assert_eq!(a.approx_graph(), b.approx_graph());
+            assert_eq!(a.has_decided(), b.has_decided());
+            assert_eq!(a.decision_path(), b.decision_path());
+        }
     }
 }
 
@@ -98,6 +184,29 @@ fn oversubscribed_threaded_run() {
     let (b, _) = run_threaded(&s, KSetAgreement::spawn_all(n, &inputs), until);
     assert_eq!(a.decisions, b.decisions);
     assert_eq!(a.rounds_executed, n as Round);
+}
+
+/// The sharded engine handles the same oversubscribed workload with a
+/// handful of threads — and uneven shards (48 processes over 5 threads)
+/// must not disturb the trace.
+#[test]
+fn oversubscribed_sharded_run() {
+    let n = 48;
+    let s = FixedSchedule::synchronous(n);
+    let inputs: Vec<Value> = (0..n as Value).collect();
+    let until = RunUntil::AllDecided {
+        max_rounds: n as Round + 5,
+    };
+    let (a, _) = run_lockstep(&s, KSetAgreement::spawn_all(n, &inputs), until);
+    let (b, _) = run_sharded(
+        &s,
+        KSetAgreement::spawn_all(n, &inputs),
+        until,
+        ShardPlan::new(5),
+    );
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.msg_stats, b.msg_stats);
+    assert_eq!(b.rounds_executed, n as Round);
 }
 
 /// The shared-payload (`Arc`) broadcast must be observationally identical
@@ -168,6 +277,33 @@ fn shared_payload_trace_identical_to_deep_copied_payload() {
             assert_eq!(a.approx_graph(), b.0.approx_graph(), "{name}: G_p diverged");
             assert_eq!(a.estimate(), b.0.estimate(), "{name}");
             assert_eq!(a.pt(), b.0.pt(), "{name}");
+        }
+
+        // Same pair of payload styles through the sharded engine: the
+        // intra-shard fast path hands the recipient the *same* `Arc` the
+        // sender holds, so it must be observationally identical to deep
+        // copying the matrix into every message.
+        let plan = ShardPlan::new(3).with_window(2);
+        let (sh_shared, sh_finals) = run_sharded(
+            s.as_ref(),
+            KSetAgreement::spawn_all(n, &inputs),
+            until,
+            plan,
+        );
+        let (sh_cloned, sh_finals_cloned) =
+            run_sharded(s.as_ref(), spawn_cloning(n, &inputs), until, plan);
+        assert_eq!(sh_shared.decisions, shared.decisions, "{name}: sharded");
+        assert_eq!(sh_cloned.decisions, shared.decisions, "{name}: sharded");
+        assert_eq!(sh_shared.msg_stats, shared.msg_stats, "{name}: sharded");
+        assert_eq!(sh_cloned.msg_stats, shared.msg_stats, "{name}: sharded");
+        for (a, (b, c)) in finals_shared
+            .iter()
+            .zip(sh_finals.iter().zip(&sh_finals_cloned))
+        {
+            assert_eq!(a.approx_graph(), b.approx_graph(), "{name}: sharded G_p");
+            assert_eq!(a.approx_graph(), c.0.approx_graph(), "{name}: sharded G_p");
+            assert_eq!(a.estimate(), b.estimate(), "{name}: sharded");
+            assert_eq!(a.estimate(), c.0.estimate(), "{name}: sharded");
         }
     }
 }
