@@ -6,9 +6,22 @@
 //! ```text
 //! cargo run --release -p sskel-bench --bin perf_report
 //! ```
+//!
+//! `--smoke` runs every workload in 1-sample mode with minimal warm-up and
+//! writes the report next to the build artifacts instead of the curated
+//! repository file — CI runs this so regeneration of `BENCH_hotpath.json`
+//! cannot silently bit-rot, without clobbering the recorded medians:
+//!
+//! ```text
+//! cargo run --release -p sskel-bench --bin perf_report -- --smoke
+//! ```
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// `--smoke`: 1-sample mode exercising every workload and the JSON writer.
+static SMOKE: AtomicBool = AtomicBool::new(false);
 
 use sskel_bench::{inputs, ring_skeleton, ring_with_chords, std_schedule, SEED};
 use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round};
@@ -25,21 +38,31 @@ struct Record {
 }
 
 /// Times `f` with a short calibrated warm-up, then `samples` batches.
+/// In `--smoke` mode: one sample, one iteration, near-zero warm-up — the
+/// numbers are meaningless but every workload and the report writer run.
 fn measure<O>(id: &str, mut f: impl FnMut() -> O) -> Record {
-    const WARMUP: Duration = Duration::from_millis(200);
-    const BUDGET: Duration = Duration::from_millis(800);
-    const SAMPLES: usize = 15;
+    let smoke = SMOKE.load(Ordering::Relaxed);
+    let warmup = if smoke {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(200)
+    };
+    let budget = Duration::from_millis(if smoke { 1 } else { 800 });
+    let samples = if smoke { 1 } else { 15 };
 
     let warm_start = Instant::now();
     let mut iters: u64 = 0;
-    while warm_start.elapsed() < WARMUP {
+    loop {
         std::hint::black_box(f());
         iters += 1;
+        if warm_start.elapsed() >= warmup {
+            break;
+        }
     }
     let per_iter = (warm_start.elapsed().as_nanos() as u64 / iters.max(1)).max(1);
-    let batch = ((BUDGET.as_nanos() as u64 / SAMPLES as u64) / per_iter).clamp(1, 1_000_000);
+    let batch = ((budget.as_nanos() as u64 / samples as u64) / per_iter).clamp(1, 1_000_000);
 
-    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+    let mut per_iter_ns: Vec<f64> = (0..samples)
         .map(|_| {
             let start = Instant::now();
             for _ in 0..batch {
@@ -53,7 +76,7 @@ fn measure<O>(id: &str, mut f: impl FnMut() -> O) -> Record {
         id: id.to_owned(),
         median_ns: per_iter_ns[per_iter_ns.len() / 2],
         min_ns: per_iter_ns[0],
-        samples: SAMPLES,
+        samples,
     };
     eprintln!("{:<40} median {:>12.1} ns", rec.id, rec.median_ns);
     rec
@@ -192,6 +215,9 @@ fn engines_workloads(out: &mut Vec<Record>) {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        SMOKE.store(true, Ordering::Relaxed);
+    }
     let mut records = Vec::new();
     full_run_workloads(&mut records);
     approx_update_workloads(&mut records);
@@ -218,8 +244,19 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    // crates/bench/ → repository root.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
-    std::fs::write(path, &json).expect("write BENCH_hotpath.json");
+    // crates/bench/ → repository root; smoke runs exercise the writer
+    // without clobbering the curated record. The smoke directory may not
+    // exist (e.g. under a redirected CARGO_TARGET_DIR).
+    let path = if SMOKE.load(Ordering::Relaxed) {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
+        std::fs::create_dir_all(dir).expect("create smoke report directory");
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_hotpath.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json")
+    };
+    std::fs::write(path, &json).expect("write BENCH_hotpath report");
     println!("wrote {path}");
 }

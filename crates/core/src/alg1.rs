@@ -50,6 +50,45 @@ pub enum DecisionRule {
     FreshnessGuarded,
 }
 
+/// Why instantiating a whole system of Algorithm 1 processes failed.
+///
+/// Returned by [`KSetAgreement::try_spawn_all`]; the panicking
+/// [`KSetAgreement::spawn_all`] wrappers surface the same conditions as a
+/// panic carrying this error's message (instead of the unhelpful
+/// `unwrap`-style panic an empty input slice used to produce downstream).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpawnError {
+    /// `n == 0`: the paper's universe `Π = {p1, …, pn}` is non-empty, and
+    /// an empty system has no inputs to agree on.
+    EmptyUniverse,
+    /// `inputs.len() != n`: every process needs exactly one input `v_p`.
+    InputCountMismatch {
+        /// The universe size `n`.
+        expected: usize,
+        /// The number of inputs actually supplied.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpawnError::EmptyUniverse => {
+                write!(
+                    f,
+                    "cannot spawn a k-set agreement system over an empty universe"
+                )
+            }
+            SpawnError::InputCountMismatch { expected, got } => write!(
+                f,
+                "need exactly one input per process: universe has {expected}, got {got} inputs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
 /// How a process decided — useful for experiments and tests, not part of
 /// the paper's interface.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,15 +142,45 @@ impl KSetAgreement {
     /// `inputs[p]` as `v_p`.
     ///
     /// # Panics
-    /// Panics if `inputs.len() != n`.
+    /// Panics on the conditions [`KSetAgreement::try_spawn_all`] reports as
+    /// a [`SpawnError`]: an empty universe or an input count other than `n`.
     pub fn spawn_all(n: usize, inputs: &[Value]) -> Vec<Self> {
         Self::spawn_all_with(n, inputs, DecisionRule::Paper)
     }
 
     /// [`KSetAgreement::spawn_all`] with an explicit decision rule.
+    ///
+    /// # Panics
+    /// Same conditions as [`KSetAgreement::spawn_all`].
     pub fn spawn_all_with(n: usize, inputs: &[Value], rule: DecisionRule) -> Vec<Self> {
-        assert_eq!(inputs.len(), n, "need one input per process");
-        ProcessId::all(n)
+        match Self::try_spawn_all_with(n, inputs, rule) {
+            Ok(algs) => algs,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`KSetAgreement::spawn_all`]: a typed error instead
+    /// of a panic for empty or mis-sized input slices.
+    pub fn try_spawn_all(n: usize, inputs: &[Value]) -> Result<Vec<Self>, SpawnError> {
+        Self::try_spawn_all_with(n, inputs, DecisionRule::Paper)
+    }
+
+    /// Fallible form of [`KSetAgreement::spawn_all_with`].
+    pub fn try_spawn_all_with(
+        n: usize,
+        inputs: &[Value],
+        rule: DecisionRule,
+    ) -> Result<Vec<Self>, SpawnError> {
+        if n == 0 {
+            return Err(SpawnError::EmptyUniverse);
+        }
+        if inputs.len() != n {
+            return Err(SpawnError::InputCountMismatch {
+                expected: n,
+                got: inputs.len(),
+            });
+        }
+        Ok(ProcessId::all(n)
             .map(|id| {
                 KSetAgreement::with_rule(
                     ProcessCtx {
@@ -122,7 +191,19 @@ impl KSetAgreement {
                     rule,
                 )
             })
-            .collect()
+            .collect())
+    }
+
+    /// Overrides the estimator's delta-window rebase threshold — a
+    /// test/bench knob for exercising the rebase path without simulating
+    /// tens of thousands of rounds. Must be set identically on every
+    /// process before the run starts; see
+    /// [`SkeletonEstimator::set_rebase_limit`].
+    ///
+    /// # Panics
+    /// Same conditions as [`SkeletonEstimator::set_rebase_limit`].
+    pub fn set_rebase_limit(&mut self, limit: Round) {
+        self.est.set_rebase_limit(limit);
     }
 
     /// The decision rule in effect.
@@ -339,6 +420,46 @@ mod tests {
                 }
             },
         );
+    }
+
+    #[test]
+    fn spawn_rejects_empty_and_mismatched_inputs_with_typed_errors() {
+        assert_eq!(
+            KSetAgreement::try_spawn_all(0, &[]).unwrap_err(),
+            SpawnError::EmptyUniverse
+        );
+        assert_eq!(
+            KSetAgreement::try_spawn_all(3, &[1, 2]).unwrap_err(),
+            SpawnError::InputCountMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert_eq!(
+            SpawnError::EmptyUniverse.to_string(),
+            "cannot spawn a k-set agreement system over an empty universe"
+        );
+        assert!(SpawnError::InputCountMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("universe has 3, got 2"));
+        let ok = KSetAgreement::try_spawn_all(2, &[5, 7]).expect("valid spawn");
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[1].estimate(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty universe")]
+    fn spawn_all_panic_is_descriptive_for_empty_systems() {
+        let _ = KSetAgreement::spawn_all(0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per process")]
+    fn spawn_all_panic_is_descriptive_for_mismatched_inputs() {
+        let _ = KSetAgreement::spawn_all(4, &[1]);
     }
 
     #[test]

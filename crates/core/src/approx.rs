@@ -27,6 +27,35 @@ use sskel_graph::reach::BfsScratch;
 use sskel_graph::scc::SccScratch;
 use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet, Round};
 
+/// Default rebase threshold: the delta window is renormalized once
+/// `r − base` exceeds this, leaving 4096 rounds of headroom below
+/// `u16::MAX` so fresh edges and received labels always fit without a
+/// mid-merge rebase.
+const DEFAULT_REBASE_LIMIT: Round = u16::MAX as Round - 4096;
+
+/// The canonical base round of `G_p` at round `r`, for a universe of size
+/// `n` and a rebase threshold `limit`.
+///
+/// Starting from base 0, a rebase fires at the first round with
+/// `r − base > limit` and moves the base to `r − n − 1` — the largest value
+/// strictly below every label that can still be live in any round-`r`
+/// graph (own or received, since line 24 purged everything `≤ r − 1 − n`
+/// at the previous round). Because the trigger depends only on `(r, base)`
+/// and every process starts from base 0, the whole closed form is a pure
+/// function of `r`: rebases fire at `r_k = k·S + limit + 1` for
+/// `S = limit − n`, producing base `(k + 1)·S`. **Every process therefore
+/// carries the same base at the same round**, which keeps the hot merge on
+/// the aligned fast path (operand translation happens only in the one
+/// round where a rebase fires) and keeps the wire accounting byte-identical
+/// across engines and payload-cloning strategies.
+fn canonical_base(r: Round, n: usize, limit: Round) -> Round {
+    if r <= limit {
+        return 0;
+    }
+    let step = limit - n as Round; // ≥ 2: `set_rebase_limit` enforces limit > n + 1
+    ((r - limit - 1) / step + 1) * step
+}
+
 /// Scratch buffer of borrowed graph payloads collected for the batched
 /// merge. Stored as raw pointers so the allocation persists across rounds
 /// without infecting the estimator with a lifetime parameter; the vector is
@@ -116,6 +145,9 @@ pub struct SkeletonEstimator {
     /// The other buffer, reused to build `G_p^r` once all round-`(r-1)`
     /// messages have been dropped.
     spare: Arc<LabeledDigraph>,
+    /// Rebase threshold for the graph's `u16` delta window (see
+    /// [`SkeletonEstimator::set_rebase_limit`]).
+    rebase_limit: Round,
     scratch: EstimatorScratch,
 }
 
@@ -129,8 +161,33 @@ impl SkeletonEstimator {
             n,
             cur: Arc::new(LabeledDigraph::with_node(n, me)),
             spare: Arc::new(LabeledDigraph::with_node(n, me)),
+            rebase_limit: DEFAULT_REBASE_LIMIT.max(n as Round + 2),
             scratch: EstimatorScratch::new(n),
         }
+    }
+
+    /// Overrides the delta-window rebase threshold (default: close to
+    /// `u16::MAX`, so rebases fire every ≈ 61 000 rounds). A smaller value
+    /// forces rebases early — useful for tests and benchmarks that want to
+    /// exercise the rebase path without simulating tens of thousands of
+    /// rounds. The limit must be **identical across every process of a
+    /// run** and set before the first `update`: the canonical rebase
+    /// schedule derives from it, and processes on different schedules would
+    /// pay the translated (base-mismatched) merge every round.
+    ///
+    /// # Panics
+    /// Panics if `limit ≤ n + 1` (the window must cover the `n + 1` live
+    /// rounds plus one rebase step) or `limit > u16::MAX`.
+    pub fn set_rebase_limit(&mut self, limit: Round) {
+        assert!(
+            limit > self.n as Round + 1,
+            "rebase limit {limit} does not cover the n + 1 live label window"
+        );
+        assert!(
+            limit <= u16::MAX as Round,
+            "rebase limit {limit} exceeds the u16 delta window"
+        );
+        self.rebase_limit = limit;
     }
 
     /// The current approximation `G_p^r`.
@@ -213,6 +270,17 @@ impl SkeletonEstimator {
             g.clone_from(&self.cur);
         } else {
             g.reset_to_node(self.me);
+        }
+        // Delta-window maintenance: pin the graph's base to the canonical
+        // schedule for round r (a no-op except every ≈ rebase_limit rounds;
+        // O(1) on the just-reset graph, one row pass over the seeded one).
+        // Doing it *before* the fresh edges and the merge guarantees both
+        // that `set_edge_max(.., r)` fits the window and that every
+        // process's base agrees, so the batched merge below stays on its
+        // aligned fast path in all but the rebase round itself.
+        let target_base = canonical_base(r, self.n, self.rebase_limit);
+        if g.base() != target_base {
+            g.rebase(target_base);
         }
         // lines 16–23
         for q in self.scratch.senders.iter() {
@@ -416,6 +484,68 @@ mod tests {
         assert!(!est.graph().contains_node(p(2)));
         assert!(est.graph().contains_node(p(1)));
         assert_eq!(est.graph().label(p(1), p(0)), Some(2));
+    }
+
+    #[test]
+    fn canonical_base_matches_the_trigger_simulation() {
+        for (n, limit) in [(3usize, 8u32), (5, 10), (8, 16), (4, DEFAULT_REBASE_LIMIT)] {
+            let mut base = 0u32;
+            for r in 1..=1200u32 {
+                if r - base > limit {
+                    base = r - n as u32 - 1;
+                }
+                assert_eq!(
+                    canonical_base(r, n, limit),
+                    base,
+                    "n={n} limit={limit} r={r}"
+                );
+                // invariants the window arithmetic relies on
+                assert!(r - base <= limit, "window exhausted at r={r}");
+                assert!(
+                    base == 0 || base < r - n as u32,
+                    "base ahead of live labels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimators_agree_across_forced_rebases() {
+        // A long run with a tiny rebase limit crosses many rebase
+        // boundaries; the approximation must match an estimator that never
+        // rebases (graph equality is base-insensitive), and Lemma 3(b)
+        // must keep holding right through every boundary.
+        let n = 3;
+        let pts: Vec<ProcessSet> = (0..n).map(|_| ProcessSet::full(n)).collect();
+        let mut fast: Vec<SkeletonEstimator> =
+            (0..n).map(|i| SkeletonEstimator::new(n, p(i))).collect();
+        for est in &mut fast {
+            est.set_rebase_limit(6); // n + 3: rebases every 3 rounds
+        }
+        let mut slow: Vec<SkeletonEstimator> =
+            (0..n).map(|i| SkeletonEstimator::new(n, p(i))).collect();
+        for r in 1..=40u32 {
+            step_all(&mut fast, r, &pts, |_, _| true);
+            step_all(&mut slow, r, &pts, |_, _| true);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.graph(), s.graph(), "round {r}");
+            }
+            for (i, est) in fast.iter().enumerate() {
+                for q in 0..n {
+                    assert_eq!(est.graph().label(p(q), p(i)), Some(r), "round {r}");
+                }
+            }
+        }
+        // the rebase schedule actually fired
+        assert!(fast[0].graph().base() > 0);
+        assert_eq!(slow[0].graph().base(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "live label window")]
+    fn rebase_limit_must_cover_the_window() {
+        let mut est = SkeletonEstimator::new(8, p(0));
+        est.set_rebase_limit(9);
     }
 
     #[test]

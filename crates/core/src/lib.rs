@@ -32,7 +32,7 @@ pub mod invariants;
 pub mod msg;
 pub mod verify;
 
-pub use alg1::{DecisionPath, DecisionRule, KSetAgreement};
+pub use alg1::{DecisionPath, DecisionRule, KSetAgreement, SpawnError};
 pub use approx::SkeletonEstimator;
 pub use baseline::{FloodMin, NaiveMinHorizon};
 pub use invariants::InvariantChecker;

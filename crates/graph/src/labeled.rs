@@ -20,15 +20,28 @@ use crate::reach;
 use crate::scc;
 use core::fmt;
 
-/// Absent-edge sentinel in the dense label matrix (rounds start at 1).
-const NO_EDGE: Round = 0;
+/// Absent-edge sentinel in the dense delta matrix (stored deltas are ≥ 1).
+const NO_EDGE: u16 = 0;
+
+/// Largest label delta a matrix cell can carry: labels must live in the
+/// half-open window `(base, base + MAX_DELTA]`.
+const MAX_DELTA: Round = u16::MAX as Round;
 
 /// A digraph with one `Round` label per edge and an explicit node set, over
 /// the fixed universe `{p1, …, pn}`.
 ///
-/// Representation: dense `n × n` label matrix (`0` = absent) plus bitset
-/// adjacency rows kept in sync, so the strong-connectivity decision test and
-/// the reachability prune run word-parallel.
+/// Representation: a **delta-compressed** dense `n × n` matrix — a single
+/// per-graph base round plus one `u16` delta per cell (`0` = absent,
+/// otherwise `label = base + delta`) — plus bitset adjacency rows kept in
+/// sync, so the strong-connectivity decision test and the reachability
+/// prune run word-parallel. Algorithm 1 line 24 purges every label
+/// `≤ r − n`, so all live labels sit in the window `(r − n, r]`: they fit a
+/// `u16` delta with room to spare, which halves the bytes the
+/// bandwidth-bound dense merge streams (4 label lanes per 64-bit word
+/// instead of 2). The base moves rarely, via the amortized
+/// [`LabeledDigraph::rebase`]; every label-facing method translates through
+/// it, and [`PartialEq`] compares *labels*, so two graphs with different
+/// bases but the same logical edges are equal.
 ///
 /// ```
 /// use sskel_graph::{LabeledDigraph, ProcessId};
@@ -42,9 +55,13 @@ const NO_EDGE: Round = 0;
 /// ```
 pub struct LabeledDigraph {
     n: u32,
+    /// Base round of the delta window: every stored label is
+    /// `base + delta` with `delta ∈ [1, u16::MAX]`.
+    base: Round,
     nodes: ProcessSet,
-    /// Row-major `n × n`: `labels[u * n + v]` is the label of `(u → v)`.
-    labels: Vec<Round>,
+    /// Row-major `n × n`: `labels[u * n + v]` is the label **delta** of
+    /// `(u → v)` relative to `base`; `0` = absent.
+    labels: Vec<u16>,
     out: Vec<ProcessSet>,
     inn: Vec<ProcessSet>,
     /// Dirty-row bitset: a **superset** of the rows holding at least one
@@ -59,14 +76,28 @@ pub struct LabeledDigraph {
 /// Equality is over the logical graph — node set, edges, labels — and
 /// deliberately ignores the dirty-row superset, which depends on mutation
 /// history (e.g. a decoded graph records exactly the populated rows while
-/// the original may conservatively remember purged ones).
+/// the original may conservatively remember purged ones). The delta base is
+/// likewise representation, not meaning: graphs with different bases but
+/// identical labels compare equal (delta vectors are only compared directly
+/// when the bases coincide).
 impl PartialEq for LabeledDigraph {
     fn eq(&self, other: &Self) -> bool {
-        self.n == other.n
-            && self.nodes == other.nodes
-            && self.labels == other.labels
-            && self.out == other.out
-            && self.inn == other.inn
+        if self.n != other.n
+            || self.nodes != other.nodes
+            || self.out != other.out
+            || self.inn != other.inn
+        {
+            return false;
+        }
+        if self.base == other.base {
+            // Same window: absent cells are 0 in both, so the delta vectors
+            // compare label-for-label.
+            self.labels == other.labels
+        } else {
+            // The edge sets already match (`out` rows equal); compare the
+            // translated labels edge by edge.
+            self.edges().all(|(u, v, l)| other.label(u, v) == Some(l))
+        }
     }
 }
 
@@ -76,6 +107,7 @@ impl Clone for LabeledDigraph {
     fn clone(&self) -> Self {
         LabeledDigraph {
             n: self.n,
+            base: self.base,
             nodes: self.nodes.clone(),
             labels: self.labels.clone(),
             out: self.out.clone(),
@@ -88,6 +120,7 @@ impl Clone for LabeledDigraph {
     /// matrix and every bitset row buffer are reused.
     fn clone_from(&mut self, source: &Self) {
         self.n = source.n;
+        self.base = source.base;
         self.nodes.clone_from(&source.nodes);
         self.labels.clone_from(&source.labels);
         self.out.clone_from(&source.out);
@@ -98,9 +131,19 @@ impl Clone for LabeledDigraph {
 
 impl LabeledDigraph {
     /// The graph `⟨∅, ∅⟩` over a universe of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` overflows `u32`, or if `n ≥ u16::MAX − 1`: Algorithm 1
+    /// keeps labels in the `n + 1`-wide window `(r − n, r]`, which must fit
+    /// the `u16` delta matrix with the absent-edge sentinel reserved.
     pub fn new(n: usize) -> Self {
+        assert!(
+            n + 2 <= u16::MAX as usize,
+            "universe size {n} does not leave room for the u16 label-delta window"
+        );
         LabeledDigraph {
             n: u32::try_from(n).expect("universe size overflows u32"),
+            base: 0,
             nodes: ProcessSet::empty(n),
             labels: vec![NO_EDGE; n * n],
             out: vec![ProcessSet::empty(n); n],
@@ -125,6 +168,11 @@ impl LabeledDigraph {
     /// The reset is **incremental**: only label rows recorded in the
     /// dirty-row bitset are zeroed, so resetting a sparsely-populated graph
     /// costs `O(dirty rows · n)` instead of `O(n²)`.
+    ///
+    /// The delta **base is preserved** across the reset (an empty graph is
+    /// representable under any base); callers that need a particular window
+    /// afterwards follow up with [`LabeledDigraph::rebase`], which is O(1)
+    /// on the freshly-reset graph.
     pub fn reset_to_node(&mut self, p: ProcessId) {
         let n = self.n as usize;
         let LabeledDigraph {
@@ -191,12 +239,105 @@ impl LabeledDigraph {
         u.index() * self.n as usize + v.index()
     }
 
+    /// The base round of the delta window: every stored label is
+    /// `base + delta` for a delta in `[1, u16::MAX]`, i.e. all labels lie in
+    /// `(base, base + u16::MAX]`.
+    #[inline]
+    pub fn base(&self) -> Round {
+        self.base
+    }
+
+    /// The `(min, max)` stored delta over all labelled cells, or `None` for
+    /// an edgeless graph. One branchless pass over the dirty label rows:
+    /// absent cells carry `0`, which `wrapping_sub(1)` maps to `u16::MAX` so
+    /// they never win the min, and which is the identity for the max.
+    fn delta_range(&self) -> Option<(u16, u16)> {
+        let n = self.n as usize;
+        let mut min_m1 = u16::MAX;
+        let mut max = 0u16;
+        for u in self.row_dirty.iter() {
+            let lo = u.index() * n;
+            for &d in &self.labels[lo..lo + n] {
+                min_m1 = min_m1.min(d.wrapping_sub(1));
+                max = max.max(d);
+            }
+        }
+        if max == NO_EDGE {
+            None
+        } else {
+            Some((min_m1 + 1, max))
+        }
+    }
+
+    /// Moves the delta window to `new_base`, renormalizing the stored deltas
+    /// of every dirty row (`delta' = delta + (base − new_base)`, exact in
+    /// wrapping `u16` arithmetic because the result is pre-checked to fit).
+    /// Labels are unchanged — only the representation shifts. Cost:
+    /// `O(dirty rows · n)`, amortized away by calling it only when the
+    /// window is nearly exhausted (the estimator rebases every
+    /// `≈ u16::MAX − n` rounds).
+    ///
+    /// # Panics
+    /// Panics if a live label would fall outside `(new_base,
+    /// new_base + u16::MAX]`.
+    pub fn rebase(&mut self, new_base: Round) {
+        if new_base == self.base {
+            return;
+        }
+        if let Some((dmin, dmax)) = self.delta_range() {
+            let min = self.base + Round::from(dmin);
+            let max = self.base + Round::from(dmax);
+            assert!(
+                min > new_base,
+                "rebase to {new_base} would strand label {min} at or below the base"
+            );
+            assert!(
+                max - new_base <= MAX_DELTA,
+                "rebase to {new_base} would push label {max} beyond the u16 window"
+            );
+            let shift = self.base.wrapping_sub(new_base) as u16;
+            let n = self.n as usize;
+            let LabeledDigraph {
+                labels, row_dirty, ..
+            } = self;
+            for u in row_dirty.iter() {
+                let lo = u.index() * n;
+                for d in &mut labels[lo..lo + n] {
+                    let nz = (*d != NO_EDGE) as u16;
+                    *d = d.wrapping_add(shift).wrapping_mul(nz);
+                }
+            }
+        }
+        self.base = new_base;
+    }
+
+    /// Rebase so that `round` (and every live label) fits the window, for
+    /// [`LabeledDigraph::set_edge_max`] calls outside the current one.
+    ///
+    /// # Panics
+    /// Panics if the resulting label spread cannot fit any `u16` window.
+    #[cold]
+    fn widen_to(&mut self, round: Round) {
+        match self.delta_range() {
+            None => self.rebase(round - 1),
+            Some((dmin, dmax)) => {
+                let lo = (self.base + Round::from(dmin)).min(round);
+                let hi = (self.base + Round::from(dmax)).max(round);
+                assert!(
+                    hi - lo < MAX_DELTA,
+                    "label spread {lo}..={hi} exceeds the u16 delta window"
+                );
+                self.rebase(lo - 1);
+            }
+        }
+    }
+
     /// The label of edge `(u → v)`, or `None` if absent.
     #[inline]
     pub fn label(&self, u: ProcessId, v: ProcessId) -> Option<Round> {
         match self.labels[self.idx(u, v)] {
             NO_EDGE => None,
-            r => Some(r),
+            d => Some(self.base + Round::from(d)),
         }
     }
 
@@ -210,20 +351,31 @@ impl LabeledDigraph {
     /// edge already exists (the `rmax` rule of lines 20–23). Endpoints are
     /// added to the node set. Returns the resulting label.
     ///
+    /// If `round` lies outside the current delta window the graph rebases
+    /// itself first (amortized; the hot paths never trigger this because
+    /// the estimator keeps the window ahead of the round counter).
+    ///
     /// # Panics
-    /// Panics if `round == 0` (rounds are 1-based; 0 is the absent sentinel).
+    /// Panics if `round == 0` (rounds are 1-based; 0 is the absent
+    /// sentinel), or if `round` and the live labels span more than the
+    /// `u16` delta window (Algorithm 1's labels span at most `n + 1`
+    /// rounds, so this cannot happen in protocol use).
     pub fn set_edge_max(&mut self, u: ProcessId, v: ProcessId, round: Round) -> Round {
-        assert_ne!(round, NO_EDGE, "edge labels are 1-based rounds");
+        assert_ne!(round, 0, "edge labels are 1-based rounds");
+        if round <= self.base || round - self.base > MAX_DELTA {
+            self.widen_to(round);
+        }
         self.nodes.insert(u);
         self.nodes.insert(v);
         self.row_dirty.insert(u);
+        let delta = (round - self.base) as u16;
         let i = self.idx(u, v);
         if self.labels[i] == NO_EDGE {
             self.out[u.index()].insert(v);
             self.inn[v.index()].insert(u);
         }
-        self.labels[i] = self.labels[i].max(round);
-        self.labels[i]
+        self.labels[i] = self.labels[i].max(delta);
+        self.base + Round::from(self.labels[i])
     }
 
     /// Removes edge `(u → v)` if present (the node set is untouched).
@@ -238,6 +390,77 @@ impl LabeledDigraph {
         true
     }
 
+    /// Ensures every operand's labels are representable in `self`'s delta
+    /// window, rebasing `self` once when they are not. On the hot path all
+    /// bases coincide (the estimator keeps them on one canonical schedule)
+    /// and this is a handful of compares; mismatched operands whose labels
+    /// already fit the window cost nothing either — the merge translates
+    /// their deltas on the fly.
+    ///
+    /// # Panics
+    /// Panics if the combined label spread exceeds the `u16` window.
+    fn align_bases(&mut self, others: &[&Self]) {
+        if others.iter().all(|o| o.base == self.base) {
+            return;
+        }
+        let mut lo = Round::MAX;
+        let mut hi = 0;
+        let mut any = false;
+        let mut fits_current = true;
+        if let Some((dmin, dmax)) = self.delta_range() {
+            any = true;
+            lo = self.base + Round::from(dmin);
+            hi = self.base + Round::from(dmax);
+        }
+        for o in others {
+            if let Some((dmin, dmax)) = o.delta_range() {
+                any = true;
+                let omin = o.base + Round::from(dmin);
+                let omax = o.base + Round::from(dmax);
+                lo = lo.min(omin);
+                hi = hi.max(omax);
+                if omin <= self.base || omax - self.base > MAX_DELTA {
+                    fits_current = false;
+                }
+            }
+        }
+        if !any {
+            // No labels anywhere: adopt the first operand's base so a pure
+            // node-set merge leaves the accumulator on the senders' window.
+            self.base = others[0].base;
+            return;
+        }
+        if fits_current {
+            return;
+        }
+        assert!(
+            hi - lo < MAX_DELTA,
+            "merged label spread {lo}..={hi} exceeds the u16 delta window"
+        );
+        self.rebase(lo - 1);
+    }
+
+    /// Max-combines one 64-column chunk of source deltas into the
+    /// destination, translating the source by `shift = src_base − dst_base`
+    /// (in wrapping `u16` arithmetic; exact because
+    /// [`LabeledDigraph::align_bases`] pre-checked the fit). Absent cells
+    /// carry `0` in both operands, where the translated value is forced
+    /// back to `0`, so max is the identity there and the loop vectorizes —
+    /// four `u16` lanes per 64-bit word.
+    #[inline]
+    fn max_combine_chunk(dst: &mut [u16], src: &[u16], shift: u16) {
+        if shift == 0 {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a = (*a).max(b);
+            }
+        } else {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                let nz = (b != NO_EDGE) as u16;
+                *a = (*a).max(b.wrapping_add(shift).wrapping_mul(nz));
+            }
+        }
+    }
+
     /// Merges another labelled graph into this one: node sets are unioned and
     /// every edge of `other` is inserted with max-combine. Applying this to
     /// each received graph `G_q`, `q ∈ PT_p`, implements lines 18–23 of
@@ -248,6 +471,16 @@ impl LabeledDigraph {
     /// max-combined in the row slice, and the `out`/`inn` bitsets are
     /// updated word-at-a-time from the edge additions. No allocation, no
     /// per-edge index arithmetic.
+    ///
+    /// # Panics
+    /// Panics if the universes differ, or if the combined label spread of
+    /// both graphs exceeds the `u16` delta window (`> u16::MAX − 1`
+    /// rounds) — unrepresentable in the delta layout. Algorithm 1's
+    /// windows never come close (live labels span ≤ `n + 1` rounds), but
+    /// a graph decoded from an untrusted peer carries an arbitrary base:
+    /// validate its [`LabeledDigraph::min_label`]/
+    /// [`LabeledDigraph::max_label`] against the local window before
+    /// merging wire input.
     ///
     /// ```
     /// use sskel_graph::{LabeledDigraph, ProcessId};
@@ -264,6 +497,8 @@ impl LabeledDigraph {
     /// ```
     pub fn merge_max(&mut self, other: &Self) {
         assert_eq!(self.n, other.n, "labelled graphs over different universes");
+        self.align_bases(&[other]);
+        let shift = other.base.wrapping_sub(self.base) as u16;
         let n = self.n as usize;
         self.nodes.union_with(&other.nodes);
         self.row_dirty.union_with(&other.row_dirty);
@@ -282,12 +517,7 @@ impl LabeledDigraph {
                 }
                 let lo = wi * 64;
                 let hi = (lo + 64).min(n);
-                // Element-wise max over the whole 64-column chunk: absent
-                // edges carry NO_EDGE = 0, so max is the identity there and
-                // the loop vectorizes (no per-bit branching).
-                for (a, &b) in dst[lo..hi].iter_mut().zip(&src[lo..hi]) {
-                    *a = (*a).max(b);
-                }
+                Self::max_combine_chunk(&mut dst[lo..hi], &src[lo..hi], shift);
                 // A column is labelled afterwards iff it was labelled in
                 // either operand, so the new out-word is exactly old | ow.
                 let old = self.out[ui].word(wi);
@@ -314,6 +544,11 @@ impl LabeledDigraph {
     /// what makes Algorithm 1's lines 19–23 sub-cubic in practice when the
     /// received graphs are sparse.
     ///
+    /// # Panics
+    /// Same conditions as [`LabeledDigraph::merge_max`]: differing
+    /// universes, or a combined label spread beyond the `u16` delta
+    /// window (validate untrusted decoded graphs before merging).
+    ///
     /// ```
     /// use sskel_graph::{LabeledDigraph, ProcessId};
     /// let p = |i| ProcessId::new(i);
@@ -331,6 +566,10 @@ impl LabeledDigraph {
         let n = self.n as usize;
         for o in others {
             assert_eq!(self.n, o.n, "labelled graphs over different universes");
+        }
+        self.align_bases(others);
+        let self_base = self.base;
+        for o in others {
             self.nodes.union_with(&o.nodes);
             self.row_dirty.union_with(&o.row_dirty);
         }
@@ -359,6 +598,7 @@ impl LabeledDigraph {
                     if o.row_dirty.word(rwi) & (1 << bit_idx) == 0 {
                         continue;
                     }
+                    let shift = o.base.wrapping_sub(self_base) as u16;
                     let orow = &o.out[ui];
                     let src = &o.labels[base..base + n];
                     for (wi, &ow) in orow.words().iter().enumerate() {
@@ -367,12 +607,7 @@ impl LabeledDigraph {
                         }
                         let lo = wi * 64;
                         let hi = (lo + 64).min(n);
-                        // Element-wise max over the 64-column chunk; absent
-                        // edges carry NO_EDGE = 0, so max is the identity
-                        // there and the loop vectorizes.
-                        for (a, &b) in dst[lo..hi].iter_mut().zip(&src[lo..hi]) {
-                            *a = (*a).max(b);
-                        }
+                        Self::max_combine_chunk(&mut dst[lo..hi], &src[lo..hi], shift);
                         let old = out_row.word(wi);
                         let added = ow & !old;
                         if added != 0 {
@@ -398,6 +633,13 @@ impl LabeledDigraph {
     /// word, stale columns are zeroed in the label row and the word is
     /// rewritten once.
     pub fn purge_labels_le(&mut self, cutoff: Round) -> usize {
+        if cutoff <= self.base {
+            // Every stored label exceeds the base, so none can be ≤ cutoff.
+            return 0;
+        }
+        // Translate the cutoff into delta space; labels above the window
+        // top cannot exist, so clamping to MAX_DELTA purges everything.
+        let cutoff = (cutoff - self.base).min(MAX_DELTA) as u16;
         let n = self.n as usize;
         let mut purged = 0;
         let LabeledDigraph {
@@ -523,10 +765,12 @@ impl LabeledDigraph {
         scc::is_strongly_connected_with(self, &self.nodes, scratch)
     }
 
-    /// The label row of `u`: `n` labels indexed by target, `0` = absent.
-    /// Read-only view used by the wire codec and differential tests.
+    /// The label-delta row of `u`: `n` deltas relative to
+    /// [`LabeledDigraph::base`], indexed by target, `0` = absent. Read-only
+    /// view used by the wire codec (which encodes deltas, not absolute
+    /// rounds) and the differential tests.
     #[inline]
-    pub fn label_row(&self, u: ProcessId) -> &[Round] {
+    pub fn label_row_deltas(&self, u: ProcessId) -> &[u16] {
         let n = self.n as usize;
         &self.labels[u.index() * n..(u.index() + 1) * n]
     }
@@ -536,7 +780,7 @@ impl LabeledDigraph {
         self.nodes.iter().flat_map(move |u| {
             self.out[u.index()]
                 .iter()
-                .map(move |v| (u, v, self.labels[self.idx(u, v)]))
+                .map(move |v| (u, v, self.base + Round::from(self.labels[self.idx(u, v)])))
         })
     }
 
@@ -558,12 +802,14 @@ impl LabeledDigraph {
 
     /// The smallest label currently present, if any edge exists.
     pub fn min_label(&self) -> Option<Round> {
-        self.edges().map(|(_, _, l)| l).min()
+        self.delta_range()
+            .map(|(lo, _)| self.base + Round::from(lo))
     }
 
     /// The largest label currently present, if any edge exists.
     pub fn max_label(&self) -> Option<Round> {
-        self.edges().map(|(_, _, l)| l).max()
+        self.delta_range()
+            .map(|(_, hi)| self.base + Round::from(hi))
     }
 }
 
@@ -767,6 +1013,124 @@ mod tests {
         // and the graph is fully usable after the incremental reset
         g.set_edge_max(p(64), p(3), 5);
         assert_eq!(g.label(p(64), p(3)), Some(5));
+    }
+
+    #[test]
+    fn labels_far_from_zero_are_representable() {
+        // The u16 delta window slides: the first insert anchors the base
+        // just below the label, later inserts within the window reuse it.
+        let mut g = LabeledDigraph::new(4);
+        g.set_edge_max(p(0), p(1), 4_000_000_000);
+        assert_eq!(g.base(), 3_999_999_999);
+        g.set_edge_max(p(1), p(2), 4_000_000_000 + 60_000);
+        assert_eq!(g.label(p(0), p(1)), Some(4_000_000_000));
+        assert_eq!(g.label(p(1), p(2)), Some(4_000_060_000));
+        // An older-but-in-window label widens downwards via rebase.
+        g.set_edge_max(p(2), p(3), 3_999_999_500);
+        assert_eq!(g.base(), 3_999_999_499);
+        assert_eq!(g.label(p(0), p(1)), Some(4_000_000_000));
+        assert_eq!(g.label(p(1), p(2)), Some(4_000_060_000));
+        assert_eq!(g.min_label(), Some(3_999_999_500));
+        assert_eq!(g.max_label(), Some(4_000_060_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 delta window")]
+    fn label_spread_beyond_window_rejected() {
+        let mut g = LabeledDigraph::new(2);
+        g.set_edge_max(p(0), p(1), 1);
+        g.set_edge_max(p(1), p(0), 1 + MAX_DELTA + 1);
+    }
+
+    #[test]
+    fn rebase_preserves_labels_and_equality() {
+        let mut g = LabeledDigraph::new(5);
+        g.set_edge_max(p(0), p(1), 100);
+        g.set_edge_max(p(1), p(2), 140);
+        g.set_edge_max(p(4), p(0), 101);
+        let reference = g.clone();
+        for new_base in [99, 50, 0, 99, 42] {
+            g.rebase(new_base);
+            assert_eq!(g.base(), new_base);
+            assert_eq!(g, reference, "base {new_base}");
+            assert_eq!(g.label(p(1), p(2)), Some(140));
+            assert_eq!(g.min_label(), Some(100));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strand label")]
+    fn rebase_above_live_label_rejected() {
+        let mut g = LabeledDigraph::new(2);
+        g.set_edge_max(p(0), p(1), 10);
+        g.rebase(10);
+    }
+
+    #[test]
+    fn merge_across_bases_translates_deltas() {
+        // Same logical labels, three different windows: merging must agree
+        // with the same merge done in a single window.
+        let mut a = LabeledDigraph::new(4);
+        a.set_edge_max(p(0), p(1), 1000);
+        a.rebase(900);
+        let mut b = LabeledDigraph::new(4);
+        b.set_edge_max(p(0), p(1), 1005); // fresher, different base
+        b.set_edge_max(p(2), p(3), 980);
+        b.rebase(950);
+        let mut c = LabeledDigraph::new(4);
+        c.set_edge_max(p(2), p(3), 960);
+        // pairwise
+        let mut m = a.clone();
+        m.merge_max(&b);
+        assert_eq!(m.label(p(0), p(1)), Some(1005));
+        assert_eq!(m.label(p(2), p(3)), Some(980));
+        // batched, mixed bases
+        let mut m2 = a.clone();
+        m2.merge_max_batch(&[&b, &c]);
+        assert_eq!(m2, m);
+        assert_eq!(m2.label(p(2), p(3)), Some(980));
+    }
+
+    #[test]
+    fn merge_rebases_accumulator_when_operand_is_below_window() {
+        let mut acc = LabeledDigraph::new(3);
+        acc.set_edge_max(p(0), p(1), 70_000); // base 69_999
+        let mut old = LabeledDigraph::new(3);
+        old.set_edge_max(p(1), p(2), 20_000); // below acc's window
+        acc.merge_max(&old);
+        assert_eq!(acc.label(p(0), p(1)), Some(70_000));
+        assert_eq!(acc.label(p(1), p(2)), Some(20_000));
+        assert!(acc.base() < 20_000);
+    }
+
+    #[test]
+    fn purge_translates_cutoff_through_base() {
+        let mut g = LabeledDigraph::new(3);
+        g.set_edge_max(p(0), p(1), 100_000);
+        g.set_edge_max(p(1), p(2), 100_010);
+        assert_eq!(g.purge_labels_le(50), 0); // cutoff below the base
+        assert_eq!(g.purge_labels_le(100_000), 1);
+        assert_eq!(g.label(p(1), p(2)), Some(100_010));
+        assert_eq!(g.purge_labels_le(u32::MAX), 1); // clamped above window
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn reset_preserves_base() {
+        let mut g = LabeledDigraph::new(3);
+        g.set_edge_max(p(0), p(1), 90_000);
+        let base = g.base();
+        g.reset_to_node(p(2));
+        assert_eq!(g.base(), base);
+        assert_eq!(g, LabeledDigraph::with_node(3, p(2))); // base-insensitive
+        g.rebase(7); // O(1) on the empty graph
+        assert_eq!(g.base(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 label-delta window")]
+    fn oversized_universe_rejected() {
+        let _ = LabeledDigraph::new(u16::MAX as usize - 1);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Cross-layout differential tests: the delta-compressed `u16` label
+//! matrix (per-graph base + `u16` deltas, PR 4) against a retained
+//! plain-`u32` reference implementation of the labelled digraph.
+//!
+//! The reference stores absolute `u32` labels in a dense matrix — exactly
+//! the pre-delta layout — and implements every operation from first
+//! principles. Random operation scripts (inserts, removals, merges,
+//! batched merges, purges, reachability prunes, resets and **explicit
+//! rebases**) are applied to both layouts and the logical graphs compared
+//! label-for-label, across label populations anchored far from zero so the
+//! sliding window and the base-mismatch merge paths are genuinely
+//! exercised.
+
+use proptest::prelude::*;
+
+use sskel_graph::{LabeledDigraph, ProcessId, Round};
+
+/// Plain-`u32` reference labelled digraph: absolute labels, no window.
+#[derive(Clone, Debug, PartialEq)]
+struct RefGraph {
+    n: usize,
+    nodes: Vec<bool>,
+    /// Row-major absolute labels, `0` = absent.
+    labels: Vec<Round>,
+}
+
+impl RefGraph {
+    fn new(n: usize) -> Self {
+        RefGraph {
+            n,
+            nodes: vec![false; n],
+            labels: vec![0; n * n],
+        }
+    }
+
+    fn set_edge_max(&mut self, u: usize, v: usize, l: Round) {
+        assert!(l > 0);
+        self.nodes[u] = true;
+        self.nodes[v] = true;
+        let c = &mut self.labels[u * self.n + v];
+        *c = (*c).max(l);
+    }
+
+    fn remove_edge(&mut self, u: usize, v: usize) {
+        self.labels[u * self.n + v] = 0;
+    }
+
+    fn merge_max(&mut self, other: &RefGraph) {
+        for (a, &b) in self.nodes.iter_mut().zip(&other.nodes) {
+            *a |= b;
+        }
+        for (a, &b) in self.labels.iter_mut().zip(&other.labels) {
+            *a = (*a).max(b);
+        }
+    }
+
+    fn purge_labels_le(&mut self, cutoff: Round) -> usize {
+        let mut purged = 0;
+        for c in &mut self.labels {
+            if *c != 0 && *c <= cutoff {
+                *c = 0;
+                purged += 1;
+            }
+        }
+        purged
+    }
+
+    fn retain_reaching(&mut self, target: usize) {
+        // reaches[u]: u can reach target through current nodes and edges
+        let mut reaches = vec![false; self.n];
+        self.nodes[target] = true;
+        reaches[target] = true;
+        for _ in 0..self.n {
+            for u in 0..self.n {
+                for v in 0..self.n {
+                    if self.nodes[u]
+                        && self.nodes[v]
+                        && self.labels[u * self.n + v] != 0
+                        && reaches[v]
+                    {
+                        reaches[u] = true;
+                    }
+                }
+            }
+        }
+        for (p, &r) in reaches.iter().enumerate() {
+            if self.nodes[p] && !r {
+                self.nodes[p] = false;
+                for q in 0..self.n {
+                    self.labels[p * self.n + q] = 0;
+                    self.labels[q * self.n + p] = 0;
+                }
+            }
+        }
+    }
+
+    fn reset_to_node(&mut self, p: usize) {
+        self.nodes.fill(false);
+        self.labels.fill(0);
+        self.nodes[p] = true;
+    }
+}
+
+/// The logical graphs must coincide: node sets and every label.
+fn assert_same(opt: &LabeledDigraph, reference: &RefGraph, ctx: &str) {
+    let n = reference.n;
+    for p in 0..n {
+        assert_eq!(
+            opt.contains_node(ProcessId::from_usize(p)),
+            reference.nodes[p],
+            "{ctx}: node {p}"
+        );
+        for q in 0..n {
+            let expected = match reference.labels[p * n + q] {
+                0 => None,
+                l => Some(l),
+            };
+            assert_eq!(
+                opt.label(ProcessId::from_usize(p), ProcessId::from_usize(q)),
+                expected,
+                "{ctx}: edge ({p},{q})"
+            );
+        }
+    }
+}
+
+/// Label regions: anchored at 0, past the u16 boundary, and near u32::MAX,
+/// so deltas, bases and translated merges all get exercised.
+const REGIONS: [Round; 3] = [0, 80_000, u32::MAX - 70_000];
+
+/// Word-boundary universes plus a small one.
+const UNIVERSES: [usize; 4] = [5, 63, 64, 65];
+
+type RawOp = (u8, usize, usize, u32);
+type Pool = Vec<(usize, usize, u32)>;
+
+/// Builds the same operand graph in both layouts from a pool slice.
+fn build_pair(
+    n: usize,
+    region: Round,
+    edges: &[(usize, usize, u32)],
+) -> (LabeledDigraph, RefGraph) {
+    let mut g = LabeledDigraph::new(n);
+    let mut r = RefGraph::new(n);
+    for &(u, v, l) in edges {
+        let (u, v, l) = (u % n, v % n, region + l);
+        g.set_edge_max(ProcessId::from_usize(u), ProcessId::from_usize(v), l);
+        r.set_edge_max(u, v, l);
+    }
+    (g, r)
+}
+
+/// Interprets one raw script step against both layouts, then compares.
+fn run_script(n: usize, region: Round, script: &[RawOp], pool: &Pool) {
+    let mut g = LabeledDigraph::new(n);
+    let mut r = RefGraph::new(n);
+    for (i, &(sel, a, b, l)) in script.iter().enumerate() {
+        let (u, v) = (a % n, b % n);
+        let ctx = format!("op {i}: sel={sel} u={u} v={v} l={l} region={region}");
+        match sel % 8 {
+            0 | 1 => {
+                // weighted towards inserts: they feed every other op
+                g.set_edge_max(
+                    ProcessId::from_usize(u),
+                    ProcessId::from_usize(v),
+                    region + l,
+                );
+                r.set_edge_max(u, v, region + l);
+            }
+            2 => {
+                g.remove_edge(ProcessId::from_usize(u), ProcessId::from_usize(v));
+                r.remove_edge(u, v);
+            }
+            3 => {
+                // pairwise merge of a pool-derived operand
+                let lo = if pool.is_empty() { 0 } else { a % pool.len() };
+                let (og, or) = build_pair(n, region, &pool[lo..]);
+                g.merge_max(&og);
+                r.merge_max(&or);
+            }
+            4 => {
+                // batched merge of up to three pool-derived operands
+                let pairs: Vec<(LabeledDigraph, RefGraph)> = (0..(b % 3) + 1)
+                    .map(|k| {
+                        let lo = if pool.is_empty() {
+                            0
+                        } else {
+                            (a + k) % pool.len()
+                        };
+                        build_pair(n, region, &pool[lo..])
+                    })
+                    .collect();
+                let refs: Vec<&LabeledDigraph> = pairs.iter().map(|(og, _)| og).collect();
+                g.merge_max_batch(&refs);
+                for (_, or) in &pairs {
+                    r.merge_max(or);
+                }
+            }
+            5 => {
+                let cutoff = region.saturating_add(l);
+                assert_eq!(
+                    g.purge_labels_le(cutoff),
+                    r.purge_labels_le(cutoff),
+                    "{ctx}"
+                );
+            }
+            6 => {
+                g.insert_node(ProcessId::from_usize(u));
+                g.retain_reaching(ProcessId::from_usize(u));
+                r.retain_reaching(u);
+            }
+            _ => {
+                if b % 2 == 0 {
+                    g.reset_to_node(ProcessId::from_usize(u));
+                    r.reset_to_node(u);
+                } else if let Some(min) = g.min_label() {
+                    // Explicit rebase below every live label: a logical
+                    // no-op on both layouts (trivially so on the
+                    // windowless reference).
+                    let slack = l.min(min - 1).min(5_000);
+                    g.rebase(min - 1 - slack);
+                }
+            }
+        }
+        assert_same(&g, &r, &ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random operation scripts over word-boundary universes and three
+    /// label regions: the u16-delta layout must track the u32 reference
+    /// exactly through every operation, including explicit rebases.
+    #[test]
+    fn delta_layout_tracks_u32_reference(
+        n_idx in 0usize..4,
+        region_idx in 0usize..3,
+        script in proptest::collection::vec((0u8..8, 0usize..65, 0usize..65, 1u32..60), 1..24),
+        pool in proptest::collection::vec((0usize..65, 0usize..65, 1u32..60), 0..16),
+    ) {
+        run_script(UNIVERSES[n_idx], REGIONS[region_idx], &script, &pool);
+    }
+}
+
+/// A deterministic loop that walks the Algorithm-1 shape — fresh edges,
+/// just-in-time purges, reachability prunes — across a window slide of far
+/// more than `u16::MAX` rounds, comparing against the u32 reference at
+/// every step.
+#[test]
+fn sliding_window_round_loop_matches_reference() {
+    let n = 6;
+    let mut g = LabeledDigraph::new(n);
+    let mut r = RefGraph::new(n);
+    let mut round: Round = 1;
+    for step in 0..200u32 {
+        // Purge first so the live spread stays inside the u16 window even
+        // though rounds advance in ~10k strides.
+        let cutoff = round.saturating_sub(20_000);
+        assert_eq!(g.purge_labels_le(cutoff), r.purge_labels_le(cutoff));
+        let u = (step as usize * 7) % n;
+        let v = (step as usize * 5 + 1) % n;
+        g.set_edge_max(ProcessId::from_usize(u), ProcessId::from_usize(v), round);
+        r.set_edge_max(u, v, round);
+        if step % 17 == 0 {
+            g.insert_node(ProcessId::from_usize(0));
+            g.retain_reaching(ProcessId::from_usize(0));
+            r.retain_reaching(0);
+        }
+        assert_same(&g, &r, &format!("step {step}, round {round}"));
+        round += 9_999; // forces a widen/rebase every few steps
+    }
+    assert!(g.base() > 0, "the window actually slid");
+}

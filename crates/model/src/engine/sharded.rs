@@ -337,6 +337,25 @@ where
             // Fixed horizon: every shard stops at the same round without
             // coordination; the windowed barrier only bounds skew (and so
             // channel backlog) to the plan's window length.
+            //
+            // Partial final window (`horizon % K != 0`): the last full
+            // barrier fires at `K·⌊(horizon − 1)/K⌋` and the remaining
+            // rounds free-run on every shard. This cannot stall or skew:
+            //
+            // * `round_end(r)` is reached for exactly `r ∈ [1, horizon)` on
+            //   every shard — the same set, since the horizon is global —
+            //   so barrier participation stays symmetric through the
+            //   partial window (no shard waits on a phase a peer skipped);
+            // * a shard at round `r` has already broadcast every round
+            //   `≤ r` (round `r + 1` is sent *before* this window check),
+            //   so any packet a slower shard can block on in step 2 is in
+            //   its channel before the faster shard could possibly park —
+            //   and the exiting shard's `Sender`s stay alive in the main
+            //   thread's scope, keeping queued packets deliverable after
+            //   it returns.
+            //
+            // `tests/engines_equiv.rs` pins the resulting traces against
+            // lockstep for K ∈ {2, 7} with non-divisible horizons.
             Some(horizon) => {
                 let stop = r >= horizon;
                 if !stop {

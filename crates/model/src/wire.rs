@@ -9,6 +9,14 @@
 //!
 //! The simulation engines only require [`WireSized`]; encoding/decoding via
 //! [`Wire`] is exercised by the codec tests and the `wire` benchmark.
+//!
+//! Graph labels travel as a per-graph base round plus `u16` deltas.
+//! Decoding validates each field's domain (canonical varints, delta range,
+//! round overflow), but a decoded graph's *base* is whatever the peer
+//! claims: before merging wire input from an untrusted source into a local
+//! accumulator, check its label range against the local window —
+//! `LabeledDigraph::merge_max` panics on a combined spread the `u16`
+//! layout cannot represent.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet};
@@ -20,6 +28,12 @@ pub enum WireError {
     UnexpectedEnd,
     /// A varint exceeded 64 bits.
     VarintOverflow,
+    /// A varint was padded with redundant continuation bytes. Only the
+    /// minimal LEB128 encoding is accepted: otherwise a peer's bytes could
+    /// decode to a value whose re-encoded size disagrees with the
+    /// [`WireSized`] accounting the message-bits experiments rely on
+    /// (`[0x80, 0x00]` would decode to `0`, which re-encodes in one byte).
+    NonCanonical,
     /// A decoded value was outside its documented domain.
     InvalidValue(&'static str),
 }
@@ -29,6 +43,7 @@ impl core::fmt::Display for WireError {
         match self {
             WireError::UnexpectedEnd => write!(f, "unexpected end of input"),
             WireError::VarintOverflow => write!(f, "varint overflows u64"),
+            WireError::NonCanonical => write!(f, "non-minimal varint encoding"),
             WireError::InvalidValue(what) => write!(f, "invalid value: {what}"),
         }
     }
@@ -49,7 +64,10 @@ pub fn write_uvarint<B: BufMut>(buf: &mut B, mut v: u64) {
     }
 }
 
-/// Reads an LEB128 varint.
+/// Reads an LEB128 varint, accepting **only** the minimal encoding
+/// [`write_uvarint`] produces: a terminating zero byte after at least one
+/// continuation byte means the encoding was padded, and is rejected with
+/// [`WireError::NonCanonical`] (e.g. `[0x80, 0x00]`, a two-byte `0`).
 pub fn read_uvarint<B: Buf>(buf: &mut B) -> Result<u64, WireError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
@@ -60,6 +78,11 @@ pub fn read_uvarint<B: Buf>(buf: &mut B) -> Result<u64, WireError> {
         let byte = buf.get_u8();
         if shift >= 64 || (shift == 63 && byte > 1) {
             return Err(WireError::VarintOverflow);
+        }
+        if byte == 0 && shift > 0 {
+            // A most-significant byte of zero contributes nothing: the same
+            // value encodes in fewer bytes, so this encoding is padded.
+            return Err(WireError::NonCanonical);
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -184,18 +207,20 @@ impl WireSized for LabeledDigraph {
         //   which are multiples of 64 — so every id inside one adjacency
         //   word shares a single varint length, obtained from the word's
         //   first column and multiplied by the word's popcount;
-        // * label lengths are a handful of range comparisons per column,
-        //   which the compiler vectorizes over each populated 64-column
-        //   chunk of the label row (absent columns carry 0 and are
-        //   masked); nearly-empty words fall back to visiting their few
-        //   set bits instead of scanning the chunk.
+        // * labels travel as `u16` **deltas** from the graph's base round
+        //   (encoded once up front), so a delta's length is at most two
+        //   range comparisons per column, which the compiler vectorizes
+        //   over each populated 64-column chunk of the delta row (absent
+        //   columns carry 0 and are masked); nearly-empty words fall back
+        //   to visiting their few set bits instead of scanning the chunk.
         let n = self.universe();
         let mut sz = uvarint_len(n as u64);
         sz += self.nodes().wire_bytes();
+        sz += uvarint_len(u64::from(self.base()));
         let mut edges = 0u64;
         for u in self.nodes().iter() {
             let row = sskel_graph::Adjacency::out_row(self, u);
-            let labels = self.label_row(u);
+            let deltas = self.label_row_deltas(u);
             let src_len = uvarint_len(u.get() as u64);
             for (wi, &w) in row.words().iter().enumerate() {
                 if w == 0 {
@@ -212,17 +237,14 @@ impl WireSized for LabeledDigraph {
                     // the whole 64-column chunk.
                     let mut bits = w;
                     while bits != 0 {
-                        let l = labels[lo + bits.trailing_zeros() as usize];
+                        let d = deltas[lo + bits.trailing_zeros() as usize];
                         bits &= bits - 1;
-                        label_bytes += uvarint_len(u64::from(l));
+                        label_bytes += uvarint_len(u64::from(d));
                     }
                 } else {
-                    for &l in &labels[lo..hi] {
-                        label_bytes += (l != 0) as usize
-                            * (1 + (l > 0x7f) as usize
-                                + (l > 0x3fff) as usize
-                                + (l > 0x1f_ffff) as usize
-                                + (l > 0x0fff_ffff) as usize);
+                    for &d in &deltas[lo..hi] {
+                        label_bytes +=
+                            (d != 0) as usize * (1 + (d > 0x7f) as usize + (d > 0x3fff) as usize);
                     }
                 }
                 sz += label_bytes;
@@ -236,11 +258,15 @@ impl Wire for LabeledDigraph {
     fn encode<B: BufMut>(&self, buf: &mut B) {
         write_uvarint(buf, self.universe() as u64);
         self.nodes().encode(buf);
+        write_uvarint(buf, u64::from(self.base()));
         write_uvarint(buf, self.edge_count() as u64);
+        let base = self.base();
         for (u, v, l) in self.edges() {
             write_uvarint(buf, u.get() as u64);
             write_uvarint(buf, v.get() as u64);
-            write_uvarint(buf, l as u64);
+            // Labels as deltas from the base: at most 3 varint bytes, and
+            // 1–2 in the steady state where labels hug the current round.
+            write_uvarint(buf, u64::from(l - base));
         }
     }
 
@@ -250,20 +276,28 @@ impl Wire for LabeledDigraph {
         if nodes.universe() != n {
             return Err(WireError::InvalidValue("node set universe mismatch"));
         }
+        let base = read_uvarint(buf)?;
+        let Ok(base) = u32::try_from(base) else {
+            return Err(WireError::InvalidValue("graph base out of range"));
+        };
         let mut g = LabeledDigraph::new(n);
+        g.rebase(base); // trivial on the empty graph
         g.union_nodes(&nodes);
         let edges = read_uvarint(buf)?;
         for _ in 0..edges {
             let u = read_uvarint(buf)? as usize;
             let v = read_uvarint(buf)? as usize;
-            let l = read_uvarint(buf)?;
+            let d = read_uvarint(buf)?;
             if u >= n || v >= n {
                 return Err(WireError::InvalidValue("edge endpoint out of range"));
             }
-            if l == 0 || l > u64::from(u32::MAX) {
-                return Err(WireError::InvalidValue("edge label out of range"));
+            if d == 0 || d > u64::from(u16::MAX) {
+                return Err(WireError::InvalidValue("edge label delta out of range"));
             }
-            g.set_edge_max(ProcessId::from_usize(u), ProcessId::from_usize(v), l as u32);
+            let Some(label) = base.checked_add(d as u32) else {
+                return Err(WireError::InvalidValue("edge label overflows the round"));
+            };
+            g.set_edge_max(ProcessId::from_usize(u), ProcessId::from_usize(v), label);
         }
         Ok(g)
     }
@@ -305,6 +339,48 @@ mod tests {
     }
 
     #[test]
+    fn varint_rejects_padded_encodings() {
+        // [0x80, 0x00] is a two-byte zero: same value as [0x00], different
+        // (longer) encoding — exactly what breaks wire_bytes accounting.
+        for bad in [
+            &[0x80u8, 0x00][..],
+            &[0x81, 0x00],       // 1 padded to two bytes
+            &[0xff, 0x80, 0x00], // 127 padded twice
+            &[0x80, 0x80, 0x00], // 0 padded twice
+        ] {
+            let mut rd = bad;
+            assert_eq!(
+                read_uvarint(&mut rd),
+                Err(WireError::NonCanonical),
+                "{bad:?}"
+            );
+        }
+        // A genuine two-byte value is untouched.
+        let mut rd: &[u8] = &[0x80, 0x01];
+        assert_eq!(read_uvarint(&mut rd), Ok(128));
+    }
+
+    #[test]
+    fn padded_varint_inside_a_graph_is_rejected() {
+        let g = {
+            let mut g = LabeledDigraph::new(3);
+            g.set_edge_max(ProcessId::new(1), ProcessId::new(0), 2);
+            g
+        };
+        let bytes = g.to_bytes().to_vec();
+        // The final byte is the edge's label delta (a small varint): pad it.
+        let mut padded = bytes.clone();
+        let last = padded.pop().expect("non-empty encoding");
+        padded.push(last | 0x80);
+        padded.push(0x00);
+        let mut rd = &padded[..];
+        assert_eq!(
+            LabeledDigraph::decode(&mut rd),
+            Err(WireError::NonCanonical)
+        );
+    }
+
+    #[test]
     fn process_set_round_trip() {
         for n in [0usize, 1, 7, 8, 9, 64, 65, 130] {
             let mut s = ProcessSet::empty(n);
@@ -335,15 +411,18 @@ mod tests {
 
     #[test]
     fn labeled_digraph_size_covers_varint_bands() {
-        // ids beyond 127 need 2-byte varints, labels cross the 1/2/3-byte
-        // bands: the banded word-granular size must match the encoder.
+        // ids beyond 127 need 2-byte varints; label *deltas* cross the
+        // 1/2/3-byte bands (the base itself takes the large-round varint
+        // once): the banded word-granular size must match the encoder.
+        let base = u32::MAX - 70_000; // base varint is 5 bytes
         let mut g = LabeledDigraph::new(200);
-        g.set_edge_max(ProcessId::new(0), ProcessId::new(127), 1);
-        g.set_edge_max(ProcessId::new(128), ProcessId::new(0), 127);
-        g.set_edge_max(ProcessId::new(130), ProcessId::new(199), 128);
-        g.set_edge_max(ProcessId::new(199), ProcessId::new(130), 16_383);
-        g.set_edge_max(ProcessId::new(64), ProcessId::new(65), 16_384);
-        g.set_edge_max(ProcessId::new(63), ProcessId::new(64), u32::MAX);
+        g.set_edge_max(ProcessId::new(0), ProcessId::new(127), base + 1);
+        g.set_edge_max(ProcessId::new(128), ProcessId::new(0), base + 127);
+        g.set_edge_max(ProcessId::new(130), ProcessId::new(199), base + 128);
+        g.set_edge_max(ProcessId::new(199), ProcessId::new(130), base + 16_383);
+        g.set_edge_max(ProcessId::new(64), ProcessId::new(65), base + 16_384);
+        g.set_edge_max(ProcessId::new(63), ProcessId::new(64), base + 65_535);
+        assert_eq!(g.base(), base);
         let bytes = g.to_bytes();
         assert_eq!(bytes.len(), g.wire_bytes());
         let mut rd = bytes.clone();
@@ -351,11 +430,31 @@ mod tests {
     }
 
     #[test]
+    fn labeled_digraph_wire_round_trips_across_rebases() {
+        // Two representations of the same graph (different bases) encode to
+        // different bytes but decode to equal graphs with matching sizes.
+        let mut g = LabeledDigraph::new(10);
+        g.set_edge_max(ProcessId::new(1), ProcessId::new(0), 1_000_000);
+        g.set_edge_max(ProcessId::new(2), ProcessId::new(1), 1_000_900);
+        let mut h = g.clone();
+        h.rebase(999_000);
+        for graph in [&g, &h] {
+            let bytes = graph.to_bytes();
+            assert_eq!(bytes.len(), graph.wire_bytes());
+            let mut rd = bytes.clone();
+            let back = LabeledDigraph::decode(&mut rd).unwrap();
+            assert_eq!(&back, graph);
+            assert_eq!(back.base(), graph.base(), "base is preserved verbatim");
+        }
+    }
+
+    #[test]
     fn labeled_digraph_rejects_zero_label() {
-        // handcraft: n=2, nodes {}, 1 edge (0,0,label 0)
+        // handcraft: n=2, nodes {}, base 0, 1 edge (0,0,delta 0)
         let mut buf = BytesMut::new();
         write_uvarint(&mut buf, 2);
         ProcessSet::empty(2).encode(&mut buf);
+        write_uvarint(&mut buf, 0); // base
         write_uvarint(&mut buf, 1);
         write_uvarint(&mut buf, 0);
         write_uvarint(&mut buf, 0);
@@ -365,6 +464,35 @@ mod tests {
             LabeledDigraph::decode(&mut rd),
             Err(WireError::InvalidValue(_))
         ));
+    }
+
+    #[test]
+    fn labeled_digraph_rejects_oversized_delta_and_overflow() {
+        let handcraft = |base: u64, delta: u64| {
+            let mut buf = BytesMut::new();
+            write_uvarint(&mut buf, 2);
+            ProcessSet::empty(2).encode(&mut buf);
+            write_uvarint(&mut buf, base);
+            write_uvarint(&mut buf, 1);
+            write_uvarint(&mut buf, 0);
+            write_uvarint(&mut buf, 1);
+            write_uvarint(&mut buf, delta);
+            buf.freeze()
+        };
+        for (base, delta) in [
+            (0, u64::from(u16::MAX) + 1), // delta beyond u16
+            (u64::from(u32::MAX), 1),     // base + delta overflows
+            (u64::from(u32::MAX) + 1, 1), // base beyond u32
+        ] {
+            let mut rd = handcraft(base, delta);
+            assert!(
+                matches!(
+                    LabeledDigraph::decode(&mut rd),
+                    Err(WireError::InvalidValue(_))
+                ),
+                "base={base} delta={delta}"
+            );
+        }
     }
 
     #[test]

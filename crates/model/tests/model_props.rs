@@ -8,7 +8,7 @@ use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet};
 use sskel_model::heard_of::{
     graph_from_ho, ho_sets, pt_from_ho_history, pt_from_rrfd_history, rrfd_sets,
 };
-use sskel_model::wire::{read_uvarint, uvarint_len, write_uvarint};
+use sskel_model::wire::{read_uvarint, uvarint_len, write_uvarint, WireError};
 use sskel_model::{SkeletonTracker, Wire, WireSized};
 
 fn arb_graph_sequence() -> impl Strategy<Value = (usize, Vec<Digraph>)> {
@@ -51,6 +51,53 @@ proptest! {
         prop_assert_eq!(read_uvarint(&mut rd).unwrap(), v);
     }
 
+    /// encode → decode → `uvarint_len` agreement: for every value, the
+    /// encoder's byte count, the length predictor and the decoder's
+    /// consumption agree — and `decode(encode(v))` is the identity. This is
+    /// the accounting contract the canonical-form check protects: with
+    /// padded encodings accepted, a peer could ship bytes whose re-encoded
+    /// size disagrees with `wire_bytes`.
+    #[test]
+    fn uvarint_encode_decode_len_agreement(v in any::<u64>(), shift in 0u32..64) {
+        // cover every varint length band, not just uniformly-huge values
+        let v = v >> shift;
+        let mut buf = bytes::BytesMut::new();
+        write_uvarint(&mut buf, v);
+        let encoded = buf.freeze();
+        prop_assert_eq!(encoded.len(), uvarint_len(v), "len predictor vs encoder");
+        let mut rd = encoded.clone();
+        let back = read_uvarint(&mut rd).unwrap();
+        prop_assert_eq!(back, v, "decode(encode(v)) == v");
+        prop_assert!(!bytes::Buf::has_remaining(&rd), "decoder consumed exactly the encoding");
+        prop_assert_eq!(uvarint_len(back), encoded.len(), "re-encoded size agrees");
+    }
+
+    /// Padded (non-minimal) varints are rejected with the dedicated error:
+    /// take a minimal encoding, force the continuation bit on its last
+    /// byte and append zero continuation bytes plus a zero terminator.
+    #[test]
+    fn uvarint_rejects_padded_encodings(v in any::<u64>(), shift in 0u32..64, pad in 0usize..2) {
+        let v = v >> shift;
+        let mut buf = bytes::BytesMut::new();
+        write_uvarint(&mut buf, v);
+        let mut padded: Vec<u8> = buf.freeze().as_ref().to_vec();
+        let last = padded.pop().expect("varints are non-empty");
+        padded.push(last | 0x80);
+        padded.extend(std::iter::repeat_n(0x80, pad));
+        padded.push(0x00);
+        let mut rd = &padded[..];
+        let got = read_uvarint(&mut rd);
+        // Paddings that stretch past the 10-byte u64 limit trip the
+        // overflow guard first (a continuation byte lands on shift ≥ 63);
+        // shorter ones must be flagged as non-canonical. Either way the
+        // bytes are rejected.
+        if padded.len() <= 10 {
+            prop_assert_eq!(got, Err(WireError::NonCanonical));
+        } else {
+            prop_assert!(got.is_err(), "padded encoding accepted");
+        }
+    }
+
     #[test]
     fn labeled_digraph_wire_round_trip((n, g) in (1usize..12).prop_flat_map(|n| (Just(n), arb_labeled(n)))) {
         prop_assert_eq!(n, g.universe());
@@ -60,6 +107,30 @@ proptest! {
         let back = LabeledDigraph::decode(&mut rd).unwrap();
         prop_assert_eq!(back, g);
         prop_assert!(!bytes::Buf::has_remaining(&rd));
+    }
+
+    /// Deep-round graphs (labels anchored far from zero, as in any run past
+    /// round ~65k): the delta codec must round-trip the base and every
+    /// label with exact size accounting.
+    #[test]
+    fn labeled_digraph_wire_round_trip_far_from_zero(
+        (n, g) in (1usize..12).prop_flat_map(|n| (Just(n), arb_labeled(n))),
+        anchor_idx in 0usize..3,
+    ) {
+        let anchor = [70_000u32, 20_000_000, u32::MAX - 200][anchor_idx];
+        let mut deep = LabeledDigraph::new(g.universe());
+        deep.union_nodes(g.nodes());
+        for (u, v, l) in g.edges() {
+            deep.set_edge_max(u, v, anchor - 100 + l);
+        }
+        let bytes = deep.to_bytes();
+        prop_assert_eq!(bytes.len(), deep.wire_bytes());
+        let mut rd = bytes;
+        let back = LabeledDigraph::decode(&mut rd).unwrap();
+        prop_assert_eq!(&back, &deep);
+        prop_assert_eq!(back.base(), deep.base());
+        prop_assert_eq!(back.min_label(), deep.min_label());
+        prop_assert_eq!(n, deep.universe());
     }
 
     #[test]

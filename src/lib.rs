@@ -59,7 +59,8 @@ pub mod prelude {
     pub use sskel_kset::consensus::{guaranteed_k, guarantees_consensus};
     pub use sskel_kset::{
         lemma11_bound, verify, DecisionPath, DecisionRule, FloodMin, InvariantChecker,
-        KSetAgreement, KSetMsg, NaiveMinHorizon, SkeletonEstimator, Verdict, VerifySpec,
+        KSetAgreement, KSetMsg, NaiveMinHorizon, SkeletonEstimator, SpawnError, Verdict,
+        VerifySpec,
     };
     pub use sskel_model::{
         run_lockstep, run_lockstep_observed, run_sharded, run_threaded, FixedSchedule, ProcessCtx,

@@ -171,6 +171,95 @@ fn final_states_identical_between_engines() {
     }
 }
 
+/// Fixed horizons **not divisible** by the bounded-skew window exercise the
+/// final partial window of the sharded engine's drain: the last full
+/// barrier fires at `K·⌊(horizon − 1)/K⌋` and the remaining
+/// `horizon mod K` rounds free-run to the stop round on every shard. The
+/// drain must neither stall (every needed packet is broadcast before its
+/// sender can block) nor skew the trace.
+#[test]
+fn sharded_partial_final_window_matches_lockstep() {
+    for n in [3usize, 6, 9] {
+        let s = NoisySchedule::new(Digraph::complete(n), 200, 3, 42);
+        let inputs: Vec<Value> = (0..n as Value).map(|i| 9 + i).collect();
+        for window in [2u32, 7] {
+            // horizons with horizon % window != 0, including horizon < window
+            for horizon in [1u32, 3, 5, 9, 11, 13] {
+                if horizon.is_multiple_of(window) {
+                    continue;
+                }
+                let until = RunUntil::Rounds(horizon);
+                let (a, finals_a) = run_lockstep(&s, KSetAgreement::spawn_all(n, &inputs), until);
+                for shards in [2usize, 3, 5] {
+                    let plan = ShardPlan::new(shards).with_window(window);
+                    let (b, finals_b) =
+                        run_sharded(&s, KSetAgreement::spawn_all(n, &inputs), until, plan);
+                    let ctx = format!("n={n} window={window} horizon={horizon} shards={shards}");
+                    assert_eq!(a.decisions, b.decisions, "{ctx}");
+                    assert_eq!(a.msg_stats, b.msg_stats, "{ctx}");
+                    assert_eq!(a.rounds_executed, b.rounds_executed, "{ctx}");
+                    assert!(b.anomalies.is_empty(), "{ctx}");
+                    for (x, y) in finals_a.iter().zip(&finals_b) {
+                        assert_eq!(x.approx_graph(), y.approx_graph(), "{ctx}");
+                        assert_eq!(x.estimate(), y.estimate(), "{ctx}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All three engines agree across **forced delta-window rebases**: with a
+/// tiny rebase limit the estimators renormalize their u16 label matrices
+/// every few rounds, and traces, wire accounting and final estimator
+/// matrices must stay byte-identical between engines — and the final
+/// graphs must equal those of a run that never rebases at all (the
+/// retained-u32-equivalent behavior; graph equality is base-insensitive).
+#[test]
+fn engines_agree_across_forced_rebases() {
+    let n = 5;
+    let s = NoisySchedule::new(Digraph::complete(n), 150, 2, 7);
+    let inputs: Vec<Value> = (0..n as Value).map(|i| 20 + 3 * i).collect();
+    let until = RunUntil::Rounds(40);
+    let spawn = |limit: Round| {
+        let mut algs = KSetAgreement::spawn_all(n, &inputs);
+        for a in &mut algs {
+            a.set_rebase_limit(limit);
+        }
+        algs
+    };
+    // limit 8 > n + 1: rebases at r = 9, 12, 15, … (step 3) — 11 of them
+    let (a, finals_a) = run_lockstep(&s, spawn(8), until);
+    let (b, finals_b) = run_threaded(&s, spawn(8), until);
+    let (c, finals_c) = run_sharded(&s, spawn(8), until, ShardPlan::new(2).with_window(3));
+    for (name, t, finals) in [("threaded", &b, &finals_b), ("sharded", &c, &finals_c)] {
+        assert_eq!(a.decisions, t.decisions, "{name}");
+        assert_eq!(a.msg_stats, t.msg_stats, "{name}: wire accounting");
+        assert_eq!(a.rounds_executed, t.rounds_executed, "{name}");
+        assert!(t.anomalies.is_empty(), "{name}");
+        for (x, y) in finals_a.iter().zip(finals.iter()) {
+            assert_eq!(x.approx_graph(), y.approx_graph(), "{name}: G_p");
+            assert_eq!(x.estimate(), y.estimate(), "{name}");
+            assert_eq!(x.pt(), y.pt(), "{name}");
+        }
+    }
+    // the run genuinely crossed rebase boundaries…
+    assert!(
+        finals_a[0].approx_graph().base() > 0,
+        "no rebase ever fired"
+    );
+    // …and rebasing is pure representation: a never-rebasing run (base
+    // pinned at 0, deltas = absolute labels, the u32-layout behavior)
+    // produces the same decisions and logically equal graphs.
+    let (d, finals_d) = run_lockstep(&s, spawn(u16::MAX as Round), until);
+    assert_eq!(a.decisions, d.decisions);
+    for (x, y) in finals_a.iter().zip(&finals_d) {
+        assert_eq!(x.approx_graph(), y.approx_graph(), "rebase changed G_p");
+        assert_eq!(y.approx_graph().base(), 0);
+        assert_eq!(x.estimate(), y.estimate());
+    }
+}
+
 /// Larger thread counts than cores still terminate and agree.
 #[test]
 fn oversubscribed_threaded_run() {
