@@ -25,9 +25,10 @@ static SMOKE: AtomicBool = AtomicBool::new(false);
 
 use sskel_bench::{inputs, ring_skeleton, ring_with_chords, std_schedule, SEED};
 use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round};
-use sskel_kset::{lemma11_bound, KSetAgreement, SkeletonEstimator};
+use sskel_kset::{lemma11_bound, DecisionRule, KSetAgreement, SkeletonEstimator};
 use sskel_model::{
-    run_lockstep, run_sharded, run_threaded, FixedSchedule, RunUntil, Schedule, ShardPlan,
+    run_lockstep, run_sharded, run_threaded, ChurnAdversary, FixedSchedule, RotatingRootAdversary,
+    RunUntil, Schedule, ShardPlan, StableRootAdversary,
 };
 
 struct Record {
@@ -214,6 +215,53 @@ fn engines_workloads(out: &mut Vec<Record>) {
     }));
 }
 
+/// Hostile-schedule workloads: full runs to decision under the seedable
+/// message adversaries (see `sskel-model`'s `adversary` module). These
+/// track the cost of the conformance story — per-round graph synthesis is
+/// part of the measured loop, exactly as the conformance suite pays it,
+/// and the runs use the same `FreshnessGuarded` decision rule (the
+/// literal paper rule is unsound under these adversaries' transient early
+/// edges, so it is also not the configuration worth watching).
+fn adversary_workloads(out: &mut Vec<Record>) {
+    let n = 32usize;
+    let ins = inputs(n);
+    let spawn = |ins: &[sskel_model::Value]| {
+        KSetAgreement::spawn_all_with(n, ins, DecisionRule::FreshnessGuarded)
+    };
+    let shapes: Vec<(&str, Box<dyn Schedule>)> = vec![
+        (
+            "stable_root",
+            Box::new(StableRootAdversary::sample(n, SEED)),
+        ),
+        (
+            "rotating_root",
+            Box::new(RotatingRootAdversary::sample(n, SEED)),
+        ),
+        ("churn", Box::new(ChurnAdversary::sample(n, SEED))),
+    ];
+    for (shape, s) in shapes {
+        let until = RunUntil::AllDecided {
+            max_rounds: lemma11_bound(s.as_ref()) + 2,
+        };
+        out.push(measure(&format!("adversary/{shape}/{n}"), || {
+            run_lockstep(s.as_ref(), spawn(&ins), until)
+                .0
+                .rounds_executed
+        }));
+    }
+    // the sharded engine under an adversary: the conformance suite's most
+    // expensive configuration
+    let s = StableRootAdversary::sample(n, SEED);
+    let until = RunUntil::AllDecided {
+        max_rounds: lemma11_bound(&s) + 2,
+    };
+    out.push(measure("adversary/stable_root_sharded4/32", || {
+        run_sharded(&s, spawn(&ins), until, ShardPlan::new(4).with_window(4))
+            .0
+            .rounds_executed
+    }));
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         SMOKE.store(true, Ordering::Relaxed);
@@ -222,6 +270,7 @@ fn main() {
     full_run_workloads(&mut records);
     approx_update_workloads(&mut records);
     engines_workloads(&mut records);
+    adversary_workloads(&mut records);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"sskel-perf-v1\",");

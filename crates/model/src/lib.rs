@@ -25,9 +25,15 @@
 //!
 //! [`parallel::par_map`] fans independent simulations out across cores for
 //! the Monte-Carlo experiments.
+//!
+//! [`adversary`] hosts the seedable message-adversary families (hostile
+//! schedules streamed lazily from a seed), and the `testutil` module
+//! (behind the `testutil` feature) exposes the shared strategies the
+//! paper-conformance harness in `tests/conformance.rs` is built on.
 
 #![deny(missing_docs)]
 
+pub mod adversary;
 pub mod algorithm;
 pub mod engine;
 pub mod heard_of;
@@ -35,9 +41,15 @@ pub mod parallel;
 pub mod schedule;
 pub mod skeleton;
 pub mod sync;
+#[cfg(feature = "testutil")]
+pub mod testutil;
 pub mod trace;
 pub mod wire;
 
+pub use adversary::{
+    ChurnAdversary, CrashOverlay, HealedPartitionAdversary, LowerBoundAdversary, PartitionEpisode,
+    RotatingRootAdversary, StableRootAdversary,
+};
 pub use algorithm::{ProcessCtx, Received, RoundAlgorithm, Value};
 pub use engine::{
     run_lockstep, run_lockstep_observed, run_sharded, run_threaded, RunUntil, ShardPlan,

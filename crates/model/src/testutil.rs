@@ -1,0 +1,284 @@
+//! Shared utilities for the paper-conformance harness (feature
+//! `testutil`).
+//!
+//! The conformance suite (`tests/conformance.rs` at the repository root)
+//! drives every adversary family of [`crate::adversary`] through all three
+//! simulation engines. This module holds the pieces the suite shares:
+//!
+//! * [`base_seed`] — the `SSKEL_TEST_SEED` environment override. Every
+//!   conformance case derives its adversary seed from this base, so a
+//!   failure observed in CI reproduces locally (and vice versa) by
+//!   exporting the seed printed in the failure message;
+//! * [`AdversaryConfig`] — one sampled conformance case (family × universe
+//!   size × seed), buildable into a boxed [`Schedule`];
+//! * [`adversary_config`] — a (vendored) proptest [`Strategy`] over
+//!   configs, with shrinking toward smaller universes and seed 0.
+
+use std::ops::Range;
+
+use proptest::{Strategy, TestRng};
+
+use crate::adversary::{
+    ChurnAdversary, CrashOverlay, HealedPartitionAdversary, LowerBoundAdversary,
+    RotatingRootAdversary, StableRootAdversary,
+};
+use crate::algorithm::Value;
+use crate::schedule::Schedule;
+
+/// The base seed all conformance cases derive from: the value of the
+/// `SSKEL_TEST_SEED` environment variable when set (decimal or `0x`-hex),
+/// a fixed default otherwise — so CI and local runs agree byte-for-byte
+/// unless a reproduction seed is being pinned on purpose.
+///
+/// # Panics
+/// Panics (failing the test loudly) if the variable is set but not a
+/// valid `u64`.
+pub fn base_seed() -> u64 {
+    match std::env::var("SSKEL_TEST_SEED") {
+        Err(_) => 0x5eed_0bad_c0de_0001,
+        // CI pipes the variable through unconditionally; empty means unset.
+        Ok(raw) if raw.is_empty() => 0x5eed_0bad_c0de_0001,
+        Ok(raw) => {
+            let parsed = raw
+                .strip_prefix("0x")
+                .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16));
+            parsed.unwrap_or_else(|_| panic!("SSKEL_TEST_SEED={raw:?} is not a u64"))
+        }
+    }
+}
+
+/// Mixes per-case entropy into [`base_seed`]. Conformance failure messages
+/// print the *mixed* seed; re-running with `SSKEL_TEST_SEED=<mixed seed>`
+/// makes [`seed_override_cases`] hand back exactly that value, so the
+/// drill-down test replays the same adversary in every family.
+pub fn mix_seed(case_entropy: u64) -> u64 {
+    let mut x = base_seed() ^ case_entropy;
+    // splitmix64 finalizer
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// When `SSKEL_TEST_SEED` is set, the seeds a reproduction run should
+/// drill into: the override **verbatim** — failure messages print the
+/// already-mixed adversary seed, so replaying it must not mix it again.
+/// Otherwise a small default spread.
+pub fn seed_override_cases() -> Vec<u64> {
+    if std::env::var("SSKEL_TEST_SEED").is_ok_and(|v| !v.is_empty()) {
+        vec![base_seed()]
+    } else {
+        (0..4u64).map(mix_seed).collect()
+    }
+}
+
+/// The adversary families the conformance suite iterates over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryFamily {
+    /// [`StableRootAdversary`].
+    StableRoot,
+    /// [`RotatingRootAdversary`].
+    RotatingRoot,
+    /// [`CrashOverlay`] over a synchronous base.
+    Crash,
+    /// [`HealedPartitionAdversary`].
+    HealedPartition,
+    /// [`ChurnAdversary`].
+    Churn,
+    /// [`LowerBoundAdversary`] (needs `n ≥ 4`).
+    LowerBound,
+    /// crash ∘ partition ∘ stable-tail: [`CrashOverlay`] over
+    /// [`HealedPartitionAdversary`].
+    CrashOverPartition,
+}
+
+/// Every family, in the order the suite reports them.
+pub const ALL_FAMILIES: [AdversaryFamily; 7] = [
+    AdversaryFamily::StableRoot,
+    AdversaryFamily::RotatingRoot,
+    AdversaryFamily::Crash,
+    AdversaryFamily::HealedPartition,
+    AdversaryFamily::Churn,
+    AdversaryFamily::LowerBound,
+    AdversaryFamily::CrashOverPartition,
+];
+
+/// One sampled conformance case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdversaryConfig {
+    /// Which adversary family to instantiate.
+    pub family: AdversaryFamily,
+    /// Universe size.
+    pub n: usize,
+    /// The (already [`mix_seed`]-mixed) seed.
+    pub seed: u64,
+}
+
+impl AdversaryConfig {
+    /// Instantiates the family. The `LowerBound` family requires `n ≥ 4`
+    /// and is transparently bumped there (the strategy already respects
+    /// the floor; direct constructions may not).
+    pub fn build(&self) -> Box<dyn Schedule> {
+        let n = self.n.max(1);
+        match self.family {
+            AdversaryFamily::StableRoot => Box::new(StableRootAdversary::sample(n, self.seed)),
+            AdversaryFamily::RotatingRoot => Box::new(RotatingRootAdversary::sample(n, self.seed)),
+            AdversaryFamily::Crash => {
+                let f = (self.seed % (n as u64 + 1)) as usize;
+                Box::new(CrashOverlay::seeded(
+                    crate::schedule::FixedSchedule::synchronous(n),
+                    f,
+                    self.seed,
+                ))
+            }
+            AdversaryFamily::HealedPartition => {
+                Box::new(HealedPartitionAdversary::sample(n, self.seed))
+            }
+            AdversaryFamily::Churn => Box::new(ChurnAdversary::sample(n, self.seed)),
+            AdversaryFamily::LowerBound => {
+                Box::new(LowerBoundAdversary::sample(n.max(4), self.seed))
+            }
+            AdversaryFamily::CrashOverPartition => {
+                let base = HealedPartitionAdversary::sample(n, self.seed);
+                let f = (self.seed >> 8) as usize % (n / 2 + 1);
+                Box::new(CrashOverlay::seeded(base, f, self.seed))
+            }
+        }
+    }
+
+    /// Pairwise-distinct inputs for this case (seed-rotated so the minimum
+    /// does not always sit at process 0).
+    pub fn inputs(&self) -> Vec<Value> {
+        let n = self.n.max(if self.family == AdversaryFamily::LowerBound {
+            4
+        } else {
+            1
+        });
+        let rot = (self.seed % n as u64) as usize;
+        (0..n)
+            .map(|i| 10 + 7 * (((i + rot) % n) as Value))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for AdversaryConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} adversary, n={}, seed={:#x} (reproduce with SSKEL_TEST_SEED)",
+            self.family, self.n, self.seed
+        )
+    }
+}
+
+/// A strategy over [`AdversaryConfig`]s of one family, with universe sizes
+/// drawn from `n_range`. Shrinks the universe by binary-search halving
+/// toward `n_range.start` and the raw seed toward 0 — small
+/// counterexamples first.
+pub fn adversary_config(family: AdversaryFamily, n_range: Range<usize>) -> AdversaryConfigStrategy {
+    assert!(n_range.start >= 1 && n_range.start < n_range.end);
+    AdversaryConfigStrategy { family, n_range }
+}
+
+/// See [`adversary_config`].
+#[derive(Clone, Debug)]
+pub struct AdversaryConfigStrategy {
+    family: AdversaryFamily,
+    n_range: Range<usize>,
+}
+
+impl Strategy for AdversaryConfigStrategy {
+    type Value = AdversaryConfig;
+
+    fn generate(&self, rng: &mut TestRng) -> AdversaryConfig {
+        let span = (self.n_range.end - self.n_range.start) as u64;
+        let n = self.n_range.start + rng.below(span) as usize;
+        AdversaryConfig {
+            family: self.family,
+            n,
+            seed: mix_seed(rng.next_u64()),
+        }
+    }
+
+    fn shrink(&self, value: &AdversaryConfig) -> Vec<AdversaryConfig> {
+        let mut out = Vec::new();
+        let floor = self.n_range.start;
+        if value.n > floor {
+            for n in [floor, floor + (value.n - floor) / 2, value.n - 1] {
+                if n != value.n && !out.iter().any(|c: &AdversaryConfig| c.n == n) {
+                    out.push(AdversaryConfig { n, ..value.clone() });
+                }
+            }
+        }
+        if value.seed != mix_seed(0) {
+            out.push(AdversaryConfig {
+                seed: mix_seed(0),
+                ..value.clone()
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_build_and_validate() {
+        for family in ALL_FAMILIES {
+            for n in [2usize, 5, 9] {
+                let cfg = AdversaryConfig {
+                    family,
+                    n,
+                    seed: mix_seed(n as u64),
+                };
+                let s = cfg.build();
+                crate::schedule::validate(s.as_ref(), 40).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+                assert_eq!(cfg.inputs().len(), s.n());
+                // inputs are pairwise distinct (k-agreement counts values)
+                let mut v = cfg.inputs();
+                v.sort_unstable();
+                v.dedup();
+                assert_eq!(v.len(), s.n(), "{cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_shrinks_toward_small_universes() {
+        let strat = adversary_config(AdversaryFamily::StableRoot, 2..12);
+        let big = AdversaryConfig {
+            family: AdversaryFamily::StableRoot,
+            n: 11,
+            seed: mix_seed(77),
+        };
+        let cands = strat.shrink(&big);
+        assert!(cands.iter().any(|c| c.n == 2));
+        assert!(cands.iter().all(|c| c.n < 11 || c.seed == mix_seed(0)));
+        assert!(strat
+            .shrink(&AdversaryConfig {
+                n: 2,
+                seed: mix_seed(0),
+                ..big
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn mixed_seed_is_deterministic_and_override_cases_match_the_env() {
+        assert_eq!(mix_seed(5), mix_seed(5));
+        assert_ne!(mix_seed(5), mix_seed(6));
+        // This test must pass both with and without SSKEL_TEST_SEED set —
+        // the override exists precisely to be used on full test runs.
+        if std::env::var("SSKEL_TEST_SEED").is_ok_and(|v| !v.is_empty()) {
+            assert_eq!(
+                seed_override_cases(),
+                vec![base_seed()],
+                "override must be replayed verbatim"
+            );
+        } else {
+            assert_eq!(seed_override_cases().len(), 4);
+        }
+    }
+}

@@ -272,6 +272,14 @@ impl Wire for LabeledDigraph {
 
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
         let n = read_uvarint(buf)? as usize;
+        // `LabeledDigraph::new` panics on universes that do not fit the
+        // u16 delta layout — an adversarial buffer must yield a typed
+        // error instead (and must not reach the O(n²) allocation either).
+        if n > u16::MAX as usize - 2 {
+            return Err(WireError::InvalidValue(
+                "universe too large for the u16 label-delta layout",
+            ));
+        }
         let nodes = ProcessSet::decode(buf)?;
         if nodes.universe() != n {
             return Err(WireError::InvalidValue("node set universe mismatch"));

@@ -1,0 +1,204 @@
+//! Edge cases of the schedule contract: `schedule::validate` must catch
+//! every class of violation with an error message that **names the
+//! offending round**, and `TableSchedule` must behave at its boundary
+//! configurations (empty prefix, degenerate tails, horizon 0).
+
+use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
+use sskel_model::{validate_schedule, FixedSchedule, Schedule, TableSchedule};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from_usize(i)
+}
+
+/// A schedule defined by a closure, for handcrafting violations.
+struct FnSchedule<F: Fn(Round) -> Digraph + Send + Sync> {
+    n: usize,
+    r_st: Round,
+    skeleton: Digraph,
+    graph: F,
+}
+
+impl<F: Fn(Round) -> Digraph + Send + Sync> Schedule for FnSchedule<F> {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn graph(&self, r: Round) -> Digraph {
+        (self.graph)(r)
+    }
+    fn stabilization_round(&self) -> Round {
+        self.r_st
+    }
+    fn stable_skeleton(&self) -> Digraph {
+        self.skeleton.clone()
+    }
+}
+
+#[test]
+fn missing_self_loop_error_names_the_round() {
+    let s = FnSchedule {
+        n: 3,
+        r_st: 1,
+        skeleton: Digraph::complete(3),
+        graph: |r| {
+            let mut g = Digraph::complete(3);
+            if r == 5 {
+                g.remove_edge(p(1), p(1));
+            }
+            g
+        },
+    };
+    let err = validate_schedule(&s, 10).unwrap_err();
+    assert!(err.contains("round 5"), "error must name round 5: {err}");
+    assert!(err.contains("self-loop"), "{err}");
+    // a horizon that stops short of the violation sees a valid schedule
+    assert!(validate_schedule(&s, 4).is_ok());
+}
+
+#[test]
+fn universe_mismatch_error_names_the_round() {
+    let s = FnSchedule {
+        n: 4,
+        r_st: 1,
+        skeleton: Digraph::complete(4),
+        graph: |r| Digraph::complete(if r == 3 { 5 } else { 4 }),
+    };
+    let err = validate_schedule(&s, 6).unwrap_err();
+    assert!(err.contains("round 3"), "error must name round 3: {err}");
+    assert!(err.contains("universe"), "{err}");
+}
+
+#[test]
+fn unstable_skeleton_error_names_the_first_bad_round() {
+    // declares stabilization at 1 but loses an edge at round 7
+    let s = FnSchedule {
+        n: 3,
+        r_st: 1,
+        skeleton: Digraph::complete(3),
+        graph: |r| {
+            let mut g = Digraph::complete(3);
+            if r >= 7 {
+                g.remove_edge(p(0), p(1));
+            }
+            g
+        },
+    };
+    let err = validate_schedule(&s, 12).unwrap_err();
+    assert!(err.contains("round 7"), "error must name round 7: {err}");
+    assert!(err.contains("declared stabilization at 1"), "{err}");
+}
+
+#[test]
+fn late_materialization_is_caught_at_the_declared_round() {
+    // the skeleton only *materializes* at round 6 (an extra edge persists
+    // through rounds 1–5), but stabilization is declared at 3: the running
+    // intersection at rounds 3..=5 is a strict superset of the declared
+    // skeleton.
+    let skeleton = {
+        let mut g = Digraph::empty(2);
+        g.add_self_loops();
+        g.add_edge(p(0), p(1));
+        g
+    };
+    let skel = skeleton.clone();
+    let s = FnSchedule {
+        n: 2,
+        r_st: 3,
+        skeleton,
+        graph: move |r| {
+            let mut g = skel.clone();
+            if r <= 5 {
+                g.add_edge(p(1), p(0));
+            }
+            g
+        },
+    };
+    let err = validate_schedule(&s, 10).unwrap_err();
+    assert!(
+        err.contains("round 3"),
+        "caught at the declared round: {err}"
+    );
+}
+
+#[test]
+fn horizon_zero_still_checks_through_the_stabilization_round() {
+    // validate() extends any horizon to at least rST — a lying declaration
+    // cannot hide behind `horizon: 0`.
+    let s = FnSchedule {
+        n: 2,
+        r_st: 4,
+        skeleton: Digraph::complete(2),
+        graph: |r| {
+            let mut g = Digraph::complete(2);
+            if r == 2 {
+                g.remove_edge(p(0), p(0)); // missing self-loop at round 2
+            }
+            g
+        },
+    };
+    let err = validate_schedule(&s, 0).unwrap_err();
+    assert!(err.contains("round 2"), "{err}");
+    // and a clean schedule passes with horizon 0 as well
+    assert!(validate_schedule(&FixedSchedule::synchronous(3), 0).is_ok());
+}
+
+#[test]
+fn empty_prefix_table_schedule_is_the_fixed_schedule() {
+    let tail = Digraph::complete(4);
+    let s = TableSchedule::stable_only(tail.clone());
+    assert_eq!(s.n(), 4);
+    assert_eq!(s.stabilization_round(), FIRST_ROUND);
+    assert_eq!(s.graph(1), tail);
+    assert_eq!(s.graph(1_000_000), tail);
+    assert_eq!(s.stable_skeleton(), tail);
+    assert!(validate_schedule(&s, 0).is_ok());
+    assert!(validate_schedule(&s, 16).is_ok());
+}
+
+#[test]
+fn self_loop_only_tail_collapses_the_skeleton() {
+    // a tail with no edges beyond self-loops ("non-rooted" beyond the
+    // trivial singleton roots): sound, with the declared skeleton equal to
+    // the self-loop graph no matter how rich the prefix was
+    let mut tail = Digraph::empty(3);
+    tail.add_self_loops();
+    let s = TableSchedule::new(
+        vec![Digraph::complete(3), Digraph::complete(3)],
+        tail.clone(),
+    );
+    assert_eq!(s.stabilization_round(), 3);
+    assert_eq!(s.stable_skeleton(), tail);
+    assert!(validate_schedule(&s, 10).is_ok());
+}
+
+#[test]
+fn prefix_tail_universe_mismatch_names_the_prefix_round() {
+    let result = std::panic::catch_unwind(|| {
+        TableSchedule::new(vec![Digraph::complete(3)], Digraph::complete(4))
+    });
+    let msg = *result
+        .expect_err("mismatched universes must be rejected")
+        .downcast::<String>()
+        .expect("panic carries a message");
+    assert!(msg.contains("prefix round 1"), "{msg}");
+}
+
+#[test]
+fn prefix_missing_self_loop_names_the_prefix_graph() {
+    let result = std::panic::catch_unwind(|| {
+        TableSchedule::new(
+            vec![Digraph::complete(3), Digraph::empty(3)],
+            Digraph::complete(3),
+        )
+    });
+    let msg = *result
+        .expect_err("self-loop-free prefix must be rejected")
+        .downcast::<String>()
+        .expect("panic carries a message");
+    assert!(msg.contains("prefix graph 2"), "{msg}");
+}
+
+#[test]
+fn rounds_are_one_based() {
+    let s = TableSchedule::stable_only(Digraph::complete(2));
+    assert!(std::panic::catch_unwind(|| s.graph(0)).is_err());
+}

@@ -1,0 +1,242 @@
+//! Negative-path wire tests: decoding truncated, junk, and bit-flipped
+//! buffers for every `Wire` message type of `sskel-model` must return a
+//! typed [`WireError`] — never panic, never over-read past the value, and
+//! never hand back a value that re-encodes inconsistently.
+//!
+//! Rationale: the engines only ever decode bytes their own encoder
+//! produced, but the wire format is the system's external boundary — a
+//! deployment feeding network input into these codecs gets exactly the
+//! guarantees pinned here. (The universe cap on `LabeledDigraph::decode`
+//! exists because of this suite: an adversarial header declaring a
+//! ~2¹⁶-process universe used to reach the constructor's panic.)
+
+use proptest::prelude::*;
+
+use bytes::{Buf, BytesMut};
+use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet};
+use sskel_model::wire::write_uvarint;
+use sskel_model::{Wire, WireError, WireSized};
+
+/// A generated `LabeledDigraph` for codec tests: universe, node seeds and
+/// labelled edges all drawn from the strategy tuple.
+fn graph_from(n: usize, nodes: &[usize], edges: &[(usize, usize, u32)]) -> LabeledDigraph {
+    let mut g = LabeledDigraph::new(n);
+    for &i in nodes {
+        g.insert_node(ProcessId::from_usize(i % n));
+    }
+    for &(u, v, l) in edges {
+        g.set_edge_max(
+            ProcessId::from_usize(u % n),
+            ProcessId::from_usize(v % n),
+            1 + l % 65_000, // crosses the 1/2/3-byte delta varint bands (within the u16 window)
+        );
+    }
+    g
+}
+
+fn set_from(n: usize, members: &[usize]) -> ProcessSet {
+    ProcessSet::from_indices(n, members.iter().map(|&i| i % n.max(1)))
+}
+
+/// Asserts the three universal decode guarantees on an arbitrary buffer:
+/// a `Result` comes back (reaching this point at all means no panic), an
+/// `Ok` value re-encodes to exactly `wire_bytes` bytes and round-trips,
+/// and the decoder consumed at most the whole buffer.
+fn check_decode_guarantees<T>(bytes: &[u8], ctx: &str) -> Result<(), TestCaseError>
+where
+    T: Wire + PartialEq + std::fmt::Debug,
+{
+    let mut rd = bytes;
+    let res = T::decode(&mut rd);
+    let consumed = bytes.len() - rd.remaining();
+    prop_assert!(consumed <= bytes.len(), "{}: over-read", ctx);
+    if let Ok(v) = res {
+        let re = v.to_bytes();
+        prop_assert_eq!(re.len(), v.wire_bytes(), "{}: size accounting", ctx);
+        let mut rd2 = &re[..];
+        let back = T::decode(&mut rd2);
+        prop_assert_eq!(
+            back.as_ref().ok(),
+            Some(&v),
+            "{}: decoded value does not round-trip",
+            ctx
+        );
+        prop_assert!(!rd2.has_remaining(), "{}: re-decode over-read", ctx);
+    }
+    Ok(())
+}
+
+/// Every strict prefix of a valid encoding must fail with a typed error
+/// (the varint framing is self-delimiting and all counts are up front, so
+/// a cut can never look complete).
+fn check_truncations<T>(value: &T, ctx: &str) -> Result<(), TestCaseError>
+where
+    T: Wire + PartialEq + std::fmt::Debug,
+{
+    let bytes = value.to_bytes();
+    for cut in 0..bytes.len() {
+        let mut rd = &bytes[..cut];
+        let res = T::decode(&mut rd);
+        prop_assert!(
+            res.is_err(),
+            "{}: truncation to {} of {} bytes decoded to {:?}",
+            ctx,
+            cut,
+            bytes.len(),
+            res
+        );
+    }
+    // and the full buffer still decodes to the original
+    let mut rd = &bytes[..];
+    let full = T::decode(&mut rd);
+    prop_assert_eq!(full.as_ref().ok(), Some(value), "{}", ctx);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_buffers_return_typed_errors(
+        (n, nodes, edges) in (1usize..40).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(0..n, 0..4),
+            proptest::collection::vec((0..n, 0..n, 0u32..65_000), 0..12),
+        )),
+        members in proptest::collection::vec(0usize..40, 0..10),
+        v in any::<u64>(),
+    ) {
+        check_truncations(&graph_from(n, &nodes, &edges), "LabeledDigraph")?;
+        check_truncations(&set_from(n, &members), "ProcessSet")?;
+        check_truncations(&v, "u64")?;
+    }
+
+    #[test]
+    fn junk_buffers_never_panic_or_over_read(
+        junk in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        // widen the u64 stream into bytes: junk buffers up to 192 bytes
+        let bytes: Vec<u8> = junk.iter().flat_map(|x| x.to_le_bytes()).collect();
+        check_decode_guarantees::<LabeledDigraph>(&bytes, "LabeledDigraph")?;
+        check_decode_guarantees::<ProcessSet>(&bytes, "ProcessSet")?;
+        check_decode_guarantees::<u64>(&bytes, "u64")?;
+    }
+
+    #[test]
+    fn bit_flipped_encodings_never_panic_or_over_read(
+        (n, nodes, edges) in (1usize..30).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(0..n, 0..3),
+            proptest::collection::vec((0..n, 0..n, 0u32..65_000), 0..10),
+        )),
+        flip in any::<u64>(),
+    ) {
+        let g = graph_from(n, &nodes, &edges);
+        let mut bytes = g.to_bytes().to_vec();
+        let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        check_decode_guarantees::<LabeledDigraph>(&bytes, "LabeledDigraph")?;
+
+        let s = set_from(n, &nodes);
+        let mut sb = s.to_bytes().to_vec();
+        let bit = (flip % (sb.len() as u64 * 8)) as usize;
+        sb[bit / 8] ^= 1 << (bit % 8);
+        check_decode_guarantees::<ProcessSet>(&sb, "ProcessSet")?;
+    }
+
+    #[test]
+    fn valid_encodings_with_suffixes_consume_exactly_their_bytes(
+        (n, edges) in (1usize..30).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 0u32..65_000), 0..10),
+        )),
+        suffix_len in 0usize..16,
+    ) {
+        let g = graph_from(n, &[], &edges);
+        let mut bytes = g.to_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0xa5u8, suffix_len));
+        let mut rd = &bytes[..];
+        let back = LabeledDigraph::decode(&mut rd).expect("valid prefix");
+        prop_assert_eq!(&back, &g);
+        prop_assert_eq!(rd.remaining(), suffix_len, "decode must stop at the value boundary");
+    }
+}
+
+/// The unit codec for `()` has no failure modes, but its guarantees still
+/// hold degenerately: zero bytes consumed, nothing read.
+#[test]
+fn unit_codec_consumes_nothing() {
+    let bytes = [0xffu8; 4];
+    let mut rd = &bytes[..];
+    <()>::decode(&mut rd).unwrap();
+    assert_eq!(rd.remaining(), 4);
+    assert_eq!(().wire_bytes(), 0);
+}
+
+/// An adversarial header declaring a universe beyond the u16 delta layout
+/// must yield `InvalidValue`, not the constructor panic it used to reach
+/// (the buffer below is large enough to pass the node-set length check for
+/// `n = 70_000`, so only the explicit cap stands between the decoder and
+/// `LabeledDigraph::new`'s assert).
+#[test]
+fn oversized_universe_is_a_typed_error() {
+    for n in [u16::MAX as u64 - 1, 70_000, 1 << 20] {
+        let mut buf = BytesMut::new();
+        write_uvarint(&mut buf, n); // graph universe
+        write_uvarint(&mut buf, n); // node-set universe
+        for _ in 0..(n as usize).div_ceil(8) {
+            bytes::BufMut::put_u8(&mut buf, 0);
+        }
+        write_uvarint(&mut buf, 0); // base
+        write_uvarint(&mut buf, 0); // edge count
+        let mut rd = buf.freeze();
+        assert_eq!(
+            LabeledDigraph::decode(&mut rd),
+            Err(WireError::InvalidValue(
+                "universe too large for the u16 label-delta layout"
+            )),
+            "n={n}"
+        );
+    }
+    // a universe comfortably below the cap still decodes fine (the exact
+    // boundary value n = u16::MAX − 2 is constructible but its dense
+    // matrices commit gigabytes — not worth a test allocation; the cap
+    // comparison itself is pinned by the rejected n = u16::MAX − 1 above)
+    let g = LabeledDigraph::new(300);
+    let mut rd = g.to_bytes();
+    assert_eq!(LabeledDigraph::decode(&mut rd).unwrap(), g);
+}
+
+/// Each distinct failure class maps to its distinct `WireError` variant on
+/// a real graph encoding: cut → `UnexpectedEnd`, padded varint →
+/// `NonCanonical`, domain breach → `InvalidValue`.
+#[test]
+fn error_variants_are_distinguished() {
+    let mut g = LabeledDigraph::new(5);
+    g.set_edge_max(ProcessId::new(1), ProcessId::new(4), 7);
+    let bytes = g.to_bytes().to_vec();
+
+    let mut cut = &bytes[..bytes.len() - 1];
+    assert_eq!(
+        LabeledDigraph::decode(&mut cut),
+        Err(WireError::UnexpectedEnd)
+    );
+
+    let mut padded = bytes.clone();
+    let last = padded.pop().unwrap();
+    padded.push(last | 0x80);
+    padded.push(0x00);
+    let mut rd = &padded[..];
+    assert_eq!(
+        LabeledDigraph::decode(&mut rd),
+        Err(WireError::NonCanonical)
+    );
+
+    let mut bad_edge = bytes.clone();
+    *bad_edge.last_mut().unwrap() = 0; // label delta 0 is out of domain
+    let mut rd = &bad_edge[..];
+    assert!(matches!(
+        LabeledDigraph::decode(&mut rd),
+        Err(WireError::InvalidValue(_))
+    ));
+}

@@ -63,9 +63,10 @@ pub mod prelude {
         VerifySpec,
     };
     pub use sskel_model::{
-        run_lockstep, run_lockstep_observed, run_sharded, run_threaded, FixedSchedule, ProcessCtx,
-        Received, RoundAlgorithm, RunTrace, RunUntil, Schedule, ShardPlan, SkeletonTracker,
-        TableSchedule, Value,
+        run_lockstep, run_lockstep_observed, run_sharded, run_threaded, validate_schedule,
+        ChurnAdversary, CrashOverlay, FixedSchedule, HealedPartitionAdversary, LowerBoundAdversary,
+        PartitionEpisode, ProcessCtx, Received, RotatingRootAdversary, RoundAlgorithm, RunTrace,
+        RunUntil, Schedule, ShardPlan, SkeletonTracker, StableRootAdversary, TableSchedule, Value,
     };
     pub use sskel_predicates::{
         check_theorem1, check_theorem1_tight, min_k_on_skeleton, planted_psrcs_schedule,

@@ -6,9 +6,14 @@
 //! macro and `prop_assert*` macros, and [`ProptestConfig::with_cases`].
 //!
 //! Differences from real proptest: cases are drawn from a fixed
-//! deterministic stream (seeded by the test function's name), and there is
-//! **no shrinking** — a failing case reproduces identically on every run,
-//! which is what matters for CI.
+//! deterministic stream (seeded by the test function's name), so a failing
+//! case reproduces identically on every run. Shrinking is **minimal**:
+//! integer ranges and [`collection::vec`] lengths shrink by binary-search
+//! halving toward their lower bound (and each element of a failing `Vec` is
+//! shrunk in place), tuples shrink component-wise, and `bool` shrinks to
+//! `false`. Strategies built with `prop_map`/`prop_flat_map` do **not**
+//! shrink through the mapping (the generator input is not retained), so
+//! prefer plain range/vec/tuple bindings for inputs you want minimized.
 
 use std::ops::Range;
 
@@ -100,6 +105,15 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The default (no candidates) disables shrinking; implementors
+    /// must never yield a candidate equal to `value` (the runner guards
+    /// against cycles only via its attempt budget).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Transforms generated values.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -125,6 +139,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
 /// See [`Strategy::prop_map`].
@@ -138,6 +155,7 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+    // No shrink: the pre-map input is not retained, and `f` has no inverse.
 }
 
 /// See [`Strategy::prop_flat_map`].
@@ -151,6 +169,7 @@ impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F
     fn generate(&self, rng: &mut TestRng) -> S2::Value {
         (self.f)(self.inner.generate(rng)).generate(rng)
     }
+    // No shrink: the dependent strategy that produced the value is unknown.
 }
 
 /// Always generates a clone of the given value.
@@ -172,6 +191,25 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
                 (self.start as u64).wrapping_add(rng.below(span)) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Binary-search halving toward the lower bound: jumping to
+                // `start` first, then to the midpoint, then one step down
+                // converges in O(log span) adopted candidates.
+                let v = *value;
+                let mut out = Vec::new();
+                if v > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2;
+                    if mid != self.start {
+                        out.push(mid);
+                    }
+                    let dec = v - 1;
+                    if dec != self.start && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -184,45 +222,106 @@ impl Strategy for Range<i32> {
         let span = (self.end as i64 - self.start as i64) as u64;
         (self.start as i64 + rng.below(span) as i64) as i32
     }
+    fn shrink(&self, value: &i32) -> Vec<i32> {
+        let v = *value;
+        let mut out = Vec::new();
+        if v > self.start {
+            out.push(self.start);
+            let mid = self.start + ((v as i64 - self.start as i64) / 2) as i32;
+            if mid != self.start {
+                out.push(mid);
+            }
+            let dec = v - 1;
+            if dec != self.start && dec != mid {
+                out.push(dec);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: each candidate shrinks exactly one
+                // position while cloning the rest.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut t = value.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
 
 /// Types with a whole-domain strategy, for [`any`].
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of `value` (see [`Strategy::shrink`]).
+    fn shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 impl Arbitrary for u64 {
     fn arbitrary(rng: &mut TestRng) -> u64 {
         rng.next_u64()
     }
+    fn shrink(value: &u64) -> Vec<u64> {
+        let v = *value;
+        match v {
+            0 => Vec::new(),
+            1 => vec![0],
+            _ => vec![0, v / 2, v - 1],
+        }
+    }
 }
 impl Arbitrary for u32 {
     fn arbitrary(rng: &mut TestRng) -> u32 {
         (rng.next_u64() >> 32) as u32
     }
+    fn shrink(value: &u32) -> Vec<u32> {
+        let v = *value;
+        match v {
+            0 => Vec::new(),
+            1 => vec![0],
+            _ => vec![0, v / 2, v - 1],
+        }
+    }
 }
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -238,6 +337,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }
 
@@ -259,12 +361,39 @@ pub mod collection {
         len: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            // Length first (halving toward the minimum, then dropping one
+            // element), then each element in place.
+            let mut out = Vec::new();
+            let min = self.len.start;
+            if value.len() > min {
+                let half = (value.len() / 2).max(min);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 > half || value.len() - 1 == min {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+                out.push(value[1..].to_vec());
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut t = value.clone();
+                    t[i] = cand;
+                    out.push(t);
+                }
+            }
+            out
         }
     }
 }
@@ -277,26 +406,222 @@ pub mod prelude {
     };
 }
 
-/// Asserts a condition inside a property test.
+/// Asserts a condition inside a property test. On failure the enclosing
+/// case returns a [`TestCaseError`] (rather than panicking), which lets the
+/// runner shrink the failing input before reporting.
 #[macro_export]
 macro_rules! prop_assert {
-    ($($tt:tt)*) => { assert!($($tt)*) };
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
 }
 
-/// Asserts equality inside a property test.
+/// Asserts equality inside a property test (shrinkable, like
+/// [`prop_assert!`]).
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
 }
 
-/// Asserts inequality inside a property test.
+/// Asserts inequality inside a property test (shrinkable, like
+/// [`prop_assert!`]).
 #[macro_export]
 macro_rules! prop_assert_ne {
-    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}\n{}",
+                __l,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Hard cap on shrink *attempts* (executions of the test body during
+/// shrinking) so a pathological strategy cannot loop forever.
+const SHRINK_ATTEMPT_BUDGET: usize = 1024;
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+/// Refcounted suppression of the process-global panic hook while shrink
+/// attempts run (each failing attempt panics on purpose; printing hundreds
+/// of backtraces would bury the report). The refcount makes concurrent
+/// shrinking tests compose: the original hook is taken once when the first
+/// shrinker enters and restored once when the last one leaves, so an
+/// interleaved enter/exit can never leave the no-op hook installed. A
+/// concurrently failing *unrelated* test loses only the hook-printed
+/// panic line during that window; libtest still reports its failure.
+static QUIET_PANICS: std::sync::Mutex<(usize, Option<PanicHook>)> =
+    std::sync::Mutex::new((0, None));
+
+fn quiet_panics_enter() {
+    let mut g = QUIET_PANICS.lock().unwrap_or_else(|e| e.into_inner());
+    if g.0 == 0 {
+        g.1 = Some(std::panic::take_hook());
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    g.0 += 1;
+}
+
+/// RAII handle for the suppression window — `Drop` restores the refcount
+/// even if a `Strategy::shrink` implementation itself panics mid-loop.
+struct QuietPanicsGuard;
+
+impl QuietPanicsGuard {
+    fn new() -> Self {
+        quiet_panics_enter();
+        QuietPanicsGuard
+    }
+}
+
+impl Drop for QuietPanicsGuard {
+    fn drop(&mut self) {
+        let mut g = QUIET_PANICS.lock().unwrap_or_else(|e| e.into_inner());
+        g.0 -= 1;
+        if g.0 == 0 {
+            if let Some(hook) = g.1.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn __run_case<V, F>(run: &F, vals: &V) -> Result<(), TestCaseError>
+where
+    F: Fn(&V) -> Result<(), TestCaseError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(vals))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "test case panicked".to_owned()
+            };
+            Err(TestCaseError::fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Runs every case of one property test, shrinking and reporting the first
+/// failure. This lives behind the [`proptest!`] macro; taking the body as a
+/// closure parameter (rather than expanding the loop inline) is what lets
+/// the compiler infer the closure's argument type from the strategy.
+#[doc(hidden)]
+pub fn __execute<S, F>(name: &str, cases: u32, strat: S, run: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(name, case);
+        let vals = strat.generate(&mut rng);
+        if let Err(e) = __run_case(&run, &vals) {
+            __shrink_and_report(name, case, &strat, vals, e, &run);
+        }
+    }
+}
+
+/// Greedily shrinks a failing input and reports the minimal one found.
+/// Panic output of intermediate shrink attempts is suppressed (the default
+/// panic hook is restored before the final report).
+fn __shrink_and_report<S, F>(
+    name: &str,
+    case: u32,
+    strat: &S,
+    initial: S::Value,
+    initial_err: TestCaseError,
+    run: &F,
+) -> !
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut best = initial;
+    let mut best_err = initial_err;
+    let mut shrinks = 0usize;
+    let mut attempts = 0usize;
+    let quiet = QuietPanicsGuard::new();
+    'outer: loop {
+        let candidates = strat.shrink(&best);
+        if candidates.is_empty() {
+            break;
+        }
+        for cand in candidates {
+            attempts += 1;
+            if attempts > SHRINK_ATTEMPT_BUDGET {
+                break 'outer;
+            }
+            if let Err(e) = __run_case(run, &cand) {
+                best = cand;
+                best_err = e;
+                shrinks += 1;
+                continue 'outer;
+            }
+        }
+        break; // every candidate passes: `best` is locally minimal
+    }
+    let report = format!(
+        "proptest case {case} of {name} failed: {best_err}\n\
+         minimal failing input after {shrinks} shrinks ({attempts} attempts): {best:?}"
+    );
+    // The report goes to (captured) stderr *before* the panic: if a
+    // sibling test is still shrinking, the no-op hook is still installed
+    // when we unwind, and the hook-printed panic line would be lost —
+    // libtest shows captured output for failed tests either way.
+    eprintln!("{report}");
+    drop(quiet); // release our suppression window before the final panic
+    panic!("{report}");
 }
 
 /// Declares property tests: each `fn name(pat in strategy, ..) { body }`
-/// becomes a `#[test]` running `cases` deterministic random cases.
+/// becomes a `#[test]` running `cases` deterministic random cases. A
+/// failing case is shrunk (see [`Strategy::shrink`]) before being reported.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -316,16 +641,11 @@ macro_rules! __proptest_impl {
             #[allow(clippy::redundant_closure_call)]
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
-                for __case in 0..cfg.cases {
-                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $crate::__execute(stringify!($name), cfg.cases, ($($strat,)+), |__vals| {
+                    let ($($pat,)+) = ::core::clone::Clone::clone(__vals);
                     // Closure so bodies may use `?` with TestCaseError.
-                    let __result: ::core::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body ::core::result::Result::Ok(()) })();
-                    if let ::core::result::Result::Err(e) = __result {
-                        panic!("proptest case {__case} of {} failed: {e}", stringify!($name));
-                    }
-                }
+                    (|| { $body ::core::result::Result::Ok(()) })()
+                });
             }
         )*
     };
@@ -364,5 +684,89 @@ mod tests {
         assert_eq!(a.next_u64(), b.next_u64());
         let mut c = TestRng::for_case("x", 4);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    /// The runner's shrink loop, driven directly: a predicate failing for
+    /// all values ≥ 17 must shrink a large failing draw down to exactly 17.
+    #[test]
+    fn shrinking_converges_to_the_boundary() {
+        let strat = (0u32..1000,);
+        let run = |vals: &(u32,)| -> Result<(), TestCaseError> {
+            if vals.0 >= 17 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        // Emulate __shrink_and_report's loop without the final panic.
+        let mut best = (940u32,);
+        assert!(crate::__run_case(&run, &best).is_err());
+        'outer: loop {
+            for cand in Strategy::shrink(&strat, &best) {
+                if crate::__run_case(&run, &cand).is_err() {
+                    best = cand;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        assert_eq!(best.0, 17, "binary-search halving finds the boundary");
+    }
+
+    #[test]
+    fn vec_shrink_reduces_length_and_elements() {
+        let strat = crate::collection::vec(0u64..100, 1..10);
+        let run = |vals: &Vec<u64>| -> Result<(), TestCaseError> {
+            if vals.iter().any(|&x| x >= 30) {
+                Err(TestCaseError::fail("has a big element"))
+            } else {
+                Ok(())
+            }
+        };
+        let mut best = vec![3, 55, 80, 12, 44, 9];
+        assert!(run(&best).is_err());
+        'outer: loop {
+            for cand in Strategy::shrink(&strat, &best) {
+                if run(&cand).is_err() {
+                    best = cand;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        assert_eq!(best, vec![30], "one minimal offending element remains");
+    }
+
+    #[test]
+    fn range_shrink_respects_lower_bound_and_never_echoes() {
+        let s = 5usize..50;
+        assert!(Strategy::shrink(&s, &5).is_empty());
+        for v in [6usize, 7, 20, 49] {
+            let cands = Strategy::shrink(&s, &v);
+            assert!(!cands.is_empty());
+            assert!(cands.iter().all(|&c| (5..v).contains(&c)), "{cands:?}");
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let s = (1u32..10, 0u64..8);
+        let cands = Strategy::shrink(&s, &(9, 7));
+        assert!(cands.iter().any(|&(a, b)| a < 9 && b == 7));
+        assert!(cands.iter().any(|&(a, b)| a == 9 && b < 7));
+        assert!(cands.iter().all(|&c| c != (9, 7)));
+    }
+
+    /// A deliberately failing body exercised through `__run_case`: panics
+    /// are converted into `TestCaseError`s so the shrinker can keep going.
+    #[test]
+    fn panics_are_captured_as_case_errors() {
+        let run = |v: &(u32,)| -> Result<(), TestCaseError> {
+            assert!(v.0 < 5, "boom {}", v.0);
+            Ok(())
+        };
+        let err = crate::__run_case(&run, &(9,)).unwrap_err();
+        assert!(err.to_string().contains("boom 9"), "{err}");
+        assert!(crate::__run_case(&run, &(1,)).is_ok());
     }
 }
