@@ -27,8 +27,9 @@ use sskel_bench::{inputs, ring_skeleton, ring_with_chords, std_schedule, SEED};
 use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round};
 use sskel_kset::{lemma11_bound, DecisionRule, KSetAgreement, SkeletonEstimator};
 use sskel_model::{
-    run_lockstep, run_sharded, run_threaded, ChurnAdversary, FixedSchedule, RotatingRootAdversary,
-    RunUntil, Schedule, ShardPlan, StableRootAdversary,
+    run_lockstep, run_lockstep_codec, run_sharded, run_sharded_codec, run_threaded, ChurnAdversary,
+    CorruptionOverlay, FixedSchedule, NoFaults, RotatingRootAdversary, RunUntil, Schedule,
+    ShardPlan, StableRootAdversary,
 };
 
 struct Record {
@@ -215,6 +216,62 @@ fn engines_workloads(out: &mut Vec<Record>) {
     }));
 }
 
+/// Codec-boundary transport against the `Arc` hand-off it replaces: the
+/// same workloads with every payload running `encode → frame → decode`
+/// through an inert fault plane. The gap is the real serialization cost
+/// the `Arc` path hides (recorded in `docs/BENCHMARKS.md`), and the
+/// corruption-rate ablation tracks what the seeded tamper path adds on
+/// top.
+fn codec_workloads(out: &mut Vec<Record>) {
+    let n = 16usize;
+    let s = FixedSchedule::synchronous(n);
+    let ins = inputs(n);
+    let until = RunUntil::AllDecided {
+        max_rounds: lemma11_bound(&s) + 2,
+    };
+    out.push(measure(&format!("engines/lockstep_codec/{n}"), || {
+        run_lockstep_codec(&s, KSetAgreement::spawn_all(n, &ins), until, &NoFaults)
+            .0
+            .rounds_executed
+    }));
+
+    // the bandwidth-bound dense round at scale: the regime where framing
+    // every payload hurts the most
+    let n = 256usize;
+    let s = FixedSchedule::new(ring_with_chords(n, 8));
+    let ins = inputs(n);
+    let until = RunUntil::Rounds(6);
+    out.push(measure("engines/sharded_codec/256x6r_s4w4", || {
+        run_sharded_codec(
+            &s,
+            KSetAgreement::spawn_all(n, &ins),
+            until,
+            ShardPlan::new(4).with_window(4),
+            &NoFaults,
+        )
+        .0
+        .rounds_executed
+    }));
+
+    // corruption-rate ablation: seeded tampering (and the quarantine
+    // bookkeeping it triggers) at increasing rates, same workload
+    let n = 32usize;
+    let s = FixedSchedule::synchronous(n);
+    let ins = inputs(n);
+    let until = RunUntil::Rounds(12);
+    for rate in [0.0, 0.1, 0.5] {
+        let plane = CorruptionOverlay::new(SEED, rate);
+        out.push(measure(
+            &format!("engines/lockstep_codec_corrupt/{n}x12r_r{rate}"),
+            || {
+                run_lockstep_codec(&s, KSetAgreement::spawn_all(n, &ins), until, &plane)
+                    .0
+                    .rounds_executed
+            },
+        ));
+    }
+}
+
 /// Hostile-schedule workloads: full runs to decision under the seedable
 /// message adversaries (see `sskel-model`'s `adversary` module). These
 /// track the cost of the conformance story — per-round graph synthesis is
@@ -270,6 +327,7 @@ fn main() {
     full_run_workloads(&mut records);
     approx_update_workloads(&mut records);
     engines_workloads(&mut records);
+    codec_workloads(&mut records);
     adversary_workloads(&mut records);
 
     let mut json = String::from("{\n");

@@ -22,8 +22,10 @@
 //! round 1, and Lemma 14's "no process can pass the check in Line 28 before
 //! round n" is consistent with `⩾`. See DESIGN.md ("Reading notes").
 
-use sskel_graph::{ProcessId, ProcessSet, Round};
-use sskel_model::{ProcessCtx, Received, RoundAlgorithm, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sskel_graph::{LabeledDigraph, ProcessId, ProcessSet, Round};
+use sskel_model::wire::{read_uvarint, uvarint_len, write_uvarint};
+use sskel_model::{ProcessCtx, Received, Recoverable, RoundAlgorithm, Value, Wire, WireError};
 
 use crate::approx::SkeletonEstimator;
 use crate::msg::{KSetMsg, MsgKind};
@@ -316,6 +318,129 @@ impl RoundAlgorithm for KSetAgreement {
 
     fn decision(&self) -> Option<Value> {
         self.decision
+    }
+}
+
+/// Crash/restart checkpointing for the recovery engine
+/// ([`sskel_model::engine::run_lockstep_recovering`]).
+///
+/// The snapshot reuses the wire codec end to end:
+///
+/// ```text
+/// uvarint n · uvarint me · uvarint x · flags u8 · pt ProcessSet
+///           · uvarint rebase_limit · G_p LabeledDigraph
+/// ```
+///
+/// with `flags = decided | path_code << 1 | rule << 3` (path code 0 =
+/// undecided, 1 = strongly-connected, 2 = relay). The decision value is
+/// not stored separately: once `decided_p` holds, `x_p` never changes
+/// (lines 26–30 are skipped), so `decision = x` is an invariant the
+/// restore path re-derives.
+impl Recoverable for KSetAgreement {
+    fn snapshot(&self) -> Bytes {
+        let g = self.est.graph();
+        let mut buf = BytesMut::with_capacity(
+            uvarint_len(self.n as u64)
+                + uvarint_len(self.me.index() as u64)
+                + sskel_model::WireSized::wire_bytes(&self.x)
+                + 1
+                + sskel_model::WireSized::wire_bytes(&self.pt)
+                + uvarint_len(u64::from(self.est.rebase_limit()))
+                + sskel_model::WireSized::wire_bytes(g),
+        );
+        write_uvarint(&mut buf, self.n as u64);
+        write_uvarint(&mut buf, self.me.index() as u64);
+        self.x.encode(&mut buf);
+        let path_code: u8 = match self.path {
+            None => 0,
+            Some(DecisionPath::StronglyConnected) => 1,
+            Some(DecisionPath::Relay) => 2,
+        };
+        let rule_bit: u8 = match self.rule {
+            DecisionRule::Paper => 0,
+            DecisionRule::FreshnessGuarded => 1,
+        };
+        buf.put_u8(u8::from(self.decided) | (path_code << 1) | (rule_bit << 3));
+        self.pt.encode(&mut buf);
+        write_uvarint(&mut buf, u64::from(self.est.rebase_limit()));
+        g.encode(&mut buf);
+        buf.freeze()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut rd = bytes;
+        let n = read_uvarint(&mut rd)? as usize;
+        if n == 0 {
+            return Err(WireError::InvalidValue("snapshot of an empty universe"));
+        }
+        let me_idx = read_uvarint(&mut rd)? as usize;
+        if me_idx >= n {
+            return Err(WireError::InvalidValue("snapshot owner out of universe"));
+        }
+        let me = ProcessId::from_usize(me_idx);
+        let x = Value::decode(&mut rd)?;
+        if !rd.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let flags = rd.get_u8();
+        if flags & !0b1111 != 0 {
+            return Err(WireError::InvalidValue("unknown snapshot flag bits"));
+        }
+        let decided = flags & 1 != 0;
+        let path = match (flags >> 1) & 0b11 {
+            0 => None,
+            1 => Some(DecisionPath::StronglyConnected),
+            2 => Some(DecisionPath::Relay),
+            _ => return Err(WireError::InvalidValue("unknown decision-path code")),
+        };
+        if decided == path.is_none() {
+            return Err(WireError::InvalidValue(
+                "decided flag disagrees with decision path",
+            ));
+        }
+        let rule = if flags & 0b1000 != 0 {
+            DecisionRule::FreshnessGuarded
+        } else {
+            DecisionRule::Paper
+        };
+        let pt = ProcessSet::decode(&mut rd)?;
+        if pt.universe() != n {
+            return Err(WireError::InvalidValue("snapshot PT universe mismatch"));
+        }
+        if !pt.contains(me) {
+            return Err(WireError::InvalidValue("snapshot PT excludes its owner"));
+        }
+        let rebase_limit = read_uvarint(&mut rd)?;
+        if rebase_limit <= n as u64 + 1 || rebase_limit > u64::from(u16::MAX) {
+            return Err(WireError::InvalidValue(
+                "snapshot rebase limit out of range",
+            ));
+        }
+        let graph = LabeledDigraph::decode(&mut rd)?;
+        if graph.universe() != n {
+            return Err(WireError::InvalidValue("snapshot graph universe mismatch"));
+        }
+        if !graph.nodes().contains(me) {
+            return Err(WireError::InvalidValue("snapshot graph lost its owner"));
+        }
+        if rd.has_remaining() {
+            return Err(WireError::InvalidValue("trailing bytes in snapshot"));
+        }
+        Ok(KSetAgreement {
+            me,
+            n,
+            pt,
+            x,
+            decided,
+            decision: decided.then_some(x),
+            path,
+            rule,
+            est: SkeletonEstimator::from_parts(n, me, graph, rebase_limit as Round),
+        })
+    }
+
+    fn snapshot_due(&self, r: Round) -> bool {
+        self.est.snapshot_due(r)
     }
 }
 

@@ -48,7 +48,7 @@ const DEFAULT_REBASE_LIMIT: Round = u16::MAX as Round - 4096;
 /// the aligned fast path (operand translation happens only in the one
 /// round where a rebase fires) and keeps the wire accounting byte-identical
 /// across engines and payload-cloning strategies.
-fn canonical_base(r: Round, n: usize, limit: Round) -> Round {
+pub fn canonical_base(r: Round, n: usize, limit: Round) -> Round {
     if r <= limit {
         return 0;
     }
@@ -188,6 +188,51 @@ impl SkeletonEstimator {
             "rebase limit {limit} exceeds the u16 delta window"
         );
         self.rebase_limit = limit;
+    }
+
+    /// The current rebase threshold (see
+    /// [`SkeletonEstimator::set_rebase_limit`]).
+    #[inline]
+    pub fn rebase_limit(&self) -> Round {
+        self.rebase_limit
+    }
+
+    /// `true` iff the end of round `r` is a **canonical cut point**: the
+    /// first round carrying a fresh [`canonical_base`] — i.e. the round in
+    /// which the delta window rebased. The graph is then freshly compacted
+    /// and every process's base agrees, which makes these rounds the
+    /// snapshot points of the crash/restart recovery drill (a snapshot
+    /// taken here round-trips through the wire codec with no pending
+    /// rebase state to reconstruct).
+    pub fn snapshot_due(&self, r: Round) -> bool {
+        r >= 1
+            && canonical_base(r, self.n, self.rebase_limit)
+                != canonical_base(r.saturating_sub(1), self.n, self.rebase_limit)
+    }
+
+    /// Rebuilds an estimator from snapshotted parts: the owner, the
+    /// approximation graph as of the snapshot round, and the run's rebase
+    /// threshold. The inverse of reading [`SkeletonEstimator::graph`] and
+    /// [`SkeletonEstimator::rebase_limit`] back out; scratch memory is
+    /// reallocated cold (it carries no round state).
+    ///
+    /// # Panics
+    /// Panics if `me` is outside the universe, the graph's universe is not
+    /// `n`, or `limit` violates [`SkeletonEstimator::set_rebase_limit`]'s
+    /// bounds.
+    pub fn from_parts(n: usize, me: ProcessId, graph: LabeledDigraph, limit: Round) -> Self {
+        assert!(me.index() < n, "process out of universe");
+        assert_eq!(graph.universe(), n, "snapshot graph universe mismatch");
+        let mut est = SkeletonEstimator {
+            me,
+            n,
+            cur: Arc::new(graph),
+            spare: Arc::new(LabeledDigraph::with_node(n, me)),
+            rebase_limit: DEFAULT_REBASE_LIMIT.max(n as Round + 2),
+            scratch: EstimatorScratch::new(n),
+        };
+        est.set_rebase_limit(limit);
+        est
     }
 
     /// The current approximation `G_p^r`.

@@ -55,8 +55,9 @@ use crate::schedule::Schedule;
 
 /// SplitMix64 — the deterministic mixer every family derives per-edge /
 /// per-round decisions from, so `graph(r)` is a pure function of
-/// `(seed, r)`.
-fn splitmix64(mut x: u64) -> u64 {
+/// `(seed, r)`. Shared with the fault plane (`crate::fault`), whose
+/// corruption decisions are pure functions of the same shape.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -64,7 +65,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Hash of an (edge, round) tuple under a seed.
-fn edge_round_hash(seed: u64, u: usize, v: usize, r: u32) -> u64 {
+pub(crate) fn edge_round_hash(seed: u64, u: usize, v: usize, r: u32) -> u64 {
     splitmix64(seed ^ splitmix64(u as u64 ^ splitmix64((v as u64) << 20 ^ ((r as u64) << 40))))
 }
 
@@ -260,6 +261,11 @@ impl Schedule for StableRootAdversary {
 #[derive(Clone, Debug)]
 pub struct RotatingRootAdversary {
     skeleton: Digraph,
+    /// `starred[i]` = skeleton ∪ broadcast star from `rotors[i]`,
+    /// precomputed once so the per-round synthesis is a plain copy
+    /// instead of `n` edge insertions per call (the engines call
+    /// [`Schedule::graph_into`] every round for every process).
+    starred: Vec<Digraph>,
     rotors: Vec<ProcessId>,
     rot_rounds: Round,
 }
@@ -291,12 +297,24 @@ impl RotatingRootAdversary {
             }
             start += size;
         }
-        let rotors = seeded_permutation(n, splitmix64(seed ^ 0x0107))[..rotor_count]
+        let rotors: Vec<ProcessId> = seeded_permutation(n, splitmix64(seed ^ 0x0107))
+            [..rotor_count]
             .iter()
             .map(|&i| ProcessId::from_usize(i))
             .collect();
+        let starred = rotors
+            .iter()
+            .map(|&p| {
+                let mut g = skeleton.clone();
+                for v in ProcessId::all(n) {
+                    g.add_edge(p, v);
+                }
+                g
+            })
+            .collect();
         RotatingRootAdversary {
             skeleton,
+            starred,
             rotors,
             rot_rounds,
         }
@@ -326,13 +344,19 @@ impl Schedule for RotatingRootAdversary {
 
     fn graph(&self, r: Round) -> Digraph {
         assert!(r >= FIRST_ROUND, "rounds are 1-based");
-        let mut g = self.skeleton.clone();
-        if let Some(p) = self.pivot(r) {
-            for v in ProcessId::all(self.skeleton.n()) {
-                g.add_edge(p, v);
-            }
+        match self.pivot(r) {
+            Some(_) => self.starred[((r - 1) as usize) % self.rotors.len()].clone(),
+            None => self.skeleton.clone(),
         }
-        g
+    }
+
+    fn graph_into(&self, r: Round, out: &mut Digraph) {
+        assert!(r >= FIRST_ROUND, "rounds are 1-based");
+        let g = match self.pivot(r) {
+            Some(_) => &self.starred[((r - 1) as usize) % self.rotors.len()],
+            None => &self.skeleton,
+        };
+        out.clone_from(g);
     }
 
     fn stabilization_round(&self) -> Round {
@@ -464,6 +488,154 @@ impl<S: Schedule> Schedule for CrashOverlay<S> {
             for v in ProcessId::all(skel.n()) {
                 if v != p {
                     skel.remove_edge(p, v);
+                }
+            }
+        }
+        skel
+    }
+}
+
+/// Crash/restart faults layered over any base schedule: each listed
+/// process is **down** for a finite window of rounds `[kill, restart)` —
+/// it neither sends to nor hears from anyone else (both edge directions
+/// are erased; the mandatory self-loop stays) — and runs normally before
+/// and after. This is the schedule-level shadow of the recovery drill in
+/// [`crate::engine::run_lockstep_recovering`]: the engine kills the
+/// process's in-memory state at `kill` and resumes it from its last
+/// snapshot at `restart`, while this overlay tells every *other* process
+/// exactly what that outage looks like on the wire.
+///
+/// Because the skeleton is a running intersection, a non-empty window
+/// removes the process's external edges from `G∩∞` forever — a restarted
+/// process is "faulty" in the paper's counting even though it is correct
+/// again from `restart` on.
+#[derive(Clone, Debug)]
+pub struct CrashRestartOverlay<S> {
+    base: S,
+    /// `(process, kill round, restart round)`: down during
+    /// `kill..restart`, at most one window per process.
+    windows: Vec<(ProcessId, Round, Round)>,
+}
+
+impl<S: Schedule> CrashRestartOverlay<S> {
+    /// Overlays explicit down windows on `base`.
+    ///
+    /// # Panics
+    /// Panics on duplicate entries, out-of-range processes, windows
+    /// starting before [`FIRST_ROUND`], or `restart < kill`.
+    pub fn new(base: S, windows: Vec<(ProcessId, Round, Round)>) -> Self {
+        let n = base.n();
+        for (i, &(p, kill, restart)) in windows.iter().enumerate() {
+            assert!(p.index() < n, "restarted process {p} out of universe");
+            assert!(
+                kill >= FIRST_ROUND,
+                "down window of {p} starts before round 1"
+            );
+            assert!(restart >= kill, "down window of {p} ends before it starts");
+            assert!(
+                windows[i + 1..].iter().all(|&(q, _, _)| q != p),
+                "duplicate down window for {p}"
+            );
+        }
+        CrashRestartOverlay { base, windows }
+    }
+
+    /// Kills `f` seeded-chosen distinct processes at seeded rounds no
+    /// later than `base.stabilization_round() + n`, each down for a
+    /// seeded `1..=n`-round window (so, like every finite fault pattern,
+    /// the outages are folded into the declared stabilization round).
+    ///
+    /// # Panics
+    /// Panics if `f > n`.
+    pub fn seeded(base: S, f: usize, seed: u64) -> Self {
+        let n = base.n();
+        assert!(f <= n, "cannot restart {f} of {n} processes");
+        let horizon = u64::from(base.stabilization_round()) + n as u64;
+        let perm = seeded_permutation(n, splitmix64(seed ^ 0x9e3b));
+        let windows = perm[..f]
+            .iter()
+            .map(|&i| {
+                let kill = 1 + (edge_round_hash(seed, i, 2, 1) % horizon) as Round;
+                let down = 1 + (edge_round_hash(seed, i, 3, 1) % n as u64) as Round;
+                (ProcessId::from_usize(i), kill, kill + down)
+            })
+            .collect();
+        CrashRestartOverlay::new(base, windows)
+    }
+
+    /// The wrapped base schedule.
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+
+    /// The down windows, one `(process, kill, restart)` triple each.
+    pub fn windows(&self) -> &[(ProcessId, Round, Round)] {
+        &self.windows
+    }
+
+    /// The set of processes that are down at some point.
+    pub fn faulty(&self) -> ProcessSet {
+        ProcessSet::from_iter_n(self.base.n(), self.windows.iter().map(|&(p, _, _)| p))
+    }
+
+    /// `true` iff `p` is down in round `r`.
+    pub fn is_down(&self, p: ProcessId, r: Round) -> bool {
+        self.windows
+            .iter()
+            .any(|&(q, kill, restart)| q == p && r >= kill && r < restart)
+    }
+
+    fn silence(&self, g: &mut Digraph, r: Round) {
+        for &(p, kill, restart) in &self.windows {
+            if r >= kill && r < restart {
+                for v in ProcessId::all(g.n()) {
+                    if v != p {
+                        g.remove_edge(p, v);
+                        g.remove_edge(v, p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: Schedule> Schedule for CrashRestartOverlay<S> {
+    fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    fn graph(&self, r: Round) -> Digraph {
+        let mut g = self.base.graph(r);
+        self.silence(&mut g, r);
+        g
+    }
+
+    fn graph_into(&self, r: Round, out: &mut Digraph) {
+        self.base.graph_into(r, out);
+        self.silence(out, r);
+    }
+
+    fn stabilization_round(&self) -> Round {
+        // By `restart` the window has stopped carving edges out of the
+        // running intersection, so the later of the restarts and the
+        // base's own stabilization is sound.
+        self.windows
+            .iter()
+            .map(|&(_, _, restart)| restart)
+            .max()
+            .unwrap_or(FIRST_ROUND)
+            .max(self.base.stabilization_round())
+    }
+
+    fn stable_skeleton(&self) -> Digraph {
+        let mut skel = self.base.stable_skeleton();
+        for &(p, kill, restart) in &self.windows {
+            if kill < restart {
+                for v in ProcessId::all(skel.n()) {
+                    if v != p {
+                        skel.remove_edge(p, v);
+                        skel.remove_edge(v, p);
+                    }
                 }
             }
         }

@@ -16,7 +16,10 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use sskel_graph::{ProcessId, ProcessSet, Round};
+
+use crate::wire::WireError;
 
 /// Proposal/decision values. The paper takes `x_p ∈ ℕ`; `u64` loses nothing
 /// for simulation purposes.
@@ -122,6 +125,32 @@ pub trait RoundAlgorithm: Send {
     /// Must be monotone: once `Some(v)` is returned it must stay `Some(v)`
     /// forever (the engines record an anomaly otherwise).
     fn decision(&self) -> Option<Value>;
+}
+
+/// An algorithm whose per-process state can be checkpointed to bytes at a
+/// round boundary and rebuilt later — the contract behind
+/// [`crate::engine::run_lockstep_recovering`]'s crash/restart recovery.
+///
+/// The round-trip must be **exact**: for any reachable state `a` at the end
+/// of a round where [`Recoverable::snapshot_due`] fired,
+/// `restore(&snapshot(&a))` must behave identically to `a` in every
+/// subsequent round (the recovery engine asserts the resumed trace is
+/// byte-identical to an uninterrupted run). Snapshots use the wire codec,
+/// so [`Recoverable::restore`] inherits its typed [`WireError`] taxonomy
+/// and must never panic on arbitrary input.
+pub trait Recoverable: RoundAlgorithm + Sized {
+    /// Serializes the complete state as of the current round boundary.
+    fn snapshot(&self) -> Bytes;
+
+    /// Rebuilds a state from [`Recoverable::snapshot`] bytes. Malformed
+    /// input yields a typed error, never a panic.
+    fn restore(bytes: &[u8]) -> Result<Self, WireError>;
+
+    /// `true` iff the end of round `r` is one of this algorithm's canonical
+    /// snapshot cut points (for Algorithm 1: the rounds at which the
+    /// estimator's label window rebases, so the snapshot captures a
+    /// freshly-compacted graph).
+    fn snapshot_due(&self, r: Round) -> bool;
 }
 
 #[cfg(test)]

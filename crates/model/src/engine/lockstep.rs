@@ -6,9 +6,10 @@ use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
 
 use crate::algorithm::{Received, RoundAlgorithm};
 use crate::engine::RunUntil;
+use crate::fault::{ArcTransport, CodecTransport, Delivery, FaultCause, FaultPlane, Transport};
 use crate::schedule::Schedule;
 use crate::trace::RunTrace;
-use crate::wire::WireSized;
+use crate::wire::{Wire, WireSized};
 
 /// Runs `algs` (one instance per process, index = process index) against
 /// `schedule` until `until` triggers. Returns the trace and the final
@@ -25,20 +26,72 @@ where
     run_lockstep_observed(schedule, algs, until, |_, _: &[A]| {})
 }
 
+/// [`run_lockstep`] in codec-boundary mode: every payload travels as an
+/// encoded, checksummed frame through `plane` and is decoded back at the
+/// receiver (see [`crate::fault`]). Frames the plane destroys are recorded
+/// in the trace's [`crate::fault::FaultStats`] and treated as drops; with
+/// [`crate::fault::NoFaults`] the result is trace- and stats-identical to
+/// [`run_lockstep`].
+///
+/// # Panics
+/// Panics if `algs.len() != schedule.n()`.
+pub fn run_lockstep_codec<S, A, P>(
+    schedule: &S,
+    algs: Vec<A>,
+    until: RunUntil,
+    plane: &P,
+) -> (RunTrace, Vec<A>)
+where
+    S: Schedule + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: Wire,
+    P: FaultPlane,
+{
+    run_transport(
+        schedule,
+        algs,
+        until,
+        &CodecTransport::new(plane),
+        |_, _: &[A]| {},
+    )
+}
+
 /// Like [`run_lockstep`], but invokes `observer(r, &algs)` at the end of
 /// every round `r` (after all transition functions ran). Used to capture
 /// per-round internal state — e.g. `p6`'s approximation graph in Figure 1 —
 /// and to check the paper's lemma invariants round by round.
 pub fn run_lockstep_observed<S, A, O>(
     schedule: &S,
+    algs: Vec<A>,
+    until: RunUntil,
+    observer: O,
+) -> (RunTrace, Vec<A>)
+where
+    S: Schedule + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: WireSized,
+    O: FnMut(Round, &[A]),
+{
+    run_transport(schedule, algs, until, &ArcTransport, observer)
+}
+
+/// The engine body, generic over the payload path: [`ArcTransport`] is the
+/// classic shared-reference hand-off, [`CodecTransport`] the framed byte
+/// path with fault injection. The structure (and, under a no-op plane, the
+/// accounting) is identical either way; faults only surface as
+/// [`Delivery::Dropped`]/[`Delivery::Quarantined`] arms at delivery time.
+fn run_transport<S, A, T, O>(
+    schedule: &S,
     mut algs: Vec<A>,
     until: RunUntil,
+    transport: &T,
     mut observer: O,
 ) -> (RunTrace, Vec<A>)
 where
     S: Schedule + ?Sized,
     A: RoundAlgorithm,
     A::Msg: WireSized,
+    T: Transport<A::Msg>,
     O: FnMut(Round, &[A]),
 {
     let n = schedule.n();
@@ -50,10 +103,12 @@ where
     let mut trace = RunTrace::new(n);
 
     // Round-loop buffers, reused across rounds: the communication graph,
-    // the broadcast vector, one delivery vector, and the per-sender
-    // receiver counts (popcounted once per round, not once per message).
+    // the broadcast vector, its packed frames, one delivery vector, and
+    // the per-sender receiver counts (popcounted once per round, not once
+    // per message).
     let mut g = Digraph::empty(n);
     let mut msgs: Vec<Arc<A::Msg>> = Vec::with_capacity(n);
+    let mut frames: Vec<T::Frame> = Vec::with_capacity(n);
     let mut rcv: Received<A::Msg> = Received::new(n);
     let mut receivers: Vec<u64> = vec![0; n];
 
@@ -67,10 +122,16 @@ where
         // double-buffering their payload can reclaim the old buffer.
         msgs.clear();
         msgs.extend(algs.iter().map(|a| Arc::new(a.send(r))));
+        frames.clear();
+        frames.extend(msgs.iter().map(|m| transport.pack(m)));
 
-        // Accounting — one bitset walk per sender per round.
+        // Accounting — one walk per sender per round. Deliveries count the
+        // frames the fault plane will let through (the plane is a pure
+        // function both sides evaluate identically), so the stats describe
+        // traffic that actually reached a receiver.
         for (p, deg) in receivers.iter_mut().enumerate() {
-            *deg = g.out_neighbors(ProcessId::from_usize(p)).len() as u64;
+            let me = ProcessId::from_usize(p);
+            *deg = transport.delivered_count(r, me, g.out_neighbors(me));
         }
         for (m, &recv_count) in msgs.iter().zip(&receivers) {
             let sz = m.wire_bytes() as u64;
@@ -85,7 +146,13 @@ where
             let me = ProcessId::from_usize(p);
             rcv.clear();
             for q in g.in_neighbors(me).iter() {
-                rcv.insert(q, Arc::clone(&msgs[q.index()]));
+                match transport.unpack(r, q, me, frames[q.index()].clone()) {
+                    Delivery::Deliver(m) => rcv.insert(q, m),
+                    Delivery::Dropped => trace.faults.record(r, q, me, FaultCause::Dropped),
+                    Delivery::Quarantined(e) => {
+                        trace.faults.record(r, q, me, FaultCause::Quarantined(e));
+                    }
+                }
             }
             alg.receive(r, &rcv);
         }
@@ -109,6 +176,7 @@ where
         r += 1;
     }
 
+    trace.faults.finalize();
     (trace, algs)
 }
 

@@ -17,14 +17,22 @@
 //! process `q` receives `p`'s round-`r` broadcast iff `(p → q) ∈ G^r`.
 //! `docs/CONCURRENCY.md` at the repository root compares the engines and
 //! their synchronization protocols in detail.
+//!
+//! Each engine also has a `run_*_codec` twin that routes every payload
+//! through the wire codec and a [`crate::fault::FaultPlane`] (Byzantine
+//! frame corruption, quarantine-and-survive receivers), and
+//! [`recovery::run_lockstep_recovering`] adds crash/restart recovery from
+//! snapshots taken at the canonical rebase cut points.
 
 pub mod lockstep;
+pub mod recovery;
 pub mod sharded;
 pub mod threaded;
 
-pub use lockstep::{run_lockstep, run_lockstep_observed};
-pub use sharded::{run_sharded, ShardPlan};
-pub use threaded::run_threaded;
+pub use lockstep::{run_lockstep, run_lockstep_codec, run_lockstep_observed};
+pub use recovery::run_lockstep_recovering;
+pub use sharded::{run_sharded, run_sharded_codec, ShardPlan};
+pub use threaded::{run_threaded, run_threaded_codec};
 
 use sskel_graph::Round;
 

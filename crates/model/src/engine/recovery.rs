@@ -1,0 +1,449 @@
+//! Crash/restart recovery drill: kill a process mid-run, resume it from
+//! its last snapshot, and end up byte-identical to never having crashed.
+//!
+//! [`run_lockstep_recovering`] executes a codec-boundary lockstep run over
+//! a [`CrashRestartOverlay`], but instead of merely *simulating* each down
+//! window at the schedule level it performs the full recovery protocol:
+//!
+//! * every process with a down window keeps a **durable store** — the
+//!   wire-codec snapshot ([`crate::algorithm::Recoverable`]) taken at its
+//!   most recent canonical cut point, plus a log of the frames delivered
+//!   to it since;
+//! * at the window's `kill` round the process's in-memory state is
+//!   **destroyed** — from that round on it neither sends nor receives
+//!   (matching the overlay's round graphs, which erase its external edges
+//!   in both directions);
+//! * at `restart` (or at run end, for windows still open at the horizon)
+//!   the process is rebuilt from the snapshot and **replayed** forward:
+//!   logged rounds re-feed the surviving frames (without re-recording
+//!   stats or faults — those were recorded when the rounds originally
+//!   ran), and down rounds re-execute the hear-only-yourself round the
+//!   process would have run in isolation, adding exactly the accounting
+//!   the main loop skipped.
+//!
+//! The resulting trace — decisions, rounds, message stats, fault ledger —
+//! is **byte-identical** to [`super::run_lockstep_codec`] over the same
+//! overlay and fault plane with no kill at all (pinned by the tests below
+//! and by `tests/fault_plane.rs` for Algorithm 1): recovery is
+//! indistinguishable from never having crashed.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
+
+use crate::adversary::CrashRestartOverlay;
+use crate::algorithm::{Received, Recoverable};
+use crate::engine::RunUntil;
+use crate::fault::{CodecTransport, Delivery, FaultCause, FaultPlane, Transport};
+use crate::schedule::Schedule;
+use crate::trace::RunTrace;
+use crate::wire::{Wire, WireSized};
+
+/// One process's durable store: the last snapshot and everything needed
+/// to catch back up from it.
+struct Store {
+    kill: Round,
+    restart: Round,
+    /// Round of the last snapshot (`0` = the initial state).
+    cut: Round,
+    snapshot: Bytes,
+    /// `log[i]` = the frames delivered in round `cut + 1 + i`, while the
+    /// process was still up: `(sender, sealed frame)` for every frame
+    /// that unpacked to a delivery (faulted frames are not replayed —
+    /// their fault records were written when the round ran).
+    log: Vec<Vec<(ProcessId, Bytes)>>,
+}
+
+/// Runs `algs` against `overlay` in codec-boundary mode, executing each
+/// down window as a real kill + snapshot-restore + replay (see the module
+/// docs). The trace is byte-identical to
+/// [`super::run_lockstep_codec`]`(&overlay, …, plane)`.
+///
+/// # Panics
+/// Panics if `algs.len() != overlay.n()`, or if `until` has no static
+/// horizon ([`RunUntil::Rounds`] is required: a down process cannot take
+/// part in a global all-decided stop condition).
+pub fn run_lockstep_recovering<S, A, P>(
+    overlay: &CrashRestartOverlay<S>,
+    mut algs: Vec<A>,
+    until: RunUntil,
+    plane: &P,
+) -> (RunTrace, Vec<A>)
+where
+    S: Schedule,
+    A: Recoverable,
+    A::Msg: Wire,
+    P: FaultPlane,
+{
+    let n = overlay.n();
+    assert_eq!(
+        algs.len(),
+        n,
+        "need exactly one algorithm instance per process"
+    );
+    let horizon = until
+        .static_horizon()
+        .expect("crash/restart recovery needs a fixed horizon (RunUntil::Rounds)");
+    let transport = CodecTransport::new(plane);
+    let mut trace = RunTrace::new(n);
+
+    // One durable store per process with a down window; everyone else
+    // needs no recovery machinery.
+    let mut stores: Vec<Option<Store>> = (0..n).map(|_| None).collect();
+    for &(p, kill, restart) in overlay.windows() {
+        stores[p.index()] = Some(Store {
+            kill,
+            restart,
+            cut: 0,
+            snapshot: algs[p.index()].snapshot(),
+            log: Vec::new(),
+        });
+    }
+
+    let mut live: Vec<Option<A>> = algs.drain(..).map(Some).collect();
+    let mut g = Digraph::empty(n);
+    let mut frames: Vec<Option<Bytes>> = vec![None; n];
+    let mut rcv: Received<A::Msg> = Received::new(n);
+
+    for r in FIRST_ROUND..=horizon {
+        // Kill and restart events fire at the top of the round: a killed
+        // process misses this round's broadcast, a restarted one rejoins
+        // it (the overlay's graphs cut over at exactly these rounds).
+        for (p, store) in stores.iter().enumerate() {
+            let Some(store) = store else { continue };
+            if r == store.kill {
+                live[p] = None; // the in-memory state dies with the process
+            }
+            if r == store.restart {
+                live[p] = Some(recover(
+                    ProcessId::from_usize(p),
+                    store,
+                    r,
+                    &transport,
+                    &mut trace,
+                    &mut rcv,
+                ));
+            }
+        }
+
+        overlay.graph_into(r, &mut g);
+
+        // Send phase (live processes only; a down process has no edges in
+        // the round graph beyond its self-loop, and its isolated rounds
+        // are re-executed — and accounted — at replay time).
+        for (p, alg) in live.iter().enumerate() {
+            let pid = ProcessId::from_usize(p);
+            let Some(alg) = alg else {
+                frames[p] = None;
+                continue;
+            };
+            let msg = Arc::new(alg.send(r));
+            let sz = msg.wire_bytes() as u64;
+            let cnt = <CodecTransport<&P> as Transport<A::Msg>>::delivered_count(
+                &transport,
+                r,
+                pid,
+                g.out_neighbors(pid),
+            );
+            trace.msg_stats.broadcasts += 1;
+            trace.msg_stats.broadcast_bytes += sz;
+            trace.msg_stats.deliveries += cnt;
+            trace.msg_stats.delivered_bytes += sz * cnt;
+            frames[p] = Some(transport.pack(&msg));
+        }
+
+        // Deliver + transition phase.
+        for p in 0..n {
+            let pid = ProcessId::from_usize(p);
+            let wants_log = stores[p].as_ref().is_some_and(|s| r < s.kill);
+            let Some(alg) = live[p].as_mut() else {
+                continue;
+            };
+            rcv.clear();
+            let mut logged: Vec<(ProcessId, Bytes)> = Vec::new();
+            for q in g.in_neighbors(pid).iter() {
+                // Every in-neighbor is live: a down process's out-edges
+                // are erased from the overlay's round graph.
+                let frame = frames[q.index()]
+                    .clone()
+                    .expect("a live process has only live in-neighbors");
+                match transport.unpack(r, q, pid, frame.clone()) {
+                    Delivery::Deliver(m) => {
+                        rcv.insert(q, m);
+                        if wants_log {
+                            logged.push((q, frame));
+                        }
+                    }
+                    Delivery::Dropped => trace.faults.record(r, q, pid, FaultCause::Dropped),
+                    Delivery::Quarantined(e) => {
+                        trace.faults.record(r, q, pid, FaultCause::Quarantined(e));
+                    }
+                }
+            }
+            alg.receive(r, &rcv);
+            if let Some(v) = alg.decision() {
+                trace.record_decision(pid, r, v);
+            }
+            // Durable-store maintenance while the kill is still ahead: a
+            // due round replaces the snapshot and empties the log, any
+            // other round appends its deliveries.
+            if wants_log {
+                let store = stores[p].as_mut().expect("wants_log implies a store");
+                if alg.snapshot_due(r) {
+                    store.cut = r;
+                    store.snapshot = alg.snapshot();
+                    store.log.clear();
+                } else {
+                    store.log.push(logged);
+                }
+            }
+        }
+        rcv.clear();
+        trace.rounds_executed = r;
+    }
+
+    // Windows still open at the horizon: bring the process back up at run
+    // end, so its final state (and any decision it reached while
+    // isolated) matches the uninterrupted run.
+    for (p, store) in stores.iter().enumerate() {
+        let Some(store) = store else { continue };
+        if live[p].is_none() {
+            live[p] = Some(recover(
+                ProcessId::from_usize(p),
+                store,
+                horizon + 1,
+                &transport,
+                &mut trace,
+                &mut rcv,
+            ));
+        }
+    }
+
+    trace.faults.finalize();
+    let algs = live
+        .into_iter()
+        .map(|a| a.expect("every process is live again at run end"))
+        .collect();
+    (trace, algs)
+}
+
+/// Restores `p` from its durable store and replays it forward to the
+/// beginning of round `now`: logged rounds re-feed the surviving frames
+/// (no stats, no faults — both were recorded live), down rounds
+/// re-execute the isolated hear-only-yourself round and add the
+/// accounting the main loop skipped.
+fn recover<A, T>(
+    p: ProcessId,
+    store: &Store,
+    now: Round,
+    transport: &T,
+    trace: &mut RunTrace,
+    rcv: &mut Received<A::Msg>,
+) -> A
+where
+    A: Recoverable,
+    A::Msg: WireSized,
+    T: Transport<A::Msg, Frame = Bytes>,
+{
+    let mut alg = A::restore(&store.snapshot)
+        .expect("snapshot written by Recoverable::snapshot must restore");
+    debug_assert_eq!(
+        store.log.len() as Round,
+        store.kill.min(now) - store.cut - 1,
+        "one log entry per live round since the cut"
+    );
+    for r in store.cut + 1..now {
+        rcv.clear();
+        if r < store.kill {
+            // A round the process executed live before the kill.
+            let entries = &store.log[(r - store.cut - 1) as usize];
+            for (q, frame) in entries {
+                match transport.unpack(r, *q, p, frame.clone()) {
+                    Delivery::Deliver(m) => rcv.insert(*q, m),
+                    // The log holds only frames that unpacked to a
+                    // delivery, and the fault plane is pure.
+                    _ => unreachable!("logged frame faulted on replay"),
+                }
+            }
+        } else {
+            // A round the process was down for. In the overlay's graph
+            // its only remaining edge is the mandatory self-loop, so the
+            // round it would have run in isolation is: broadcast to
+            // yourself, hear yourself, transition. Loopback frames are
+            // never tampered (the FaultPlane contract), so the one
+            // delivery always survives — account it exactly as the main
+            // loop would have.
+            let msg = Arc::new(alg.send(r));
+            let sz = msg.wire_bytes() as u64;
+            trace.msg_stats.broadcasts += 1;
+            trace.msg_stats.broadcast_bytes += sz;
+            trace.msg_stats.deliveries += 1;
+            trace.msg_stats.delivered_bytes += sz;
+            match transport.unpack(r, p, p, transport.pack(&msg)) {
+                Delivery::Deliver(m) => rcv.insert(p, m),
+                _ => unreachable!("loopback frame tampered"),
+            }
+        }
+        alg.receive(r, rcv);
+        // Decisions reached in replayed rounds carry the replayed round
+        // number; re-polling a round that already ran live re-records the
+        // same value, which the trace treats as a no-op.
+        if let Some(v) = alg.decision() {
+            trace.record_decision(p, r, v);
+        }
+    }
+    rcv.clear();
+    alg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{RoundAlgorithm, Value};
+    use crate::engine::lockstep::run_lockstep_codec;
+    use crate::fault::{CorruptionOverlay, NoFaults};
+    use crate::schedule::FixedSchedule;
+    use crate::wire::WireError;
+    use bytes::{Buf, BufMut, BytesMut};
+
+    /// MinFlood with a snapshot format, for exercising the drill without
+    /// Algorithm 1: floods the minimum seen value, decides at `horizon`,
+    /// snapshots every third round.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct RecMinFlood {
+        x: Value,
+        horizon: Round,
+        decision: Option<Value>,
+    }
+
+    impl RoundAlgorithm for RecMinFlood {
+        type Msg = Value;
+        fn send(&self, _r: Round) -> Value {
+            self.x
+        }
+        fn receive(&mut self, r: Round, received: &Received<Value>) {
+            for (_, &v) in received.iter() {
+                self.x = self.x.min(v);
+            }
+            if r >= self.horizon {
+                self.decision.get_or_insert(self.x);
+            }
+        }
+        fn decision(&self) -> Option<Value> {
+            self.decision
+        }
+    }
+
+    impl Recoverable for RecMinFlood {
+        fn snapshot(&self) -> Bytes {
+            let mut buf = BytesMut::new();
+            crate::wire::write_uvarint(&mut buf, self.x);
+            crate::wire::write_uvarint(&mut buf, u64::from(self.horizon));
+            match self.decision {
+                None => buf.put_u8(0),
+                Some(v) => {
+                    buf.put_u8(1);
+                    crate::wire::write_uvarint(&mut buf, v);
+                }
+            }
+            buf.freeze()
+        }
+
+        fn restore(bytes: &[u8]) -> Result<Self, WireError> {
+            let mut rd = bytes;
+            let x = crate::wire::read_uvarint(&mut rd)?;
+            let horizon = crate::wire::read_uvarint(&mut rd)? as Round;
+            if !rd.has_remaining() {
+                return Err(WireError::UnexpectedEnd);
+            }
+            let decision = match rd.get_u8() {
+                0 => None,
+                1 => Some(crate::wire::read_uvarint(&mut rd)?),
+                _ => return Err(WireError::InvalidValue("unknown decision flag")),
+            };
+            if rd.has_remaining() {
+                return Err(WireError::InvalidValue("trailing bytes in snapshot"));
+            }
+            Ok(RecMinFlood {
+                x,
+                horizon,
+                decision,
+            })
+        }
+
+        fn snapshot_due(&self, r: Round) -> bool {
+            r.is_multiple_of(3)
+        }
+    }
+
+    fn spawn(n: usize, horizon: Round) -> Vec<RecMinFlood> {
+        (0..n)
+            .map(|i| RecMinFlood {
+                x: (n - i) as Value * 10,
+                horizon,
+                decision: None,
+            })
+            .collect()
+    }
+
+    fn assert_traces_identical(a: &RunTrace, b: &RunTrace) {
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.msg_stats, b.msg_stats);
+        assert_eq!(a.rounds_executed, b.rounds_executed);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.anomalies, b.anomalies);
+    }
+
+    #[test]
+    fn no_windows_matches_plain_codec_run() {
+        let n = 5;
+        let overlay = CrashRestartOverlay::new(FixedSchedule::synchronous(n), vec![]);
+        let until = RunUntil::Rounds(9);
+        let (t1, a1) = run_lockstep_codec(&overlay, spawn(n, 3), until, &NoFaults);
+        let (t2, a2) = run_lockstep_recovering(&overlay, spawn(n, 3), until, &NoFaults);
+        assert_traces_identical(&t1, &t2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn killed_and_resumed_process_is_indistinguishable() {
+        let n = 6;
+        for (kill, restart) in [(2u32, 5u32), (1, 4), (4, 4), (3, 20)] {
+            let overlay = CrashRestartOverlay::new(
+                FixedSchedule::synchronous(n),
+                vec![(ProcessId::new(2), kill, restart)],
+            );
+            let until = RunUntil::Rounds(12);
+            let (t1, a1) = run_lockstep_codec(&overlay, spawn(n, 3), until, &NoFaults);
+            let (t2, a2) = run_lockstep_recovering(&overlay, spawn(n, 3), until, &NoFaults);
+            assert_traces_identical(&t1, &t2);
+            assert_eq!(a1, a2, "kill={kill} restart={restart}");
+        }
+    }
+
+    #[test]
+    fn recovery_composes_with_a_corruption_plane() {
+        let n = 7;
+        let plane = CorruptionOverlay::new(41, 0.3).quiet_after(8);
+        let overlay = CrashRestartOverlay::seeded(FixedSchedule::synchronous(n), 2, 99);
+        let until = RunUntil::Rounds(16);
+        let (t1, a1) = run_lockstep_codec(&overlay, spawn(n, 3), until, &plane);
+        let (t2, a2) = run_lockstep_recovering(&overlay, spawn(n, 3), until, &plane);
+        assert_traces_identical(&t1, &t2);
+        assert_eq!(a1, a2);
+        assert!(!t2.faults.is_empty(), "rate 0.3 never fired");
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed horizon")]
+    fn all_decided_stop_condition_is_rejected() {
+        let overlay = CrashRestartOverlay::new(FixedSchedule::synchronous(2), vec![]);
+        let _ = run_lockstep_recovering(
+            &overlay,
+            spawn(2, 1),
+            RunUntil::AllDecided { max_rounds: 5 },
+            &NoFaults,
+        );
+    }
+}

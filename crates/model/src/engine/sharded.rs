@@ -50,10 +50,13 @@ use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
 
 use crate::algorithm::{Received, RoundAlgorithm, Value};
 use crate::engine::RunUntil;
+use crate::fault::{
+    ArcTransport, CodecTransport, Delivery, FaultCause, FaultPlane, FaultStats, Transport,
+};
 use crate::schedule::Schedule;
 use crate::sync::{ParkingBarrier, WindowedBarrier};
 use crate::trace::{MsgStats, RunTrace};
-use crate::wire::WireSized;
+use crate::wire::{Wire, WireSized};
 
 /// How [`run_sharded`] divides the system across worker threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,14 +126,17 @@ impl ShardPlan {
     }
 }
 
-/// An inter-shard packet: `(round, sender, recipient, payload)`.
-type Packet<M> = (Round, ProcessId, ProcessId, Arc<M>);
+/// An inter-shard packet: `(round, sender, recipient, frame)`. The frame
+/// stays packed (an `Arc` in classic mode, encoded bytes in codec mode)
+/// until the recipient's round is processed.
+type Packet<F> = (Round, ProcessId, ProcessId, F);
 
 /// What one shard thread hands back when the run stops.
 struct ShardOutcome<A> {
     algs: Vec<A>,
     first_decisions: Vec<Option<(Round, Value)>>,
     stats: MsgStats,
+    faults: FaultStats,
     anomalies: Vec<String>,
     rounds_executed: Round,
 }
@@ -155,6 +161,50 @@ where
     A: RoundAlgorithm,
     A::Msg: WireSized,
 {
+    run_transport(schedule, algs, until, plan, &ArcTransport)
+}
+
+/// [`run_sharded`] in codec-boundary mode: every payload — including
+/// intra-shard hand-offs, which normally skip the channel — travels as an
+/// encoded, checksummed frame through `plane` and is decoded back at the
+/// receiver (see [`crate::fault`]). Frames the plane destroys are recorded
+/// in the trace's [`FaultStats`] and treated as drops; with
+/// [`crate::fault::NoFaults`] the result is trace- and stats-identical to
+/// [`run_sharded`].
+///
+/// # Panics
+/// Panics if `algs.len() != schedule.n()` or a worker thread panics.
+pub fn run_sharded_codec<S, A, P>(
+    schedule: &S,
+    algs: Vec<A>,
+    until: RunUntil,
+    plan: ShardPlan,
+    plane: &P,
+) -> (RunTrace, Vec<A>)
+where
+    S: Schedule + Sync + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: Wire,
+    P: FaultPlane,
+{
+    run_transport(schedule, algs, until, plan, &CodecTransport::new(plane))
+}
+
+/// The engine body, generic over the payload path (see
+/// [`crate::fault::Transport`]).
+fn run_transport<S, A, T>(
+    schedule: &S,
+    algs: Vec<A>,
+    until: RunUntil,
+    plan: ShardPlan,
+    transport: &T,
+) -> (RunTrace, Vec<A>)
+where
+    S: Schedule + Sync + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: WireSized,
+    T: Transport<A::Msg>,
+{
     let n = schedule.n();
     assert_eq!(
         algs.len(),
@@ -178,8 +228,8 @@ where
     let windowed = WindowedBarrier::new(shards, plan.window);
     let decided: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
 
-    let mut txs: Vec<Sender<Packet<A::Msg>>> = Vec::with_capacity(shards);
-    let mut rxs: Vec<Option<Receiver<Packet<A::Msg>>>> = Vec::with_capacity(shards);
+    let mut txs: Vec<Sender<Packet<T::Frame>>> = Vec::with_capacity(shards);
+    let mut rxs: Vec<Option<Receiver<Packet<T::Frame>>>> = Vec::with_capacity(shards);
     for _ in 0..shards {
         let (tx, rx) = unbounded();
         txs.push(tx);
@@ -209,6 +259,7 @@ where
             handles.push(scope.spawn(move || {
                 run_shard(
                     schedule, range, owned, rx, txs, shard_of, barrier, windowed, decided, until,
+                    transport,
                 )
             }));
         }
@@ -226,45 +277,54 @@ where
             }
         }
         trace.msg_stats += &o.stats;
+        trace.faults.merge(o.faults);
         trace.anomalies.extend(o.anomalies);
         trace.rounds_executed = trace.rounds_executed.max(o.rounds_executed);
         algs_back.extend(o.algs);
     }
+    trace.faults.finalize();
     (trace, algs_back)
 }
 
 /// The per-thread round loop over one contiguous shard of processes.
 #[allow(clippy::too_many_arguments)]
-fn run_shard<S, A>(
+fn run_shard<S, A, T>(
     schedule: &S,
     range: std::ops::Range<usize>,
     mut algs: Vec<A>,
-    rx: Receiver<Packet<A::Msg>>,
-    txs: &[Sender<Packet<A::Msg>>],
+    rx: Receiver<Packet<T::Frame>>,
+    txs: &[Sender<Packet<T::Frame>>],
     shard_of: &[usize],
     barrier: &ParkingBarrier,
     windowed: &WindowedBarrier,
     decided: &[AtomicBool],
     until: RunUntil,
+    transport: &T,
 ) -> ShardOutcome<A>
 where
     S: Schedule + Sync + ?Sized,
     A: RoundAlgorithm,
     A::Msg: WireSized,
+    T: Transport<A::Msg>,
 {
     let n = schedule.n();
     let me = shard_of[range.start];
     let k = range.len();
     let static_horizon = until.static_horizon();
     let mut stats = MsgStats::default();
+    let mut faults = FaultStats::new();
     let mut first_decisions: Vec<Option<(Round, Value)>> = vec![None; k];
     let mut anomalies = Vec::new();
-    // Early arrivals from a future round (a sender shard raced ahead).
-    let mut stash: VecDeque<Packet<A::Msg>> = VecDeque::new();
+    // Early arrivals from a future round (a sender shard raced ahead), and —
+    // for deferring transports — this shard's own intra-shard frames, parked
+    // here at broadcast time instead of being handed off directly. Frames
+    // stay packed until their round is processed, so a speculative broadcast
+    // that gets rolled back never records faults.
+    let mut stash: VecDeque<Packet<T::Frame>> = VecDeque::new();
     // Round-loop buffers, reused across rounds: the communication graph and
-    // one delivery vector per resident process. Intra-shard messages are
-    // written into `rcvs` directly at broadcast time; only packets from
-    // other shards flow through `rx`.
+    // one delivery vector per resident process. With a non-deferring
+    // transport, intra-shard messages are written into `rcvs` directly at
+    // broadcast time; only packets from other shards flow through `rx`.
     let mut g = Digraph::empty(n);
     let mut rcvs: Vec<Received<A::Msg>> = (0..k).map(|_| Received::new(n)).collect();
     let mut r: Round = FIRST_ROUND;
@@ -272,41 +332,57 @@ where
     // 1. Send along the out-edges of G^r (round 1 here; later rounds
     //    broadcast at the close of the previous round, see step 4).
     broadcast(
-        schedule, &range, &algs, r, &mut g, &mut rcvs, txs, shard_of, &mut stats,
+        schedule, &range, &algs, r, &mut g, &mut rcvs, &mut stash, txs, shard_of, &mut stats,
+        transport,
     );
 
     loop {
-        // 2. Receive one message per in-edge of G^r. Intra-shard messages
-        // are already in `rcvs`; count what must still arrive over the
-        // channel and drain until every resident process is complete.
+        // 2. Receive one frame per in-edge of G^r. With a non-deferring
+        // transport, intra-shard messages are already in `rcvs`; count what
+        // must still arrive (via the stash or the channel) and drain until
+        // every resident process is complete. A frame the plane destroys
+        // still *arrives* — it is unpacked to a fault record instead of a
+        // delivery — so the count is exact either way.
         let mut remaining = 0usize;
         for p in range.clone() {
             for q in g.in_neighbors(ProcessId::from_usize(p)).iter() {
-                remaining += usize::from(shard_of[q.index()] != me);
+                remaining += usize::from(T::DEFERS_LOCAL || shard_of[q.index()] != me);
             }
         }
         // First consume stashed packets that belong to this round.
         let stashed = std::mem::take(&mut stash);
-        for (pr, q, to, m) in stashed {
+        for (pr, q, to, f) in stashed {
             if pr == r {
-                rcvs[to.index() - range.start].insert(q, m);
+                match transport.unpack(r, q, to, f) {
+                    Delivery::Deliver(m) => rcvs[to.index() - range.start].insert(q, m),
+                    Delivery::Dropped => faults.record(r, q, to, FaultCause::Dropped),
+                    Delivery::Quarantined(e) => {
+                        faults.record(r, q, to, FaultCause::Quarantined(e));
+                    }
+                }
                 remaining -= 1;
             } else {
-                stash.push_back((pr, q, to, m));
+                stash.push_back((pr, q, to, f));
             }
         }
         while remaining > 0 {
-            let (pr, q, to, m) = rx.recv().expect("message channel closed mid-round");
+            let (pr, q, to, f) = rx.recv().expect("message channel closed mid-round");
             if pr == r {
                 debug_assert!(
                     g.in_neighbors(to).contains(q),
                     "unexpected sender {q} for {to} in round {r}"
                 );
-                rcvs[to.index() - range.start].insert(q, m);
+                match transport.unpack(r, q, to, f) {
+                    Delivery::Deliver(m) => rcvs[to.index() - range.start].insert(q, m),
+                    Delivery::Dropped => faults.record(r, q, to, FaultCause::Dropped),
+                    Delivery::Quarantined(e) => {
+                        faults.record(r, q, to, FaultCause::Quarantined(e));
+                    }
+                }
                 remaining -= 1;
             } else {
                 debug_assert!(pr > r, "stale round-{pr} packet in round {r}");
-                stash.push_back((pr, q, to, m));
+                stash.push_back((pr, q, to, f));
             }
         }
 
@@ -366,9 +442,11 @@ where
                         r + 1,
                         &mut g,
                         &mut rcvs,
+                        &mut stash,
                         txs,
                         shard_of,
                         &mut stats,
+                        transport,
                     );
                     windowed.round_end(r);
                 }
@@ -389,9 +467,11 @@ where
                     r + 1,
                     &mut g,
                     &mut rcvs,
+                    &mut stash,
                     txs,
                     shard_of,
                     &mut stats,
+                    transport,
                 );
                 let stop = barrier.wait_eval(|| {
                     let all = decided.iter().all(|d| d.load(Ordering::Acquire));
@@ -412,6 +492,7 @@ where
                 algs,
                 first_decisions,
                 stats,
+                faults,
                 anomalies,
                 rounds_executed: r,
             };
@@ -420,28 +501,35 @@ where
     }
 }
 
-/// Runs the sending function of every process in `range` for round `r` and
-/// delivers along the out-edges of `G^r` (left in `g`): intra-shard edges
-/// are written straight into the local delivery buffers `rcvs`, inter-shard
-/// edges become one packet on the owning shard's channel. Returns the
-/// broadcast's own stats so a speculative broadcast can be rolled back if
-/// the round never executes.
+/// Runs the sending function of every process in `range` for round `r`,
+/// packs each message through the transport and delivers the frames along
+/// the out-edges of `G^r` (left in `g`): with a non-deferring transport,
+/// intra-shard edges are written straight into the local delivery buffers
+/// `rcvs`; with a deferring one ([`Transport::DEFERS_LOCAL`]) they are
+/// parked in `stash` so the fault plane gets to touch them at round time
+/// like any channel frame. Inter-shard edges become one packet on the
+/// owning shard's channel either way. Deliveries count only the frames the
+/// fault plane lets through. Returns the broadcast's own stats so a
+/// speculative broadcast can be rolled back if the round never executes.
 #[allow(clippy::too_many_arguments)]
-fn broadcast<S, A>(
+fn broadcast<S, A, T>(
     schedule: &S,
     range: &std::ops::Range<usize>,
     algs: &[A],
     r: Round,
     g: &mut Digraph,
     rcvs: &mut [Received<A::Msg>],
-    txs: &[Sender<Packet<A::Msg>>],
+    stash: &mut VecDeque<Packet<T::Frame>>,
+    txs: &[Sender<Packet<T::Frame>>],
     shard_of: &[usize],
     stats: &mut MsgStats,
+    transport: &T,
 ) -> MsgStats
 where
     S: Schedule + Sync + ?Sized,
     A: RoundAlgorithm,
     A::Msg: WireSized,
+    T: Transport<A::Msg>,
 {
     schedule.graph_into(r, g);
     let me = shard_of[range.start];
@@ -450,8 +538,9 @@ where
         let p = ProcessId::from_usize(range.start + i);
         let msg = Arc::new(alg.send(r));
         let sz = msg.wire_bytes() as u64;
+        let frame = transport.pack(&msg);
         let receivers = g.out_neighbors(p);
-        let cnt = receivers.len() as u64;
+        let cnt = transport.delivered_count(r, p, receivers);
         totals.broadcasts += 1;
         totals.broadcast_bytes += sz;
         totals.deliveries += cnt;
@@ -459,13 +548,24 @@ where
         for v in receivers.iter() {
             let s = shard_of[v.index()];
             if s == me {
-                // Intra-shard: a direct in-memory hand-off. The buffer is
-                // free to take round-(r) payloads — its round-(r − 1)
-                // contents were consumed and cleared before this broadcast.
-                rcvs[v.index() - range.start].insert(p, Arc::clone(&msg));
+                if T::DEFERS_LOCAL {
+                    // Codec mode: even an intra-shard frame goes through the
+                    // stash so it is unpacked (and possibly faulted) when
+                    // round `r` is actually processed.
+                    stash.push_back((r, p, v, frame.clone()));
+                } else {
+                    // Intra-shard: a direct in-memory hand-off. The buffer
+                    // is free to take round-(r) payloads — its round-(r − 1)
+                    // contents were consumed and cleared before this
+                    // broadcast. Non-deferring transports never fault.
+                    match transport.unpack(r, p, v, frame.clone()) {
+                        Delivery::Deliver(m) => rcvs[v.index() - range.start].insert(p, m),
+                        _ => unreachable!("non-deferring transport faulted a local hand-off"),
+                    }
+                }
             } else {
                 txs[s]
-                    .send((r, p, v, Arc::clone(&msg)))
+                    .send((r, p, v, frame.clone()))
                     .expect("recipient shard channel closed");
             }
         }

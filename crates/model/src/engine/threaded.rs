@@ -65,17 +65,23 @@ use sskel_graph::{Digraph, ProcessId, Round, FIRST_ROUND};
 
 use crate::algorithm::{Received, RoundAlgorithm, Value};
 use crate::engine::RunUntil;
+use crate::fault::{
+    ArcTransport, CodecTransport, Delivery, FaultCause, FaultPlane, FaultStats, Transport,
+};
 use crate::schedule::Schedule;
 use crate::sync::ParkingBarrier;
 use crate::trace::{MsgStats, RunTrace};
-use crate::wire::WireSized;
+use crate::wire::{Wire, WireSized};
 
-type Packet<M> = (Round, ProcessId, Arc<M>);
+/// One in-flight payload: round tag, sender, and the transport's frame
+/// (an `Arc` in shared-reference mode, encoded bytes in codec mode).
+type Packet<F> = (Round, ProcessId, F);
 
 struct ThreadOutcome<A> {
     alg: A,
     first_decision: Option<(Round, Value)>,
     stats: MsgStats,
+    faults: FaultStats,
     anomalies: Vec<String>,
     rounds_executed: Round,
 }
@@ -93,6 +99,44 @@ where
     A: RoundAlgorithm,
     A::Msg: WireSized,
 {
+    run_transport(schedule, algs, until, &ArcTransport)
+}
+
+/// [`run_threaded`] in codec-boundary mode: payloads cross the channels as
+/// encoded, checksummed frames and pass through `plane` (see
+/// [`crate::fault`]). Destroyed frames are recorded in the trace's
+/// [`FaultStats`]; with [`crate::fault::NoFaults`] the result is trace-
+/// and stats-identical to [`run_threaded`].
+///
+/// # Panics
+/// Panics if `algs.len() != schedule.n()` or a worker thread panics.
+pub fn run_threaded_codec<S, A, P>(
+    schedule: &S,
+    algs: Vec<A>,
+    until: RunUntil,
+    plane: &P,
+) -> (RunTrace, Vec<A>)
+where
+    S: Schedule + Sync + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: Wire,
+    P: FaultPlane,
+{
+    run_transport(schedule, algs, until, &CodecTransport::new(plane))
+}
+
+fn run_transport<S, A, T>(
+    schedule: &S,
+    algs: Vec<A>,
+    until: RunUntil,
+    transport: &T,
+) -> (RunTrace, Vec<A>)
+where
+    S: Schedule + Sync + ?Sized,
+    A: RoundAlgorithm,
+    A::Msg: WireSized,
+    T: Transport<A::Msg>,
+{
     let n = schedule.n();
     assert_eq!(
         algs.len(),
@@ -104,8 +148,8 @@ where
     let barrier = ParkingBarrier::new(n);
     let decided: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
 
-    let mut txs: Vec<Sender<Packet<A::Msg>>> = Vec::with_capacity(n);
-    let mut rxs: Vec<Option<Receiver<Packet<A::Msg>>>> = Vec::with_capacity(n);
+    let mut txs: Vec<Sender<Packet<T::Frame>>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Option<Receiver<Packet<T::Frame>>>> = Vec::with_capacity(n);
     for _ in 0..n {
         let (tx, rx) = unbounded();
         txs.push(tx);
@@ -122,11 +166,11 @@ where
             let txs = &txs;
             let barrier = &barrier;
             let decided = &decided;
-            handles.push(
-                scope.spawn(move || {
-                    run_process(schedule, me, alg, rx, txs, barrier, decided, until)
-                }),
-            );
+            handles.push(scope.spawn(move || {
+                run_process(
+                    schedule, me, alg, rx, txs, barrier, decided, until, transport,
+                )
+            }));
         }
         for (p, h) in handles.into_iter().enumerate() {
             outcomes[p] = Some(h.join().expect("process thread panicked"));
@@ -140,38 +184,45 @@ where
             trace.record_decision(ProcessId::from_usize(p), round, value);
         }
         trace.msg_stats += &o.stats;
+        trace.faults.merge(o.faults);
         trace.anomalies.extend(o.anomalies);
         trace.rounds_executed = trace.rounds_executed.max(o.rounds_executed);
         algs_back.push(o.alg);
     }
+    trace.faults.finalize();
     (trace, algs_back)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_process<S, A>(
+fn run_process<S, A, T>(
     schedule: &S,
     me: ProcessId,
     mut alg: A,
-    rx: Receiver<Packet<A::Msg>>,
-    txs: &[Sender<Packet<A::Msg>>],
+    rx: Receiver<Packet<T::Frame>>,
+    txs: &[Sender<Packet<T::Frame>>],
     barrier: &ParkingBarrier,
     decided: &[AtomicBool],
     until: RunUntil,
+    transport: &T,
 ) -> ThreadOutcome<A>
 where
     S: Schedule + Sync + ?Sized,
     A: RoundAlgorithm,
     A::Msg: WireSized,
+    T: Transport<A::Msg>,
 {
     let n = schedule.n();
     // With a fixed horizon every thread stops at the same round without
     // coordination, so rounds run barrier-free, batched per wakeup.
     let static_horizon = until.static_horizon();
     let mut stats = MsgStats::default();
+    let mut faults = FaultStats::new();
     let mut first_decision: Option<(Round, Value)> = None;
     let mut anomalies = Vec::new();
     // Early arrivals from a future round (sender raced ahead of us).
-    let mut stash: VecDeque<(Round, ProcessId, Arc<A::Msg>)> = VecDeque::new();
+    // Frames stay packed until their round is processed: a speculative
+    // round that is rolled back must not have recorded any faults.
+    let mut stash: VecDeque<Packet<T::Frame>> = VecDeque::new();
     // Round-loop buffers, reused across rounds.
     let mut g = Digraph::empty(n);
     let mut rcv: Received<A::Msg> = Received::new(n);
@@ -179,33 +230,44 @@ where
 
     // 1. Send along the out-edges of G^r (round 1 here; later rounds
     //    broadcast at the close of the previous round, see step 4).
-    broadcast(schedule, me, &alg, r, &mut g, txs, &mut stats);
+    broadcast(schedule, me, &alg, r, &mut g, txs, &mut stats, transport);
 
     loop {
-        // 2. Receive one message per in-edge of G^r.
+        // 2. Receive one frame per in-edge of G^r. Every frame is
+        //    physically shipped regardless of the fault plane (so this
+        //    count stays exact); drops and quarantines surface here, at
+        //    unpack time.
         let expected = g.in_neighbors(me);
         rcv.clear();
         let mut remaining = expected.len();
+        let deliver =
+            |q: ProcessId, f: T::Frame, rcv: &mut Received<A::Msg>, faults: &mut FaultStats| {
+                match transport.unpack(r, q, me, f) {
+                    Delivery::Deliver(m) => rcv.insert(q, m),
+                    Delivery::Dropped => faults.record(r, q, me, FaultCause::Dropped),
+                    Delivery::Quarantined(e) => faults.record(r, q, me, FaultCause::Quarantined(e)),
+                }
+            };
         // First consume stashed packets that belong to this round.
         let stashed = std::mem::take(&mut stash);
-        for (pr, q, m) in stashed {
+        for (pr, q, f) in stashed {
             if pr == r {
                 debug_assert!(expected.contains(q), "unexpected sender {q} in round {r}");
-                rcv.insert(q, m);
+                deliver(q, f, &mut rcv, &mut faults);
                 remaining -= 1;
             } else {
-                stash.push_back((pr, q, m));
+                stash.push_back((pr, q, f));
             }
         }
         while remaining > 0 {
-            let (pr, q, m) = rx.recv().expect("message channel closed mid-round");
+            let (pr, q, f) = rx.recv().expect("message channel closed mid-round");
             if pr == r {
                 debug_assert!(expected.contains(q), "unexpected sender {q} in round {r}");
-                rcv.insert(q, m);
+                deliver(q, f, &mut rcv, &mut faults);
                 remaining -= 1;
             } else {
                 debug_assert!(pr > r, "stale round-{pr} packet in round {r}");
-                stash.push_back((pr, q, m));
+                stash.push_back((pr, q, f));
             }
         }
 
@@ -238,7 +300,16 @@ where
             Some(horizon) => {
                 let stop = r >= horizon;
                 if !stop {
-                    broadcast(schedule, me, &alg, r + 1, &mut g, txs, &mut stats);
+                    broadcast(
+                        schedule,
+                        me,
+                        &alg,
+                        r + 1,
+                        &mut g,
+                        txs,
+                        &mut stats,
+                        transport,
+                    );
                 }
                 stop
             }
@@ -250,7 +321,16 @@ where
             // the receive phase above never blocks, and this barrier is the
             // round's only park.
             None => {
-                let spec_send = broadcast(schedule, me, &alg, r + 1, &mut g, txs, &mut stats);
+                let spec_send = broadcast(
+                    schedule,
+                    me,
+                    &alg,
+                    r + 1,
+                    &mut g,
+                    txs,
+                    &mut stats,
+                    transport,
+                );
                 let stop = barrier.wait_eval(|| {
                     let all = decided.iter().all(|d| d.load(Ordering::Acquire));
                     until.should_stop(r, all)
@@ -269,6 +349,7 @@ where
                 alg,
                 first_decision,
                 stats,
+                faults,
                 anomalies,
                 rounds_executed: r,
             };
@@ -277,29 +358,36 @@ where
     }
 }
 
-/// Runs the sending function for round `r` and pushes the message along the
-/// out-edges of `G^r` (left in `g`), updating the sender-side byte
-/// accounting. Returns the broadcast's own stats so a speculative broadcast
-/// can be rolled back if the round never executes.
-fn broadcast<S, A>(
+/// Runs the sending function for round `r`, packs the message through the
+/// transport and pushes the frame along the out-edges of `G^r` (left in
+/// `g`), updating the sender-side byte accounting. Deliveries count only
+/// the frames the fault plane lets through; `broadcast_bytes` counts the
+/// payload's wire size (the frame envelope is transport overhead, not
+/// message content). Returns the broadcast's own stats so a speculative
+/// broadcast can be rolled back if the round never executes.
+#[allow(clippy::too_many_arguments)]
+fn broadcast<S, A, T>(
     schedule: &S,
     me: ProcessId,
     alg: &A,
     r: Round,
     g: &mut Digraph,
-    txs: &[Sender<Packet<A::Msg>>],
+    txs: &[Sender<Packet<T::Frame>>],
     stats: &mut MsgStats,
+    transport: &T,
 ) -> MsgStats
 where
     S: Schedule + Sync + ?Sized,
     A: RoundAlgorithm,
     A::Msg: WireSized,
+    T: Transport<A::Msg>,
 {
     schedule.graph_into(r, g);
     let msg = Arc::new(alg.send(r));
     let sz = msg.wire_bytes() as u64;
+    let frame = transport.pack(&msg);
     let receivers = g.out_neighbors(me);
-    let cnt = receivers.len() as u64;
+    let cnt = transport.delivered_count(r, me, receivers);
     let own = MsgStats {
         broadcasts: 1,
         deliveries: cnt,
@@ -309,7 +397,7 @@ where
     *stats += &own;
     for v in receivers.iter() {
         txs[v.index()]
-            .send((r, me, Arc::clone(&msg)))
+            .send((r, me, frame.clone()))
             .expect("recipient channel closed");
     }
     own

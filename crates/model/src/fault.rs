@@ -1,0 +1,731 @@
+//! The fault-injection plane: framed payloads, seeded in-flight frame
+//! corruption, and quarantine accounting.
+//!
+//! The engines normally hand payloads between processes as shared
+//! [`Arc`] references — nothing can go wrong between a send and a
+//! receive. This module puts the *real byte path* under test instead:
+//! in **codec-boundary mode** (`run_lockstep_codec` and friends) every
+//! payload is encoded into a checksummed frame ([`seal`]), carried as
+//! bytes, optionally mangled in flight by a [`FaultPlane`], and decoded
+//! back at the receiver ([`open`]). Receivers never panic on garbage:
+//! a frame that fails to decode (or fails its checksum) is *quarantined*
+//! — recorded in the run's [`FaultStats`] with its typed [`WireError`]
+//! cause and treated exactly like a dropped message.
+//!
+//! The pieces:
+//!
+//! * [`seal`] / [`open`] — the frame envelope: the payload's canonical
+//!   wire encoding followed by a 64-bit FNV-1a checksum. Truncation,
+//!   junk and bit-flips inside the payload surface as the decoder's own
+//!   typed errors (the taxonomy pinned by `wire_negative.rs`); tampering
+//!   that still decodes is caught by the checksum.
+//! * [`Tamper`] — the corruption taxonomy (drop, bit-flip, truncation,
+//!   junk prefix/suffix, duplication), each variant carrying its own
+//!   seeded parameters.
+//! * [`CorruptionOverlay`] — a seeded [`FaultPlane`]: whether and how the
+//!   frame on edge `(from → to)` of round `r` is mangled is a **pure
+//!   function of `(seed, round, from, to)`**, so every run reproduces
+//!   from one `u64` and all three engines observe the *identical* fault
+//!   pattern. Loopback frames (`from == to`) are never tampered: every
+//!   process always hears itself, which keeps the effective schedule a
+//!   valid schedule (self-loops are mandatory) and mirrors the fact that
+//!   a local hand-off does not cross a network.
+//! * [`EffectiveSchedule`] — the *surviving* schedule: the base schedule
+//!   minus every edge whose frame the plane destroys. This is the
+//!   conformance oracle — a corrupted run must still satisfy k-agreement
+//!   at the effective schedule's `min_k` within its Lemma-11 bound.
+//! * [`FaultStats`] — per-edge quarantine/drop records, merged into the
+//!   run trace and byte-identical across engines for the same seed.
+//! * [`Transport`] — the internal seam the engines are generic over:
+//!   [`ArcTransport`] is the classic shared-reference hand-off,
+//!   [`CodecTransport`] the framed byte path with a fault plane. With
+//!   [`NoFaults`], codec mode is trace- and stats-identical to Arc mode
+//!   (pinned by `tests/fault_plane.rs`).
+
+use std::sync::Arc;
+
+use bytes::{Buf, Bytes};
+use sskel_graph::{Digraph, ProcessId, ProcessSet, Round};
+
+use crate::adversary::{edge_round_hash, splitmix64};
+use crate::schedule::Schedule;
+use crate::wire::{Wire, WireError};
+
+/// Domain-separation salt mixed into [`CorruptionOverlay`] seeds so a
+/// corruption plane sharing a seed with an adversary family does not
+/// correlate with its noise pattern.
+const CORRUPTION_SALT: u64 = 0x000b_adf8_a3e5_c0de;
+
+/// Size of the frame trailer: a little-endian FNV-1a 64-bit checksum of
+/// the payload bytes.
+const FRAME_CHECK_BYTES: usize = 8;
+
+/// FNV-1a over `bytes`. One multiply and one xor per byte; the odd prime
+/// multiplier is invertible mod 2⁶⁴, so any *single*-byte change always
+/// changes the digest, and broader tampering collides only with
+/// probability ≈ 2⁻⁶⁴ — and deterministically so, which is what lets the
+/// conformance suite pin exact quarantine counts per seed.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Encodes `m` into a checksummed frame: the canonical wire encoding
+/// followed by [`fnv64`] of those payload bytes, little-endian.
+pub fn seal<M: Wire>(m: &M) -> Bytes {
+    let mut buf: Vec<u8> = Vec::with_capacity(m.wire_bytes() + FRAME_CHECK_BYTES);
+    m.encode(&mut buf);
+    debug_assert_eq!(buf.len(), m.wire_bytes(), "wire_bytes out of sync");
+    let crc = fnv64(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes a frame produced by [`seal`], possibly tampered in flight.
+///
+/// Never panics on arbitrary input; the error taxonomy is layered so the
+/// richest diagnosis wins:
+///
+/// 1. a frame too short to carry its trailer is [`WireError::UnexpectedEnd`];
+/// 2. a payload that fails to decode propagates the codec's own typed
+///    error (truncation → `UnexpectedEnd`, padded varints →
+///    `NonCanonical`, domain breaches → `InvalidValue`);
+/// 3. a payload that decodes but does not span exactly the framed bytes
+///    (junk appended inside the frame) is `InvalidValue`;
+/// 4. a payload that decodes cleanly but fails the checksum (a flip that
+///    landed on a still-decodable encoding) is `InvalidValue`.
+pub fn open<M: Wire>(frame: &[u8]) -> Result<M, WireError> {
+    if frame.len() < FRAME_CHECK_BYTES {
+        return Err(WireError::UnexpectedEnd);
+    }
+    let (payload, trailer) = frame.split_at(frame.len() - FRAME_CHECK_BYTES);
+    let mut rd = payload;
+    let m = M::decode(&mut rd)?;
+    if rd.has_remaining() {
+        return Err(WireError::InvalidValue("trailing bytes inside frame"));
+    }
+    let expect = u64::from_le_bytes(trailer.try_into().expect("trailer is 8 bytes"));
+    if fnv64(payload) != expect {
+        return Err(WireError::InvalidValue("frame checksum mismatch"));
+    }
+    Ok(m)
+}
+
+/// One in-flight frame mutation, with its seeded parameters baked in.
+/// The variants mirror the negative-path generators of
+/// `wire_negative.rs`: every shape that suite proves the codecs survive
+/// is a shape the plane injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tamper {
+    /// The frame vanishes entirely (a clean message drop).
+    Drop,
+    /// One bit of the frame is flipped (`bit` is reduced mod the frame's
+    /// bit length).
+    BitFlip {
+        /// Seeded bit selector.
+        bit: u64,
+    },
+    /// The frame is cut to a strict prefix (`keep` is reduced mod the
+    /// frame's length).
+    Truncate {
+        /// Seeded prefix-length selector.
+        keep: u64,
+    },
+    /// Seeded junk bytes are spliced in front of the frame.
+    JunkPrefix {
+        /// Number of junk bytes (1–16).
+        len: u8,
+        /// Seed of the junk byte stream.
+        fill: u64,
+    },
+    /// Seeded junk bytes are appended after the frame.
+    JunkSuffix {
+        /// Number of junk bytes (1–16).
+        len: u8,
+        /// Seed of the junk byte stream.
+        fill: u64,
+    },
+    /// The whole frame is concatenated with itself (a duplicated
+    /// delivery fused into one buffer).
+    Duplicate,
+}
+
+impl Tamper {
+    /// Applies the mutation to `frame` in place. [`Tamper::Drop`] is
+    /// handled before any bytes move (the engines short-circuit it), but
+    /// for completeness it empties the buffer.
+    pub fn apply(&self, frame: &mut Vec<u8>) {
+        match *self {
+            Tamper::Drop => frame.clear(),
+            Tamper::BitFlip { bit } => {
+                if !frame.is_empty() {
+                    let b = (bit % (frame.len() as u64 * 8)) as usize;
+                    frame[b / 8] ^= 1 << (b % 8);
+                }
+            }
+            Tamper::Truncate { keep } => {
+                if !frame.is_empty() {
+                    let k = (keep % frame.len() as u64) as usize;
+                    frame.truncate(k);
+                }
+            }
+            Tamper::JunkPrefix { len, fill } => {
+                let junk = junk_bytes(len, fill);
+                frame.splice(0..0, junk);
+            }
+            Tamper::JunkSuffix { len, fill } => {
+                frame.extend(junk_bytes(len, fill));
+            }
+            Tamper::Duplicate => {
+                let copy = frame.clone();
+                frame.extend(copy);
+            }
+        }
+    }
+}
+
+/// A seeded stream of `len` junk bytes.
+fn junk_bytes(len: u8, fill: u64) -> Vec<u8> {
+    let mut state = fill;
+    (0..len)
+        .map(|_| {
+            state = splitmix64(state);
+            (state & 0xff) as u8
+        })
+        .collect()
+}
+
+/// A fault plane: decides, purely, whether the frame on edge
+/// `(from → to)` of round `r` is mutated in flight, and how.
+///
+/// Purity is load-bearing: the engines evaluate the plane at the
+/// *receiver* (frames are always physically shipped so per-round message
+/// counting stays exact), and the sender pre-counts surviving deliveries
+/// for `MsgStats` — both sides must agree without communicating.
+/// Implementations must never tamper loopback frames (`from == to`).
+pub trait FaultPlane: Sync {
+    /// The mutation for this (round, edge), or `None` to deliver intact.
+    fn tamper(&self, r: Round, from: ProcessId, to: ProcessId) -> Option<Tamper>;
+}
+
+/// The no-op fault plane: every frame is delivered intact. Codec mode
+/// under `NoFaults` is the pinned-equivalent twin of Arc mode.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultPlane for NoFaults {
+    fn tamper(&self, _r: Round, _from: ProcessId, _to: ProcessId) -> Option<Tamper> {
+        None
+    }
+}
+
+impl<P: FaultPlane + ?Sized> FaultPlane for &P {
+    fn tamper(&self, r: Round, from: ProcessId, to: ProcessId) -> Option<Tamper> {
+        (**self).tamper(r, from, to)
+    }
+}
+
+/// A seeded Byzantine corruption plane: each non-loopback frame is
+/// tampered with probability `rate`, the choice and shape drawn from
+/// `edge_round_hash(seed, from, to, round)` — a pure function of
+/// `(seed, round, from, to)`, reproducible from the seed alone.
+///
+/// An optional *quiet round* makes the plane inert from that round on:
+/// with `quiet_after` at or before the base schedule's stabilization
+/// tail, the [`EffectiveSchedule`] is an ordinary finite-fault schedule
+/// and full paper conformance applies. A never-quiet plane at rate 1.0
+/// destroys every cross-process frame forever — the engines must *still*
+/// not panic, and every process decides its own value (the quarantine
+/// analogue of the eternal-rotation test in `tests/conformance.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct CorruptionOverlay {
+    seed: u64,
+    /// Tamper when `hash < threshold`; kept as `u128` so rate 1.0 maps
+    /// to 2⁶⁴ (strictly above every hash) without saturating arithmetic.
+    threshold: u128,
+    quiet_after: Round,
+}
+
+impl CorruptionOverlay {
+    /// A plane tampering each non-loopback frame with probability
+    /// `rate` (clamped to `[0, 1]`), never going quiet.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        CorruptionOverlay {
+            seed,
+            threshold: (rate * (u64::MAX as f64 + 1.0)) as u128,
+            quiet_after: Round::MAX,
+        }
+    }
+
+    /// Makes the plane inert from round `r` on (frames of rounds `≥ r`
+    /// are never tampered).
+    #[must_use]
+    pub fn quiet_after(mut self, r: Round) -> Self {
+        self.quiet_after = r;
+        self
+    }
+
+    /// The round from which the plane is inert (`Round::MAX` when it
+    /// never goes quiet).
+    pub fn quiet_round(&self) -> Round {
+        self.quiet_after
+    }
+
+    /// The effective (surviving) schedule of this plane over `base`: the
+    /// conformance oracle for corrupted runs. See [`EffectiveSchedule`].
+    pub fn effective<'a, S: Schedule + ?Sized>(&'a self, base: &'a S) -> EffectiveSchedule<'a, S> {
+        EffectiveSchedule { base, plane: self }
+    }
+}
+
+impl FaultPlane for CorruptionOverlay {
+    fn tamper(&self, r: Round, from: ProcessId, to: ProcessId) -> Option<Tamper> {
+        if from == to || r >= self.quiet_after {
+            return None;
+        }
+        let h = edge_round_hash(self.seed ^ CORRUPTION_SALT, from.index(), to.index(), r);
+        if u128::from(h) >= self.threshold {
+            return None;
+        }
+        // An independent draw picks the shape, its high bits the params.
+        let d = splitmix64(h ^ 0xf417);
+        Some(match d % 6 {
+            0 => Tamper::Drop,
+            1 => Tamper::BitFlip { bit: d >> 3 },
+            2 => Tamper::Truncate { keep: d >> 3 },
+            3 => Tamper::JunkPrefix {
+                len: 1 + ((d >> 3) % 16) as u8,
+                fill: splitmix64(d),
+            },
+            4 => Tamper::JunkSuffix {
+                len: 1 + ((d >> 3) % 16) as u8,
+                fill: splitmix64(d),
+            },
+            _ => Tamper::Duplicate,
+        })
+    }
+}
+
+/// The schedule actually *experienced* by the algorithms when a
+/// [`CorruptionOverlay`] sits on the byte path of `base`: every edge
+/// whose frame the plane destroys is erased from the round graph
+/// (quarantined frames are semantically drops — [`open`] rejects every
+/// tampered frame, see the detection argument on [`fnv64`]).
+///
+/// This is the conformance oracle: `min_k` and the Lemma-11 bound of a
+/// corrupted run are computed on this schedule, not the base. With the
+/// plane quiet by the base's stable tail, it is a valid schedule in its
+/// own right (`validate` passes — loopbacks are exempt from tampering)
+/// and an uncorrupted Arc-mode run over it is byte-identical to the
+/// corrupted codec run over `base` (pinned by `tests/fault_plane.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct EffectiveSchedule<'a, S: ?Sized> {
+    base: &'a S,
+    plane: &'a CorruptionOverlay,
+}
+
+impl<S: Schedule + ?Sized> EffectiveSchedule<'_, S> {
+    fn strip(&self, g: &mut Digraph, r: Round) {
+        let n = g.n();
+        for u in ProcessId::all(n) {
+            for v in ProcessId::all(n) {
+                if u != v && g.has_edge(u, v) && self.plane.tamper(r, u, v).is_some() {
+                    g.remove_edge(u, v);
+                }
+            }
+        }
+    }
+}
+
+impl<S: Schedule + ?Sized> Schedule for EffectiveSchedule<'_, S> {
+    fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    fn graph(&self, r: Round) -> Digraph {
+        let mut g = self.base.graph(r);
+        self.strip(&mut g, r);
+        g
+    }
+
+    fn graph_into(&self, r: Round, out: &mut Digraph) {
+        self.base.graph_into(r, out);
+        self.strip(out, r);
+    }
+
+    fn stabilization_round(&self) -> Round {
+        // Once the plane is quiet the round graphs equal the base's, so
+        // the intersection stops changing at whichever comes later.
+        self.base
+            .stabilization_round()
+            .max(self.plane.quiet_round())
+    }
+}
+
+/// Why a frame did not reach its receiver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The fault plane dropped the frame outright.
+    Dropped,
+    /// The frame arrived mangled and was quarantined by the decoder with
+    /// this typed error.
+    Quarantined(WireError),
+}
+
+/// One frame lost on one edge of one round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeFault {
+    /// The round whose frame was lost.
+    pub round: Round,
+    /// The sender.
+    pub from: ProcessId,
+    /// The receiver that dropped or quarantined the frame.
+    pub to: ProcessId,
+    /// What happened to it.
+    pub cause: FaultCause,
+}
+
+/// The fault ledger of a run: every dropped or quarantined frame, in the
+/// canonical order `(round, to, from)`. Engines record faults in their
+/// own execution order and [`FaultStats::finalize`] at the join, so for
+/// one seed all three engines produce an **identical** ledger (pinned by
+/// the conformance suite).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// The recorded faults (canonically sorted after `finalize`).
+    pub faults: Vec<EdgeFault>,
+}
+
+impl FaultStats {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        FaultStats::default()
+    }
+
+    /// Records one lost frame.
+    pub fn record(&mut self, round: Round, from: ProcessId, to: ProcessId, cause: FaultCause) {
+        self.faults.push(EdgeFault {
+            round,
+            from,
+            to,
+            cause,
+        });
+    }
+
+    /// Number of frames the plane dropped outright.
+    pub fn dropped(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| f.cause == FaultCause::Dropped)
+            .count()
+    }
+
+    /// Number of frames quarantined by receivers (arrived mangled,
+    /// rejected with a typed [`WireError`]).
+    pub fn quarantined(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f.cause, FaultCause::Quarantined(_)))
+            .count()
+    }
+
+    /// Total lost frames.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the run lost no frames at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Folds another ledger into this one (the concurrent engines merge
+    /// per-thread ledgers at the join, then [`FaultStats::finalize`]).
+    pub fn merge(&mut self, other: FaultStats) {
+        self.faults.extend(other.faults);
+    }
+
+    /// Sorts the ledger into the canonical `(round, to, from)` order.
+    /// Each (round, edge) appears at most once, so the order — and hence
+    /// the whole ledger — is identical across engines per seed.
+    pub fn finalize(&mut self) {
+        self.faults
+            .sort_by_key(|f| (f.round, f.to.index(), f.from.index()));
+    }
+}
+
+/// What a transport hands the receiving process for one frame.
+pub enum Delivery<M> {
+    /// The payload, intact.
+    Deliver(Arc<M>),
+    /// The fault plane dropped the frame.
+    Dropped,
+    /// The frame arrived mangled; the decoder rejected it with this
+    /// typed error and the receiver carries on as if it were a drop.
+    Quarantined(WireError),
+}
+
+/// The payload path the engines are generic over: how a broadcast
+/// payload is packed for flight, what arrives, and how many of a round's
+/// sends actually reach their receivers (for sender-side `MsgStats`
+/// accounting, which must agree with the receiver-side plane — both are
+/// pure functions of the same seed).
+pub trait Transport<M>: Sync {
+    /// The in-flight representation of one payload.
+    type Frame: Clone + Send + 'static;
+
+    /// Whether same-thread (intra-shard) deliveries must also defer to
+    /// the receive phase. The Arc path hands local payloads over at
+    /// broadcast time (nothing can happen to them); the codec path must
+    /// not unpack early — a speculative round's frames would record
+    /// faults for a round that is then rolled back.
+    const DEFERS_LOCAL: bool;
+
+    /// Packs one payload for flight.
+    fn pack(&self, m: &Arc<M>) -> Self::Frame;
+
+    /// Unpacks the frame that arrived on `(from → to)` in round `r`,
+    /// applying the fault plane (if any) on the way.
+    fn unpack(&self, r: Round, from: ProcessId, to: ProcessId, f: Self::Frame) -> Delivery<M>;
+
+    /// How many of the `receivers` of a round-`r` broadcast by `from`
+    /// will actually receive it (the plane's survivors).
+    fn delivered_count(&self, r: Round, from: ProcessId, receivers: &ProcessSet) -> u64;
+}
+
+/// The classic shared-reference hand-off: payloads travel as
+/// [`Arc`] clones, nothing is ever lost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArcTransport;
+
+impl<M: Send + Sync + 'static> Transport<M> for ArcTransport {
+    type Frame = Arc<M>;
+
+    const DEFERS_LOCAL: bool = false;
+
+    fn pack(&self, m: &Arc<M>) -> Arc<M> {
+        Arc::clone(m)
+    }
+
+    fn unpack(&self, _r: Round, _from: ProcessId, _to: ProcessId, f: Arc<M>) -> Delivery<M> {
+        Delivery::Deliver(f)
+    }
+
+    fn delivered_count(&self, _r: Round, _from: ProcessId, receivers: &ProcessSet) -> u64 {
+        receivers.len() as u64
+    }
+}
+
+/// The framed byte path: payloads are [`seal`]ed into checksummed
+/// frames, carried as [`Bytes`], mangled by the fault plane `P`, and
+/// [`open`]ed at the receiver.
+#[derive(Clone, Copy, Debug)]
+pub struct CodecTransport<P> {
+    plane: P,
+}
+
+impl<P: FaultPlane> CodecTransport<P> {
+    /// A codec transport injecting faults from `plane`.
+    pub fn new(plane: P) -> Self {
+        CodecTransport { plane }
+    }
+}
+
+impl<M: Wire + Send + Sync + 'static, P: FaultPlane> Transport<M> for CodecTransport<P> {
+    type Frame = Bytes;
+
+    const DEFERS_LOCAL: bool = true;
+
+    fn pack(&self, m: &Arc<M>) -> Bytes {
+        seal(&**m)
+    }
+
+    fn unpack(&self, r: Round, from: ProcessId, to: ProcessId, f: Bytes) -> Delivery<M> {
+        match self.plane.tamper(r, from, to) {
+            None => match open(&f) {
+                Ok(m) => Delivery::Deliver(Arc::new(m)),
+                // Unreachable for frames we sealed ourselves, but the
+                // receiver survives a misbehaving sender all the same.
+                Err(e) => Delivery::Quarantined(e),
+            },
+            Some(Tamper::Drop) => Delivery::Dropped,
+            Some(t) => {
+                let mut buf = f.to_vec();
+                t.apply(&mut buf);
+                match open::<M>(&buf) {
+                    // ≈ 2⁻⁶⁴ per frame (see `fnv64`); deterministic per
+                    // seed, so a colliding seed would fail tests loudly,
+                    // not flakily.
+                    Ok(m) => Delivery::Deliver(Arc::new(m)),
+                    Err(e) => Delivery::Quarantined(e),
+                }
+            }
+        }
+    }
+
+    fn delivered_count(&self, r: Round, from: ProcessId, receivers: &ProcessSet) -> u64 {
+        receivers
+            .iter()
+            .filter(|&v| self.plane.tamper(r, from, v).is_none())
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{validate, FixedSchedule};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_usize(i)
+    }
+
+    #[test]
+    fn seal_open_round_trips() {
+        for v in [0u64, 1, 300, u64::MAX] {
+            let frame = seal(&v);
+            assert_eq!(open::<u64>(&frame), Ok(v));
+            assert_eq!(frame.len(), crate::wire::uvarint_len(v) + FRAME_CHECK_BYTES);
+        }
+    }
+
+    #[test]
+    fn open_rejects_short_frames_and_checksum_mismatches() {
+        assert_eq!(open::<u64>(&[]), Err(WireError::UnexpectedEnd));
+        assert_eq!(open::<u64>(&[1, 2, 3]), Err(WireError::UnexpectedEnd));
+        let mut frame = seal(&7u64).to_vec();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xff; // corrupt the checksum, payload intact
+        assert_eq!(
+            open::<u64>(&frame),
+            Err(WireError::InvalidValue("frame checksum mismatch"))
+        );
+    }
+
+    #[test]
+    fn every_tamper_shape_is_detected_on_a_real_frame() {
+        // A payload long enough that every shape has room to act.
+        let g = {
+            let mut g = sskel_graph::LabeledDigraph::new(6);
+            g.set_edge_max(p(1), p(4), 7);
+            g.set_edge_max(p(2), p(3), 9);
+            g
+        };
+        let frame = seal(&g);
+        let shapes = [
+            Tamper::BitFlip { bit: 12 },
+            Tamper::Truncate { keep: 3 },
+            Tamper::JunkPrefix { len: 5, fill: 42 },
+            Tamper::JunkSuffix { len: 5, fill: 42 },
+            Tamper::Duplicate,
+        ];
+        for t in shapes {
+            let mut buf = frame.to_vec();
+            t.apply(&mut buf);
+            assert!(
+                open::<sskel_graph::LabeledDigraph>(&buf).is_err(),
+                "{t:?} survived the envelope"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_overlay_is_pure_and_spares_loopback() {
+        let plane = CorruptionOverlay::new(11, 0.7);
+        for r in 1..=20 {
+            for u in 0..5 {
+                for v in 0..5 {
+                    assert_eq!(
+                        plane.tamper(r, p(u), p(v)),
+                        plane.tamper(r, p(u), p(v)),
+                        "impure at r={r} ({u}→{v})"
+                    );
+                    if u == v {
+                        assert_eq!(plane.tamper(r, p(u), p(v)), None, "loopback tampered");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_rate_endpoints_are_exact() {
+        let never = CorruptionOverlay::new(5, 0.0);
+        let always = CorruptionOverlay::new(5, 1.0);
+        let mut hits = 0;
+        for r in 1..=10 {
+            for u in 0..4 {
+                for v in 0..4 {
+                    if u == v {
+                        continue;
+                    }
+                    assert_eq!(never.tamper(r, p(u), p(v)), None);
+                    assert!(always.tamper(r, p(u), p(v)).is_some());
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn quiet_after_silences_the_plane() {
+        let plane = CorruptionOverlay::new(5, 1.0).quiet_after(4);
+        assert!(plane.tamper(3, p(0), p(1)).is_some());
+        assert_eq!(plane.tamper(4, p(0), p(1)), None);
+        assert_eq!(plane.tamper(100, p(0), p(1)), None);
+    }
+
+    #[test]
+    fn effective_schedule_strips_tampered_edges_and_validates() {
+        let base = FixedSchedule::synchronous(5);
+        let plane = CorruptionOverlay::new(77, 0.5).quiet_after(6);
+        let eff = plane.effective(&base);
+        validate(&eff, 30).expect("effective schedule is a valid schedule");
+        let mut stripped_any = false;
+        for r in 1..6 {
+            let g = eff.graph(r);
+            for u in 0..5 {
+                for v in 0..5 {
+                    let tampered = plane.tamper(r, p(u), p(v)).is_some();
+                    assert_eq!(g.has_edge(p(u), p(v)), !tampered, "r={r} ({u}→{v})");
+                    stripped_any |= tampered;
+                }
+            }
+        }
+        assert!(stripped_any, "rate 0.5 never fired in 5 rounds");
+        // quiet tail: the base graph verbatim
+        assert_eq!(eff.graph(6), base.graph(6));
+        assert_eq!(eff.stabilization_round(), 6);
+    }
+
+    #[test]
+    fn fault_stats_merge_and_canonical_order() {
+        let mut a = FaultStats::new();
+        a.record(2, p(1), p(0), FaultCause::Dropped);
+        a.record(
+            1,
+            p(0),
+            p(1),
+            FaultCause::Quarantined(WireError::UnexpectedEnd),
+        );
+        let mut b = FaultStats::new();
+        b.record(1, p(2), p(0), FaultCause::Dropped);
+        a.merge(b);
+        a.finalize();
+        let key: Vec<(Round, usize, usize)> = a
+            .faults
+            .iter()
+            .map(|f| (f.round, f.to.index(), f.from.index()))
+            .collect();
+        assert_eq!(key, vec![(1, 0, 2), (1, 1, 0), (2, 0, 1)]);
+        assert_eq!(a.dropped(), 2);
+        assert_eq!(a.quarantined(), 1);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -30,12 +30,21 @@
 //! schedules streamed lazily from a seed), and the `testutil` module
 //! (behind the `testutil` feature) exposes the shared strategies the
 //! paper-conformance harness in `tests/conformance.rs` is built on.
+//!
+//! [`fault`] is the Byzantine fault-injection plane: every engine also has
+//! a *codec-boundary* entry point (`run_*_codec`) where payloads travel as
+//! checksummed encoded frames through a seeded corruption overlay instead
+//! of `Arc` hand-offs, and receivers quarantine mangled frames instead of
+//! panicking. [`engine::run_lockstep_recovering`] adds crash/restart
+//! recovery from wire-codec snapshots taken at the canonical rebase cut
+//! points.
 
 #![deny(missing_docs)]
 
 pub mod adversary;
 pub mod algorithm;
 pub mod engine;
+pub mod fault;
 pub mod heard_of;
 pub mod parallel;
 pub mod schedule;
@@ -47,12 +56,17 @@ pub mod trace;
 pub mod wire;
 
 pub use adversary::{
-    ChurnAdversary, CrashOverlay, HealedPartitionAdversary, LowerBoundAdversary, PartitionEpisode,
-    RotatingRootAdversary, StableRootAdversary,
+    ChurnAdversary, CrashOverlay, CrashRestartOverlay, HealedPartitionAdversary,
+    LowerBoundAdversary, PartitionEpisode, RotatingRootAdversary, StableRootAdversary,
 };
-pub use algorithm::{ProcessCtx, Received, RoundAlgorithm, Value};
+pub use algorithm::{ProcessCtx, Received, Recoverable, RoundAlgorithm, Value};
 pub use engine::{
-    run_lockstep, run_lockstep_observed, run_sharded, run_threaded, RunUntil, ShardPlan,
+    run_lockstep, run_lockstep_codec, run_lockstep_observed, run_lockstep_recovering, run_sharded,
+    run_sharded_codec, run_threaded, run_threaded_codec, RunUntil, ShardPlan,
+};
+pub use fault::{
+    CorruptionOverlay, EdgeFault, EffectiveSchedule, FaultCause, FaultPlane, FaultStats, NoFaults,
+    Tamper,
 };
 pub use schedule::{validate as validate_schedule, FixedSchedule, Schedule, TableSchedule};
 pub use skeleton::SkeletonTracker;

@@ -19,8 +19,8 @@ use std::ops::Range;
 use proptest::{Strategy, TestRng};
 
 use crate::adversary::{
-    ChurnAdversary, CrashOverlay, HealedPartitionAdversary, LowerBoundAdversary,
-    RotatingRootAdversary, StableRootAdversary,
+    ChurnAdversary, CrashOverlay, CrashRestartOverlay, HealedPartitionAdversary,
+    LowerBoundAdversary, RotatingRootAdversary, StableRootAdversary,
 };
 use crate::algorithm::Value;
 use crate::schedule::Schedule;
@@ -44,6 +44,26 @@ pub fn base_seed() -> u64 {
                 .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16));
             parsed.unwrap_or_else(|_| panic!("SSKEL_TEST_SEED={raw:?} is not a u64"))
         }
+    }
+}
+
+/// The per-property proptest case budget: the value of the
+/// `SSKEL_FUZZ_CASES` environment variable when set, `default` otherwise.
+/// The interactive suites default low (every conformance case spawns OS
+/// threads); the nightly fuzz sweep exports a budget in the thousands to
+/// grind the same properties over far more seeded configurations.
+///
+/// # Panics
+/// Panics (failing the test loudly) if the variable is set but not a
+/// positive `u32`.
+pub fn fuzz_cases(default: u32) -> u32 {
+    match std::env::var("SSKEL_FUZZ_CASES") {
+        Err(_) => default,
+        Ok(raw) if raw.is_empty() => default,
+        Ok(raw) => match raw.parse() {
+            Ok(cases) if cases > 0 => cases,
+            _ => panic!("SSKEL_FUZZ_CASES={raw:?} is not a positive u32"),
+        },
     }
 }
 
@@ -90,10 +110,13 @@ pub enum AdversaryFamily {
     /// crash ∘ partition ∘ stable-tail: [`CrashOverlay`] over
     /// [`HealedPartitionAdversary`].
     CrashOverPartition,
+    /// [`CrashRestartOverlay`] over a synchronous base: processes go
+    /// silent for a bounded window and come back.
+    CrashRestart,
 }
 
 /// Every family, in the order the suite reports them.
-pub const ALL_FAMILIES: [AdversaryFamily; 7] = [
+pub const ALL_FAMILIES: [AdversaryFamily; 8] = [
     AdversaryFamily::StableRoot,
     AdversaryFamily::RotatingRoot,
     AdversaryFamily::Crash,
@@ -101,6 +124,7 @@ pub const ALL_FAMILIES: [AdversaryFamily; 7] = [
     AdversaryFamily::Churn,
     AdversaryFamily::LowerBound,
     AdversaryFamily::CrashOverPartition,
+    AdversaryFamily::CrashRestart,
 ];
 
 /// One sampled conformance case.
@@ -142,6 +166,14 @@ impl AdversaryConfig {
                 let base = HealedPartitionAdversary::sample(n, self.seed);
                 let f = (self.seed >> 8) as usize % (n / 2 + 1);
                 Box::new(CrashOverlay::seeded(base, f, self.seed))
+            }
+            AdversaryFamily::CrashRestart => {
+                let f = (self.seed >> 16) as usize % (n / 2 + 1);
+                Box::new(CrashRestartOverlay::seeded(
+                    crate::schedule::FixedSchedule::synchronous(n),
+                    f,
+                    self.seed,
+                ))
             }
         }
     }

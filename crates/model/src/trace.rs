@@ -3,6 +3,7 @@
 use sskel_graph::{ProcessId, Round};
 
 use crate::algorithm::Value;
+use crate::fault::FaultStats;
 
 /// One process's irrevocable decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +67,10 @@ pub struct RunTrace {
     /// Contract violations observed while running (irrevocability breaches,
     /// decision retractions). Empty for a well-behaved algorithm.
     pub anomalies: Vec<String>,
+    /// Frames dropped or quarantined by the fault plane (always empty in
+    /// Arc mode and under [`crate::fault::NoFaults`]); canonically sorted,
+    /// identical across engines per seed.
+    pub faults: FaultStats,
 }
 
 impl RunTrace {
@@ -77,6 +82,7 @@ impl RunTrace {
             decisions: vec![None; n],
             msg_stats: MsgStats::default(),
             anomalies: Vec::new(),
+            faults: FaultStats::new(),
         }
     }
 

@@ -29,7 +29,8 @@
 use proptest::prelude::*;
 
 use sskel::model::testutil::{
-    adversary_config, seed_override_cases, AdversaryConfig, AdversaryFamily, ALL_FAMILIES,
+    adversary_config, fuzz_cases, seed_override_cases, AdversaryConfig, AdversaryFamily,
+    ALL_FAMILIES,
 };
 use sskel::prelude::*;
 
@@ -114,8 +115,9 @@ macro_rules! conformance_family {
     ($($name:ident => ($family:expr, $n_range:expr)),+ $(,)?) => {
         proptest! {
             // every case spawns ~2n OS threads across the concurrent
-            // engines: keep the per-family case count modest
-            #![proptest_config(ProptestConfig::with_cases(12))]
+            // engines: keep the default per-family case count modest; the
+            // nightly sweep raises it via SSKEL_FUZZ_CASES
+            #![proptest_config(ProptestConfig::with_cases(fuzz_cases(12)))]
             $(
                 #[test]
                 fn $name(cfg in adversary_config($family, $n_range)) {
@@ -134,6 +136,7 @@ conformance_family! {
     churn_conforms => (AdversaryFamily::Churn, 1..11),
     lower_bound_conforms => (AdversaryFamily::LowerBound, 4..12),
     crash_over_partition_conforms => (AdversaryFamily::CrashOverPartition, 1..11),
+    crash_restart_conforms => (AdversaryFamily::CrashRestart, 1..11),
 }
 
 /// The `SSKEL_TEST_SEED` drill-down: with the variable set, every family is

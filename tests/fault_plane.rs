@@ -1,0 +1,357 @@
+//! The Byzantine fault-injection plane, end to end: codec-boundary
+//! payload transport, seeded in-flight frame corruption with
+//! quarantine-and-survive receivers, and crash/restart recovery at the
+//! canonical snapshot cut points.
+//!
+//! The contract under test (see `docs/TESTING.md`):
+//!
+//! * **codec no-op identity** — with an inert fault plane, running
+//!   payloads through `encode → frame → decode` instead of `Arc`
+//!   hand-off changes *nothing*: decisions, round counts and message
+//!   statistics are byte-identical, in every engine;
+//! * **no panics, ever** — at any corruption rate in `[0, 1]` the
+//!   receivers quarantine garbage frames (typed [`WireError`] causes in
+//!   the run's [`FaultStats`]) and carry on;
+//! * **determinism** — the fault pattern is a pure function of
+//!   `(seed, round, from, to)`, so for one seed all three engines
+//!   produce the identical trace *and the identical fault ledger*;
+//! * **conformance on the surviving schedule** — a corrupted run is an
+//!   uncorrupted run of the *effective* schedule (tampered edges
+//!   stripped): decisions satisfy k-agreement at the effective
+//!   schedule's own `min_k`, within its own Lemma-11 bound;
+//! * **crash/restart recovery** — killing a process mid-run and
+//!   resuming it from its last canonical snapshot yields a trace
+//!   byte-identical to the uninterrupted run of the same schedule.
+
+use proptest::prelude::*;
+
+use sskel::model::testutil::{
+    adversary_config, fuzz_cases, mix_seed, AdversaryConfig, AdversaryFamily,
+};
+use sskel::prelude::*;
+
+fn freshness_spawn(n: usize, inputs: &[Value]) -> Vec<KSetAgreement> {
+    KSetAgreement::spawn_all_with(n, inputs, DecisionRule::FreshnessGuarded)
+}
+
+fn distinct_inputs(n: usize) -> Vec<Value> {
+    (0..n).map(|i| 10 + 7 * i as Value).collect()
+}
+
+/// Asserts two traces are byte-identical in every observable field,
+/// including the fault ledger.
+fn assert_identical(a: &RunTrace, b: &RunTrace, ctx: &str) {
+    assert_eq!(a.decisions, b.decisions, "{ctx}: decisions diverged");
+    assert_eq!(
+        a.rounds_executed, b.rounds_executed,
+        "{ctx}: round counts diverged"
+    );
+    assert_eq!(a.msg_stats, b.msg_stats, "{ctx}: wire accounting diverged");
+    assert_eq!(a.faults, b.faults, "{ctx}: fault ledgers diverged");
+    assert_eq!(a.anomalies, b.anomalies, "{ctx}: anomalies diverged");
+}
+
+/// Codec-boundary mode with an inert plane is indistinguishable from the
+/// `Arc` hand-off path — in all three engines, across adversary families.
+#[test]
+fn codec_noop_mode_is_byte_identical_to_arc_mode() {
+    for (i, family) in [
+        AdversaryFamily::StableRoot,
+        AdversaryFamily::RotatingRoot,
+        AdversaryFamily::CrashOverPartition,
+        AdversaryFamily::CrashRestart,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let cfg = AdversaryConfig {
+            family,
+            n: 7,
+            seed: mix_seed(0x00de + i as u64),
+        };
+        let s = cfg.build();
+        let n = s.n();
+        let inputs = cfg.inputs();
+        let until = RunUntil::AllDecided {
+            max_rounds: lemma11_bound(s.as_ref()) + 2,
+        };
+        let spawn = || freshness_spawn(n, &inputs);
+
+        let (arc_ls, _) = run_lockstep(s.as_ref(), spawn(), until);
+        let (codec_ls, _) = run_lockstep_codec(s.as_ref(), spawn(), until, &NoFaults);
+        assert_identical(&arc_ls, &codec_ls, &format!("{cfg}: lockstep"));
+        assert!(codec_ls.faults.is_empty(), "{cfg}: inert plane lost frames");
+
+        let (arc_th, _) = run_threaded(s.as_ref(), spawn(), until);
+        let (codec_th, _) = run_threaded_codec(s.as_ref(), spawn(), until, &NoFaults);
+        assert_identical(&arc_th, &codec_th, &format!("{cfg}: threaded"));
+
+        let plan = || ShardPlan::new(3).with_window(2);
+        let (arc_sh, _) = run_sharded(s.as_ref(), spawn(), until, plan());
+        let (codec_sh, _) = run_sharded_codec(s.as_ref(), spawn(), until, plan(), &NoFaults);
+        assert_identical(&arc_sh, &codec_sh, &format!("{cfg}: sharded"));
+
+        // and the codec engines agree with each other, as always
+        assert_identical(&codec_ls, &codec_th, &format!("{cfg}: ls vs th"));
+        assert_identical(&codec_ls, &codec_sh, &format!("{cfg}: ls vs sh"));
+    }
+}
+
+/// No engine panics at **any** corruption rate — including 1.0, where
+/// every non-loopback frame is mangled or dropped and each process hears
+/// only itself. Per rate and seed, all three engines produce identical
+/// traces, fault ledgers and quarantine counts; re-running reproduces
+/// them byte-for-byte.
+#[test]
+fn engines_survive_every_corruption_rate_deterministically() {
+    let n = 6;
+    let inputs = distinct_inputs(n);
+    let s = StableRootAdversary::sample(n, mix_seed(0xfa11));
+    let until = RunUntil::Rounds(lemma11_bound(&s) + 2);
+    for (i, rate) in [0.0, 0.1, 0.5, 0.9, 1.0].into_iter().enumerate() {
+        let plane = CorruptionOverlay::new(mix_seed(0xc0de + i as u64), rate);
+        let ctx = format!("rate={rate}");
+        let spawn = || freshness_spawn(n, &inputs);
+
+        let (ls, _) = run_lockstep_codec(&s, spawn(), until, &plane);
+        let (th, _) = run_threaded_codec(&s, spawn(), until, &plane);
+        let (sh, _) = run_sharded_codec(&s, spawn(), until, ShardPlan::new(2), &plane);
+        assert_identical(&ls, &th, &format!("{ctx}: lockstep vs threaded"));
+        assert_identical(&ls, &sh, &format!("{ctx}: lockstep vs sharded"));
+        assert_eq!(
+            ls.faults.quarantined(),
+            th.faults.quarantined(),
+            "{ctx}: quarantine counts diverged"
+        );
+
+        // determinism: an identical re-run reproduces the exact ledger
+        let (again, _) = run_lockstep_codec(&s, spawn(), until, &plane);
+        assert_identical(&ls, &again, &format!("{ctx}: re-run"));
+
+        if rate == 0.0 {
+            assert!(ls.faults.is_empty(), "{ctx}: zero rate lost frames");
+        }
+        if rate == 1.0 {
+            // every process heard only itself: nobody's frame survived,
+            // and the ledger carries every off-loopback edge of every
+            // executed round
+            assert!(!ls.faults.is_empty(), "{ctx}: full rate lost nothing");
+        }
+    }
+}
+
+/// Corrupted frames are quarantined with their **typed** [`WireError`]
+/// cause (never a panic, never a silent drop): a high-rate run exhibits
+/// both outright drops and decoder quarantines in its ledger.
+#[test]
+fn quarantined_frames_carry_typed_causes() {
+    let n = 6;
+    let inputs = distinct_inputs(n);
+    let s = FixedSchedule::synchronous(n);
+    let plane = CorruptionOverlay::new(mix_seed(0x7a9e), 0.8);
+    let (trace, _) = run_lockstep_codec(
+        &s,
+        freshness_spawn(n, &inputs),
+        RunUntil::Rounds(12),
+        &plane,
+    );
+    assert!(trace.faults.dropped() > 0, "no outright drops at rate 0.8");
+    assert!(
+        trace.faults.quarantined() > 0,
+        "no decoder quarantines at rate 0.8"
+    );
+    for f in &trace.faults.faults {
+        assert_ne!(f.from, f.to, "loopback frames must never be tampered");
+        if let FaultCause::Quarantined(e) = &f.cause {
+            // the typed taxonomy of the wire codec, not a catch-all
+            let _: &sskel::model::wire::WireError = e;
+        }
+    }
+}
+
+/// The conformance oracle for corrupted runs: a corrupted codec run over
+/// `base` is byte-identical (faults aside) to an uncorrupted `Arc` run
+/// over the **effective schedule** — and its decisions satisfy the full
+/// k-set agreement contract at the effective schedule's own `min_k`,
+/// within the effective schedule's Lemma-11 bound.
+fn conform_corrupted(cfg: &AdversaryConfig, rate: f64) -> Result<(), TestCaseError> {
+    let s = cfg.build();
+    let n = s.n();
+    // The plane must eventually go quiet or nothing is guaranteed to
+    // terminate; quiet shortly after the base stabilizes, so corruption
+    // overlaps the interesting prefix.
+    let quiet = s.stabilization_round() + 2;
+    let plane = CorruptionOverlay::new(cfg.seed ^ 0xbad, rate).quiet_after(quiet);
+    let eff = plane.effective(s.as_ref());
+    validate_schedule(&eff, lemma11_bound(&eff) + 2)
+        .map_err(|e| TestCaseError::fail(format!("{cfg}: effective schedule contract: {e}")))?;
+
+    let inputs = cfg.inputs();
+    let until = RunUntil::AllDecided {
+        max_rounds: lemma11_bound(&eff) + 2,
+    };
+    let (corrupted, _) = run_lockstep_codec(s.as_ref(), freshness_spawn(n, &inputs), until, &plane);
+    let (oracle, _) = run_lockstep(&eff, freshness_spawn(n, &inputs), until);
+
+    prop_assert_eq!(
+        &corrupted.decisions,
+        &oracle.decisions,
+        "{}: corrupted run vs effective-schedule oracle decisions",
+        cfg
+    );
+    prop_assert_eq!(
+        corrupted.rounds_executed,
+        oracle.rounds_executed,
+        "{}: corrupted run vs oracle round counts",
+        cfg
+    );
+    prop_assert_eq!(
+        corrupted.msg_stats,
+        oracle.msg_stats,
+        "{}: corrupted run vs oracle wire accounting",
+        cfg
+    );
+
+    let min_k = min_k_on_skeleton(&eff.stable_skeleton());
+    let verdict = verify(
+        &corrupted,
+        &VerifySpec::new(min_k, inputs).with_lemma11_bound(&eff),
+    );
+    prop_assert!(
+        verdict.is_ok(),
+        "{} (effective min_k={}):\n  {}",
+        cfg,
+        min_k,
+        verdict.violations.join("\n  ")
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(8)))]
+
+    /// Sampled corrupted-conformance sweep (the nightly job raises the
+    /// case count via `SSKEL_FUZZ_CASES`).
+    #[test]
+    fn corrupted_runs_conform_on_the_surviving_schedule(
+        cfg in adversary_config(AdversaryFamily::StableRoot, 2..10),
+    ) {
+        // the corruption rate is itself seeded, sweeping (0, 1]
+        let rate = (1 + (cfg.seed >> 40) % 1000) as f64 / 1000.0;
+        conform_corrupted(&cfg, rate)?;
+    }
+}
+
+/// The full overlay composition of the fault-injection plane:
+/// `CorruptionOverlay` (wire corruption) over `CrashRestartOverlay`
+/// (bounded silence windows) over `CrashOverlay` (clean crashes) over
+/// `HealedPartitionAdversary` (transient partitions) — through all three
+/// engines, with identical traces and fault ledgers per seed.
+#[test]
+fn composed_overlays_survive_all_three_engines() {
+    for entropy in 0..3u64 {
+        let seed = mix_seed(0xc09e + entropy);
+        let n = 8;
+        let partition = HealedPartitionAdversary::seeded(n, 2, 3, seed);
+        let crashed = CrashOverlay::seeded(partition, 1, seed);
+        let s = CrashRestartOverlay::seeded(crashed, 2, seed);
+        let bound = lemma11_bound(&s);
+        validate_schedule(&s, bound + 2).unwrap_or_else(|e| panic!("seed={seed:#x}: {e}"));
+        let plane = CorruptionOverlay::new(seed ^ 0xf001, 0.25);
+        let inputs = distinct_inputs(n);
+        let until = RunUntil::Rounds(bound + 2);
+        let ctx = format!("seed={seed:#x}");
+        let spawn = || freshness_spawn(n, &inputs);
+
+        let (ls, _) = run_lockstep_codec(&s, spawn(), until, &plane);
+        let (th, _) = run_threaded_codec(&s, spawn(), until, &plane);
+        let (sh, _) =
+            run_sharded_codec(&s, spawn(), until, ShardPlan::new(3).with_window(2), &plane);
+        assert_identical(&ls, &th, &format!("{ctx}: lockstep vs threaded"));
+        assert_identical(&ls, &sh, &format!("{ctx}: lockstep vs sharded"));
+        assert_eq!(
+            ls.faults.quarantined(),
+            sh.faults.quarantined(),
+            "{ctx}: quarantine counts diverged"
+        );
+        assert!(
+            ls.anomalies.is_empty(),
+            "{ctx}: anomalies: {:?}",
+            ls.anomalies
+        );
+    }
+}
+
+/// Crash/restart recovery with the real Algorithm 1: a process killed
+/// mid-run and resumed from its last canonical snapshot (the estimator's
+/// rebase cut points, serialized with the wire codec) produces a trace
+/// **byte-identical** to the uninterrupted run of the same schedule —
+/// with and without a corruption plane underneath.
+#[test]
+fn killed_and_resumed_kset_agreement_matches_the_uninterrupted_run() {
+    for entropy in 0..3u64 {
+        let seed = mix_seed(0x5a7e + entropy);
+        let n = 7;
+        let s = CrashRestartOverlay::seeded(FixedSchedule::synchronous(n), 2, seed);
+        let horizon = lemma11_bound(&s) + 2;
+        let inputs = distinct_inputs(n);
+        let until = RunUntil::Rounds(horizon);
+        let ctx = format!("seed={seed:#x}");
+
+        // inert plane
+        let (resumed, _) =
+            run_lockstep_recovering(&s, freshness_spawn(n, &inputs), until, &NoFaults);
+        let (uninterrupted, _) =
+            run_lockstep_codec(&s, freshness_spawn(n, &inputs), until, &NoFaults);
+        assert_identical(&resumed, &uninterrupted, &format!("{ctx}: inert plane"));
+        assert!(
+            resumed.all_decided(),
+            "{ctx}: resumed run failed to terminate"
+        );
+
+        // corruption plane underneath the kill/restart windows
+        let plane = CorruptionOverlay::new(seed ^ 0xd1e, 0.2).quiet_after(s.stabilization_round());
+        let (resumed_c, _) =
+            run_lockstep_recovering(&s, freshness_spawn(n, &inputs), until, &plane);
+        let (uninterrupted_c, _) =
+            run_lockstep_codec(&s, freshness_spawn(n, &inputs), until, &plane);
+        assert_identical(
+            &resumed_c,
+            &uninterrupted_c,
+            &format!("{ctx}: corruption plane"),
+        );
+
+        // and the resumed run still satisfies the paper contract
+        let min_k = min_k_on_skeleton(&s.stable_skeleton());
+        verify(
+            &resumed,
+            &VerifySpec::new(min_k, inputs.clone()).with_lemma11_bound(&s),
+        )
+        .assert_ok();
+    }
+}
+
+/// `Recoverable` snapshots of Algorithm 1 reject malformed input with a
+/// typed error — the restore path inherits the wire codec's taxonomy and
+/// must never panic on arbitrary bytes.
+#[test]
+fn kset_snapshot_restore_rejects_garbage_without_panicking() {
+    let n = 5;
+    let inputs = distinct_inputs(n);
+    let algs = freshness_spawn(n, &inputs);
+    let snap = sskel::model::Recoverable::snapshot(&algs[2]);
+    // the genuine snapshot round-trips
+    let restored: KSetAgreement = sskel::model::Recoverable::restore(&snap).unwrap();
+    assert_eq!(restored.decision(), algs[2].decision());
+    // every truncation fails typed, never panics
+    for cut in 0..snap.len() {
+        let r: Result<KSetAgreement, _> = sskel::model::Recoverable::restore(&snap[..cut]);
+        assert!(r.is_err(), "truncation at {cut} restored");
+    }
+    // and so does every single-byte corruption
+    for i in 0..snap.len() {
+        let mut bad = snap.to_vec();
+        bad[i] ^= 0x40;
+        let _: Result<KSetAgreement, _> = sskel::model::Recoverable::restore(&bad);
+    }
+}
