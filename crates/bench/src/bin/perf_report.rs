@@ -27,9 +27,9 @@ use sskel_bench::{inputs, ring_skeleton, ring_with_chords, std_schedule, SEED};
 use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round};
 use sskel_kset::{lemma11_bound, DecisionRule, KSetAgreement, SkeletonEstimator};
 use sskel_model::{
-    run_lockstep, run_lockstep_codec, run_sharded, run_sharded_codec, run_threaded, ChurnAdversary,
-    CorruptionOverlay, FixedSchedule, NoFaults, RotatingRootAdversary, RunUntil, Schedule,
-    ShardPlan, StableRootAdversary,
+    run_lockstep, run_lockstep_codec, run_sharded, run_sharded_codec, run_socket, run_threaded,
+    ChurnAdversary, CorruptionOverlay, FixedSchedule, NoFaults, RotatingRootAdversary, RunUntil,
+    Schedule, ShardPlan, SocketPlan, StableRootAdversary,
 };
 
 struct Record {
@@ -216,6 +216,66 @@ fn engines_workloads(out: &mut Vec<Record>) {
     }));
 }
 
+/// The socket engine against its in-process siblings: the same sealed
+/// frames, but every inter-shard hop crosses a real loopback `TcpStream`
+/// — syscalls, kernel buffers and stream reassembly included. Together
+/// with the `lockstep`/`sharded` and `*_codec` rows this completes the
+/// Arc → codec → socket cost ladder recorded in `docs/BENCHMARKS.md`,
+/// and is where the u16-delta codec's halved `wire_bytes` finally buys
+/// wall-clock instead of just smaller accounting. Rows are skipped (with
+/// a note) when the sandbox cannot bind loopback sockets.
+fn socket_workloads(out: &mut Vec<Record>) {
+    if std::net::TcpListener::bind(("127.0.0.1", 0)).is_err() {
+        eprintln!("engines/socket/*: skipped (loopback unavailable)");
+        return;
+    }
+    for &n in &[16usize, 64] {
+        let s = FixedSchedule::synchronous(n);
+        let ins = inputs(n);
+        // n = 16 runs to decision like its lockstep/threaded/sharded
+        // siblings; n = 64 is horizon-bounded — a full synchronous
+        // decision run at that size pushes gigabytes of dense
+        // approximation frames through loopback per iteration, which
+        // measures patience, not the transport.
+        let until = if n <= 16 {
+            RunUntil::AllDecided {
+                max_rounds: lemma11_bound(&s) + 2,
+            }
+        } else {
+            RunUntil::Rounds(6)
+        };
+        out.push(measure(&format!("engines/socket/{n}"), || {
+            run_socket(
+                &s,
+                KSetAgreement::spawn_all(n, &ins),
+                until,
+                SocketPlan::new(4),
+            )
+            .expect("socket run")
+            .0
+            .rounds_executed
+        }));
+    }
+
+    // the large-n fixed-horizon workload of `engines/{threaded,sharded}/
+    // 256x6r`, now with the inter-shard frames on the wire
+    let n = 256usize;
+    let s = FixedSchedule::new(ring_with_chords(n, 8));
+    let ins = inputs(n);
+    let until = RunUntil::Rounds(6);
+    out.push(measure("engines/socket/256x6r", || {
+        run_socket(
+            &s,
+            KSetAgreement::spawn_all(n, &ins),
+            until,
+            SocketPlan::new(4).with_window(4),
+        )
+        .expect("socket run")
+        .0
+        .rounds_executed
+    }));
+}
+
 /// Codec-boundary transport against the `Arc` hand-off it replaces: the
 /// same workloads with every payload running `encode → frame → decode`
 /// through an inert fault plane. The gap is the real serialization cost
@@ -327,6 +387,7 @@ fn main() {
     full_run_workloads(&mut records);
     approx_update_workloads(&mut records);
     engines_workloads(&mut records);
+    socket_workloads(&mut records);
     codec_workloads(&mut records);
     adversary_workloads(&mut records);
 

@@ -1,6 +1,6 @@
 //! Simulation engines.
 //!
-//! Three engines drive [`crate::algorithm::RoundAlgorithm`] instances
+//! Four engines drive [`crate::algorithm::RoundAlgorithm`] instances
 //! through the round structure of a [`crate::schedule::Schedule`]:
 //!
 //! * [`lockstep`] — deterministic, single-threaded, supports per-round
@@ -11,7 +11,12 @@
 //! * [`sharded`] — `k` processes per thread ([`ShardPlan`]), one inbox per
 //!   shard, direct in-memory delivery inside a shard, and a bounded-skew
 //!   [`crate::sync::WindowedBarrier`] under a fixed horizon; also
-//!   trace-identical to lockstep.
+//!   trace-identical to lockstep;
+//! * [`socket`] — the sharded partition with every inter-shard frame
+//!   carried over a real loopback [`std::net::TcpStream`] ([`SocketPlan`]),
+//!   stream framing with partial-read resumption, per-connection read
+//!   timeouts and typed [`SocketError`]s; trace-identical to
+//!   [`run_lockstep_codec`] over the same schedule, seed and fault plane.
 //!
 //! All deliver round-`r` messages exactly along the edges of `G^r`:
 //! process `q` receives `p`'s round-`r` broadcast iff `(p → q) ∈ G^r`.
@@ -27,11 +32,15 @@
 pub mod lockstep;
 pub mod recovery;
 pub mod sharded;
+pub mod socket;
 pub mod threaded;
 
 pub use lockstep::{run_lockstep, run_lockstep_codec, run_lockstep_observed};
 pub use recovery::run_lockstep_recovering;
 pub use sharded::{run_sharded, run_sharded_codec, ShardPlan};
+pub use socket::{
+    run_socket, run_socket_codec, PacketEvent, PacketStream, SocketError, SocketPlan,
+};
 pub use threaded::{run_threaded, run_threaded_codec};
 
 use sskel_graph::Round;

@@ -110,8 +110,9 @@ impl ShardPlan {
 
     /// The contiguous process ranges of each shard for a universe of size
     /// `n`: `shards` ranges (after clamping to `n`) whose lengths differ by
-    /// at most one.
-    fn ranges(&self, n: usize) -> Vec<std::ops::Range<usize>> {
+    /// at most one. Shared with the socket engine, which partitions the
+    /// universe identically.
+    pub(crate) fn ranges(&self, n: usize) -> Vec<std::ops::Range<usize>> {
         let shards = self.shards.min(n).max(1);
         let base = n / shards;
         let extra = n % shards;

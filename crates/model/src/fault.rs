@@ -19,6 +19,12 @@
 //!   junk and bit-flips inside the payload surface as the decoder's own
 //!   typed errors (the taxonomy pinned by `wire_negative.rs`); tampering
 //!   that still decodes is caught by the checksum.
+//! * [`encode_packet`] / [`PacketBuffer`] — stream framing for transports
+//!   that carry frames over a real byte stream (the socket engine): a
+//!   routed packet header ahead of each sealed frame, and an incremental
+//!   parser that survives arbitrary read fragmentation and distinguishes
+//!   *incomplete* (more bytes coming) from *corrupt* (typed, fatal for
+//!   the connection).
 //! * [`Tamper`] — the corruption taxonomy (drop, bit-flip, truncation,
 //!   junk prefix/suffix, duplication), each variant carrying its own
 //!   seeded parameters.
@@ -45,11 +51,11 @@
 use std::sync::Arc;
 
 use bytes::{Buf, Bytes};
-use sskel_graph::{Digraph, ProcessId, ProcessSet, Round};
+use sskel_graph::{Digraph, ProcessId, ProcessSet, Round, FIRST_ROUND};
 
 use crate::adversary::{edge_round_hash, splitmix64};
 use crate::schedule::Schedule;
-use crate::wire::{Wire, WireError};
+use crate::wire::{try_read_uvarint, write_uvarint, Wire, WireError};
 
 /// Domain-separation salt mixed into [`CorruptionOverlay`] seeds so a
 /// corruption plane sharing a seed with an adversary family does not
@@ -75,7 +81,7 @@ fn fnv64(bytes: &[u8]) -> u64 {
 }
 
 /// Encodes `m` into a checksummed frame: the canonical wire encoding
-/// followed by [`fnv64`] of those payload bytes, little-endian.
+/// followed by `fnv64` of those payload bytes, little-endian.
 pub fn seal<M: Wire>(m: &M) -> Bytes {
     let mut buf: Vec<u8> = Vec::with_capacity(m.wire_bytes() + FRAME_CHECK_BYTES);
     m.encode(&mut buf);
@@ -113,6 +119,148 @@ pub fn open<M: Wire>(frame: &[u8]) -> Result<M, WireError> {
         return Err(WireError::InvalidValue("frame checksum mismatch"));
     }
     Ok(m)
+}
+
+/// Encodes one routed frame for a byte *stream*: a packet header of four
+/// canonical uvarints — round, sender index, receiver index, frame length
+/// — followed by the [`seal`]ed frame verbatim.
+///
+/// The header is **transport** framing, not payload: the checksum trailer
+/// of [`seal`] covers the frame, while header damage surfaces as a stream
+/// parse error in [`PacketBuffer::try_next`]. Splitting the two layers
+/// keeps the quarantine ledger of a socket run byte-identical to the
+/// in-process codec engines, whose fault plane only ever touches sealed
+/// frames.
+pub fn encode_packet(r: Round, from: ProcessId, to: ProcessId, frame: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame.len() + 12);
+    write_uvarint(&mut out, u64::from(r));
+    write_uvarint(&mut out, from.index() as u64);
+    write_uvarint(&mut out, to.index() as u64);
+    write_uvarint(&mut out, frame.len() as u64);
+    out.extend_from_slice(frame);
+    out
+}
+
+/// One complete packet parsed off a stream by [`PacketBuffer`]: the
+/// routing header plus the still-sealed frame (hand it to [`open`], or to
+/// a [`Transport::unpack`], to get the payload back).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FramedPacket {
+    /// The round the frame belongs to.
+    pub round: Round,
+    /// The sender.
+    pub from: ProcessId,
+    /// The receiver.
+    pub to: ProcessId,
+    /// The sealed frame bytes ([`seal`] output, checksum trailer intact).
+    pub frame: Bytes,
+}
+
+/// Incremental parser for [`encode_packet`] streams, resilient to
+/// arbitrary read fragmentation: feed whatever chunk the socket produced
+/// — a kilobyte, one byte, half a varint — and take complete packets out
+/// as they materialize.
+///
+/// The error discipline mirrors [`crate::wire::try_read_uvarint`]:
+/// `Ok(None)` means *incomplete* (a prefix of a valid packet; more bytes
+/// may still arrive), while `Err` means the buffered bytes can never
+/// become a valid packet — a junk preamble (non-canonical or overflowing
+/// header varint), a header field outside its domain, or a frame length
+/// beyond the configured cap. Stream-level garbage is a *transport*
+/// fault, typed and fatal for the connection; in-frame corruption stays
+/// quarantinable per edge (see [`encode_packet`]).
+#[derive(Debug)]
+pub struct PacketBuffer {
+    universe: usize,
+    max_frame: usize,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl PacketBuffer {
+    /// A parser for packets over a universe of `universe` processes whose
+    /// frames may not exceed `max_frame` bytes.
+    pub fn new(universe: usize, max_frame: usize) -> Self {
+        PacketBuffer {
+            universe,
+            max_frame,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Appends freshly read stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `true` iff undelivered bytes are buffered — after [`try_next`]
+    /// returned `Ok(None)`, that means the stream stopped *inside* a
+    /// packet, which turns an otherwise-benign timeout or EOF into a
+    /// mid-frame stall or truncation.
+    ///
+    /// [`try_next`]: PacketBuffer::try_next
+    pub fn mid_packet(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Extracts the next complete packet, if the buffer holds one.
+    /// `Ok(None)` means the buffered bytes are a (possibly empty) proper
+    /// prefix of a packet; feed more and retry. Errors are permanent for
+    /// the stream (see the type docs).
+    pub fn try_next(&mut self) -> Result<Option<FramedPacket>, WireError> {
+        let avail = &self.buf[self.pos..];
+        let mut header = [0u64; 4];
+        let mut off = 0;
+        for slot in &mut header {
+            match try_read_uvarint(&avail[off..])? {
+                None => {
+                    self.compact();
+                    return Ok(None);
+                }
+                Some((v, used)) => {
+                    *slot = v;
+                    off += used;
+                }
+            }
+        }
+        let [round, from, to, frame_len] = header;
+        if round < u64::from(FIRST_ROUND) || round > u64::from(Round::MAX) {
+            return Err(WireError::InvalidValue("packet round out of range"));
+        }
+        if from >= self.universe as u64 || to >= self.universe as u64 {
+            return Err(WireError::InvalidValue("packet endpoint outside universe"));
+        }
+        if frame_len > self.max_frame as u64 {
+            return Err(WireError::InvalidValue("frame length exceeds cap"));
+        }
+        let frame_len = frame_len as usize;
+        if avail.len() < off + frame_len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = Bytes::from(avail[off..off + frame_len].to_vec());
+        self.pos += off + frame_len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(FramedPacket {
+            round: round as Round,
+            from: ProcessId::from_usize(from as usize),
+            to: ProcessId::from_usize(to as usize),
+            frame,
+        }))
+    }
+
+    /// Drops already-consumed bytes so a long-lived connection's buffer
+    /// does not grow with its history.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
 }
 
 /// One in-flight frame mutation, with its seeded parameters baked in.
@@ -315,7 +463,7 @@ impl FaultPlane for CorruptionOverlay {
 /// [`CorruptionOverlay`] sits on the byte path of `base`: every edge
 /// whose frame the plane destroys is erased from the round graph
 /// (quarantined frames are semantically drops — [`open`] rejects every
-/// tampered frame, see the detection argument on [`fnv64`]).
+/// tampered frame, see the detection argument on `fnv64`).
 ///
 /// This is the conformance oracle: `min_k` and the Lemma-11 bound of a
 /// corrupted run are computed on this schedule, not the base. With the
@@ -605,6 +753,81 @@ mod tests {
             open::<u64>(&frame),
             Err(WireError::InvalidValue("frame checksum mismatch"))
         );
+    }
+
+    #[test]
+    fn packet_buffer_reassembles_one_byte_dribbles() {
+        let payloads: [u64; 3] = [0, 300, u64::MAX];
+        let mut stream = Vec::new();
+        for (i, v) in payloads.iter().enumerate() {
+            stream.extend(encode_packet(1 + i as Round, p(i), p(i + 1), &seal(v)));
+        }
+        let mut pb = PacketBuffer::new(8, 1 << 20);
+        let mut got = Vec::new();
+        for b in stream {
+            pb.feed(&[b]);
+            while let Some(pkt) = pb.try_next().expect("dribbled stream is valid") {
+                got.push(pkt);
+            }
+        }
+        assert!(!pb.mid_packet(), "bytes left over after the last packet");
+        assert_eq!(got.len(), 3);
+        for (i, (pkt, v)) in got.iter().zip(&payloads).enumerate() {
+            assert_eq!(pkt.round, 1 + i as Round);
+            assert_eq!((pkt.from, pkt.to), (p(i), p(i + 1)));
+            assert_eq!(open::<u64>(&pkt.frame), Ok(*v));
+        }
+    }
+
+    #[test]
+    fn packet_buffer_rejects_junk_and_domain_breaches() {
+        // non-canonical varint in the header: permanently corrupt
+        let mut pb = PacketBuffer::new(4, 1024);
+        pb.feed(&[0x80, 0x00]);
+        assert_eq!(pb.try_next(), Err(WireError::NonCanonical));
+
+        // round 0 is outside the domain
+        let mut pb = PacketBuffer::new(4, 1024);
+        let mut pkt = encode_packet(1, p(0), p(1), &[1, 2, 3]);
+        pkt[0] = 0; // round varint 1 → 0
+        pb.feed(&pkt);
+        assert_eq!(
+            pb.try_next(),
+            Err(WireError::InvalidValue("packet round out of range"))
+        );
+
+        // endpoint outside the universe
+        let mut pb = PacketBuffer::new(2, 1024);
+        pb.feed(&encode_packet(1, p(0), p(3), &[1]));
+        assert_eq!(
+            pb.try_next(),
+            Err(WireError::InvalidValue("packet endpoint outside universe"))
+        );
+
+        // an oversized length prefix fails *before* any frame bytes arrive
+        let mut pb = PacketBuffer::new(4, 16);
+        pb.feed(&encode_packet(1, p(0), p(1), &[0u8; 17])[..6]);
+        assert_eq!(
+            pb.try_next(),
+            Err(WireError::InvalidValue("frame length exceeds cap"))
+        );
+    }
+
+    #[test]
+    fn packet_buffer_reports_mid_packet_cuts() {
+        let pkt = encode_packet(3, p(1), p(0), &seal(&42u64));
+        for cut in 1..pkt.len() {
+            let mut pb = PacketBuffer::new(4, 1024);
+            pb.feed(&pkt[..cut]);
+            assert_eq!(pb.try_next(), Ok(None), "cut={cut}");
+            assert!(pb.mid_packet(), "cut={cut}: partial packet not flagged");
+        }
+        // a cut exactly at a packet boundary is clean
+        let mut pb = PacketBuffer::new(4, 1024);
+        pb.feed(&pkt);
+        assert!(pb.try_next().unwrap().is_some());
+        assert_eq!(pb.try_next(), Ok(None));
+        assert!(!pb.mid_packet());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the Heard-Of / Round-by-Round-Fault-Detector correspondences (eqs.
 //! (6)–(7)).
 //!
-//! Three interchangeable simulation engines execute algorithms:
+//! Four interchangeable simulation engines execute algorithms:
 //!
 //! * [`engine::run_lockstep`] — deterministic, single-threaded, observable
 //!   round by round;
@@ -18,7 +18,12 @@
 //!   ([`engine::ShardPlan`]): one inbox per shard, channel-free delivery
 //!   inside a shard, and a bounded-skew windowed barrier
 //!   ([`sync::WindowedBarrier`]) under a fixed horizon — identical traces
-//!   again, at a fraction of the context switches.
+//!   again, at a fraction of the context switches;
+//! * [`engine::run_socket`] — the sharded partition with every inter-shard
+//!   frame sealed and carried over real loopback TCP
+//!   ([`engine::SocketPlan`]): the OS owns the byte path, stream framing
+//!   resumes across partial reads, and socket trouble surfaces as typed
+//!   [`engine::SocketError`]s — still trace-identical to lockstep.
 //!
 //! The engine taxonomy and every synchronization protocol are documented in
 //! `docs/CONCURRENCY.md` at the repository root.
@@ -62,7 +67,8 @@ pub use adversary::{
 pub use algorithm::{ProcessCtx, Received, Recoverable, RoundAlgorithm, Value};
 pub use engine::{
     run_lockstep, run_lockstep_codec, run_lockstep_observed, run_lockstep_recovering, run_sharded,
-    run_sharded_codec, run_threaded, run_threaded_codec, RunUntil, ShardPlan,
+    run_sharded_codec, run_socket, run_socket_codec, run_threaded, run_threaded_codec, RunUntil,
+    ShardPlan, SocketError, SocketPlan,
 };
 pub use fault::{
     CorruptionOverlay, EdgeFault, EffectiveSchedule, FaultCause, FaultPlane, FaultStats, NoFaults,

@@ -92,6 +92,17 @@ pub fn seed_override_cases() -> Vec<u64> {
     }
 }
 
+/// Whether this environment can bind a loopback TCP listener — the
+/// precondition of the socket engine. Cached after the first probe.
+/// Socket-tier tests call this and **skip gracefully** (with a message on
+/// stderr) when it returns `false`, so the suite stays green in sandboxes
+/// with no network namespace.
+pub fn loopback_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| std::net::TcpListener::bind(("127.0.0.1", 0)).is_ok())
+}
+
 /// The adversary families the conformance suite iterates over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AdversaryFamily {

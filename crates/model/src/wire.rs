@@ -92,6 +92,28 @@ pub fn read_uvarint<B: Buf>(buf: &mut B) -> Result<u64, WireError> {
     }
 }
 
+/// Attempts to read an LEB128 varint from the *prefix* of `bytes`
+/// without consuming it — the incremental twin of [`read_uvarint`] for
+/// stream parsers that see a message in arbitrary chunks (TCP segment
+/// boundaries fall wherever they fall).
+///
+/// * `Ok(Some((value, len)))` — a complete varint occupies the first
+///   `len` bytes;
+/// * `Ok(None)` — the slice ends in the middle of a varint: not an
+///   error, the stream just needs more bytes ([`WireError::UnexpectedEnd`]
+///   is a *corruption* verdict only when no more input can arrive);
+/// * `Err(_)` — the prefix can never become a valid varint no matter
+///   what arrives later ([`WireError::NonCanonical`] padding or a
+///   [`WireError::VarintOverflow`]).
+pub fn try_read_uvarint(bytes: &[u8]) -> Result<Option<(u64, usize)>, WireError> {
+    let mut rd = bytes;
+    match read_uvarint(&mut rd) {
+        Ok(v) => Ok(Some((v, bytes.len() - rd.len()))),
+        Err(WireError::UnexpectedEnd) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 /// Number of bytes [`write_uvarint`] emits for `v`.
 pub fn uvarint_len(v: u64) -> usize {
     if v == 0 {
@@ -335,6 +357,33 @@ mod tests {
             assert_eq!(read_uvarint(&mut rd).unwrap(), v);
             assert!(!rd.has_remaining());
         }
+    }
+
+    #[test]
+    fn try_read_distinguishes_incomplete_from_corrupt() {
+        // complete varints: value and consumed length, trailing bytes ignored
+        for v in [0u64, 1, 127, 128, 1_000_000, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let len = buf.len();
+            buf.push(0xaa); // unrelated next byte
+            assert_eq!(try_read_uvarint(&buf), Ok(Some((v, len))));
+        }
+        // every strict prefix of a multi-byte varint is "need more bytes"
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1_000_000);
+        for cut in 0..buf.len() {
+            assert_eq!(try_read_uvarint(&buf[..cut]), Ok(None), "cut={cut}");
+        }
+        // corruption verdicts pass through unchanged
+        assert_eq!(
+            try_read_uvarint(&[0x80, 0x00]),
+            Err(WireError::NonCanonical)
+        );
+        assert_eq!(
+            try_read_uvarint(&[0xff; 11]),
+            Err(WireError::VarintOverflow)
+        );
     }
 
     #[test]

@@ -64,12 +64,13 @@ pub mod prelude {
     };
     pub use sskel_model::{
         run_lockstep, run_lockstep_codec, run_lockstep_observed, run_lockstep_recovering,
-        run_sharded, run_sharded_codec, run_threaded, run_threaded_codec, validate_schedule,
-        ChurnAdversary, CorruptionOverlay, CrashOverlay, CrashRestartOverlay, EdgeFault,
-        EffectiveSchedule, FaultCause, FaultPlane, FaultStats, FixedSchedule,
-        HealedPartitionAdversary, LowerBoundAdversary, NoFaults, PartitionEpisode, ProcessCtx,
-        Received, Recoverable, RotatingRootAdversary, RoundAlgorithm, RunTrace, RunUntil, Schedule,
-        ShardPlan, SkeletonTracker, StableRootAdversary, TableSchedule, Tamper, Value,
+        run_sharded, run_sharded_codec, run_socket, run_socket_codec, run_threaded,
+        run_threaded_codec, validate_schedule, ChurnAdversary, CorruptionOverlay, CrashOverlay,
+        CrashRestartOverlay, EdgeFault, EffectiveSchedule, FaultCause, FaultPlane, FaultStats,
+        FixedSchedule, HealedPartitionAdversary, LowerBoundAdversary, NoFaults, PartitionEpisode,
+        ProcessCtx, Received, Recoverable, RotatingRootAdversary, RoundAlgorithm, RunTrace,
+        RunUntil, Schedule, ShardPlan, SkeletonTracker, SocketError, SocketPlan,
+        StableRootAdversary, TableSchedule, Tamper, Value,
     };
     pub use sskel_predicates::{
         check_theorem1, check_theorem1_tight, min_k_on_skeleton, planted_psrcs_schedule,

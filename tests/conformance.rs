@@ -14,8 +14,11 @@
 //! * **validity** — every decision was proposed;
 //! * **termination** — every process decides within the Lemma-11 bound
 //!   `rST + 2n − 1` of the *declared* stabilization round;
-//! * **engine equivalence** — lockstep, threaded and sharded produce
-//!   byte-identical decision vectors, round counts and message statistics.
+//! * **engine equivalence** — lockstep, threaded, sharded and socket
+//!   produce byte-identical decision vectors, round counts and message
+//!   statistics. The socket column runs the adversary's frames over real
+//!   loopback TCP (`run_socket`) and is skipped gracefully when the
+//!   sandbox has no loopback (`testutil::loopback_available`).
 //!
 //! Runs use [`DecisionRule::FreshnessGuarded`]: the paper's literal line-28
 //! rule is unsound under transient early edges (`tests/counterexample.rs`),
@@ -29,12 +32,12 @@
 use proptest::prelude::*;
 
 use sskel::model::testutil::{
-    adversary_config, fuzz_cases, seed_override_cases, AdversaryConfig, AdversaryFamily,
-    ALL_FAMILIES,
+    adversary_config, fuzz_cases, loopback_available, seed_override_cases, AdversaryConfig,
+    AdversaryFamily, ALL_FAMILIES,
 };
 use sskel::prelude::*;
 
-/// Runs one conformance case through all three engines and checks the full
+/// Runs one conformance case through all four engines and checks the full
 /// contract. Returns `Err` (never panics) so proptest can shrink the
 /// config.
 fn conform(cfg: &AdversaryConfig) -> Result<(), TestCaseError> {
@@ -65,7 +68,24 @@ fn conform(cfg: &AdversaryConfig) -> Result<(), TestCaseError> {
         ShardPlan::new(shards).with_window(window),
     );
 
-    for (engine, t) in [("threaded", &threaded), ("sharded", &sharded)] {
+    // Fourth column: the same case over real loopback TCP. The plan is
+    // derived from different seed bits than the sharded plan, so the two
+    // columns exercise distinct partitions of the same run.
+    let socket = if loopback_available() {
+        let plan = SocketPlan::new(1 + ((cfg.seed >> 8) % 3) as usize)
+            .with_window([1u32, 2, 7][(cfg.seed >> 24) as usize % 3]);
+        let (t, _) = run_socket(s.as_ref(), spawn(), until, plan)
+            .map_err(|e| TestCaseError::fail(format!("{cfg}: socket engine failed: {e}")))?;
+        Some(t)
+    } else {
+        None
+    };
+
+    let mut engines = vec![("threaded", &threaded), ("sharded", &sharded)];
+    if let Some(t) = socket.as_ref() {
+        engines.push(("socket", t));
+    }
+    for (engine, t) in engines {
         prop_assert_eq!(
             &lockstep.decisions,
             &t.decisions,
@@ -238,6 +258,12 @@ fn composed_adversaries_conform() {
         assert_eq!(a.decisions, c.decisions, "seed={seed:#x}");
         assert_eq!(a.msg_stats, b.msg_stats, "seed={seed:#x}");
         assert_eq!(a.msg_stats, c.msg_stats, "seed={seed:#x}");
+        if loopback_available() {
+            let (d, _) = run_socket(&s, spawn(), until, SocketPlan::new(3).with_window(2))
+                .unwrap_or_else(|e| panic!("seed={seed:#x}: socket engine failed: {e}"));
+            assert_eq!(a.decisions, d.decisions, "seed={seed:#x}");
+            assert_eq!(a.msg_stats, d.msg_stats, "seed={seed:#x}");
+        }
         verify(
             &a,
             &VerifySpec::new(min_k, inputs.clone()).with_lemma11_bound(&s),

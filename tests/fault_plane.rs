@@ -13,8 +13,10 @@
 //!   receivers quarantine garbage frames (typed [`WireError`] causes in
 //!   the run's [`FaultStats`]) and carry on;
 //! * **determinism** — the fault pattern is a pure function of
-//!   `(seed, round, from, to)`, so for one seed all three engines
-//!   produce the identical trace *and the identical fault ledger*;
+//!   `(seed, round, from, to)`, so for one seed all four engines —
+//!   including `run_socket_codec`, where the frames really cross
+//!   loopback TCP — produce the identical trace *and the identical
+//!   fault ledger*;
 //! * **conformance on the surviving schedule** — a corrupted run is an
 //!   uncorrupted run of the *effective* schedule (tampered edges
 //!   stripped): decisions satisfy k-agreement at the effective
@@ -26,7 +28,7 @@
 use proptest::prelude::*;
 
 use sskel::model::testutil::{
-    adversary_config, fuzz_cases, mix_seed, AdversaryConfig, AdversaryFamily,
+    adversary_config, fuzz_cases, loopback_available, mix_seed, AdversaryConfig, AdversaryFamily,
 };
 use sskel::prelude::*;
 
@@ -94,6 +96,20 @@ fn codec_noop_mode_is_byte_identical_to_arc_mode() {
         // and the codec engines agree with each other, as always
         assert_identical(&codec_ls, &codec_th, &format!("{cfg}: ls vs th"));
         assert_identical(&codec_ls, &codec_sh, &format!("{cfg}: ls vs sh"));
+
+        // the socket engine is codec-only (bytes always cross the OS
+        // boundary) — with the inert plane it must sit in the same
+        // equivalence class
+        if loopback_available() {
+            let (sock, _) = run_socket(
+                s.as_ref(),
+                spawn(),
+                until,
+                SocketPlan::new(3).with_window(2),
+            )
+            .unwrap_or_else(|e| panic!("{cfg}: socket engine failed: {e}"));
+            assert_identical(&codec_ls, &sock, &format!("{cfg}: ls vs socket"));
+        }
     }
 }
 
@@ -137,6 +153,69 @@ fn engines_survive_every_corruption_rate_deterministically() {
             // executed round
             assert!(!ls.faults.is_empty(), "{ctx}: full rate lost nothing");
         }
+    }
+}
+
+/// Fault-plane parity at the genuine byte boundary: a `CorruptionOverlay`
+/// rate sweep through `run_socket_codec` — where the tampered frames
+/// really crossed loopback TCP — is byte-identical (trace, `msg_stats`,
+/// quarantine ledger) to `run_lockstep_codec` under the same plane, and a
+/// quiet-after run matches the uncorrupted `Arc` oracle on its
+/// [`EffectiveSchedule`].
+#[test]
+fn socket_codec_parity_with_lockstep_across_rates() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 6;
+    let inputs = distinct_inputs(n);
+    let s = StableRootAdversary::sample(n, mix_seed(0x50c1a1));
+    let until = RunUntil::Rounds(lemma11_bound(&s) + 2);
+    for (i, rate) in [0.0, 0.1, 0.5, 1.0].into_iter().enumerate() {
+        let plane = CorruptionOverlay::new(mix_seed(0x50cc + i as u64), rate);
+        let ctx = format!("rate={rate}");
+        let spawn = || freshness_spawn(n, &inputs);
+
+        let (ls, _) = run_lockstep_codec(&s, spawn(), until, &plane);
+        for shards in [1usize, 3] {
+            let (sock, _) = run_socket_codec(
+                &s,
+                spawn(),
+                until,
+                SocketPlan::new(shards).with_window(2),
+                &plane,
+            )
+            .unwrap_or_else(|e| panic!("{ctx} shards={shards}: socket engine failed: {e}"));
+            assert_identical(&ls, &sock, &format!("{ctx} shards={shards}: ls vs socket"));
+            assert_eq!(
+                ls.faults.quarantined(),
+                sock.faults.quarantined(),
+                "{ctx} shards={shards}: quarantine counts diverged"
+            );
+        }
+        if rate == 0.0 {
+            assert!(ls.faults.is_empty(), "{ctx}: zero rate lost frames");
+        }
+
+        // quiet-after variant: the corrupted socket run must equal the
+        // uncorrupted Arc run of the effective schedule — the oracle that
+        // defines what surviving the corruption *means*
+        let quiet = s.stabilization_round() + 2;
+        let quiet_plane =
+            CorruptionOverlay::new(mix_seed(0x50cc + i as u64), rate).quiet_after(quiet);
+        let eff = quiet_plane.effective(&s);
+        let (sock_q, _) = run_socket_codec(&s, spawn(), until, SocketPlan::new(2), &quiet_plane)
+            .unwrap_or_else(|e| panic!("{ctx}: quiet socket run failed: {e}"));
+        let (oracle, _) = run_lockstep(&eff, spawn(), until);
+        assert_eq!(
+            sock_q.decisions, oracle.decisions,
+            "{ctx}: socket run vs effective-schedule oracle decisions"
+        );
+        assert_eq!(
+            sock_q.msg_stats, oracle.msg_stats,
+            "{ctx}: socket run vs effective-schedule oracle wire accounting"
+        );
     }
 }
 

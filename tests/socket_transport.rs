@@ -1,0 +1,465 @@
+//! Negative-path and robustness suite for the socket transport tier.
+//!
+//! The socket engine's receive path must treat the network as hostile
+//! plumbing: whatever the stream carries — frames shredded across TCP
+//! segment boundaries, truncation mid-frame, junk preambles, absurd
+//! length prefixes, peers that vanish or freeze — the receiver returns
+//! **typed errors or quarantines into `FaultStats`, never panics, never
+//! deadlocks**. Every test here drives the *real* reader code path
+//! (`PacketStream` over a genuine loopback `TcpStream`, or a full
+//! `run_socket` with hostile plan knobs) and asserts a bounded
+//! wall-clock, so a regression towards hanging fails loudly instead of
+//! wedging CI.
+//!
+//! In-frame corruption (bytes mangled *inside* a well-framed packet) is
+//! deliberately out of scope here: that is the fault plane's quarantine
+//! contract, covered by `tests/fault_plane.rs` — including through
+//! `run_socket_codec`. This suite owns the layer below: the stream
+//! framing itself.
+//!
+//! All tests skip gracefully (with a note on stderr) when the sandbox
+//! cannot bind loopback sockets.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use sskel::model::engine::socket::{PacketEvent, PacketStream};
+use sskel::model::fault::{encode_packet, seal};
+use sskel::model::testutil::loopback_available;
+use sskel::model::wire::WireError;
+use sskel::prelude::*;
+
+/// A connected loopback socket pair: (writer end, reader end).
+fn pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let writer = TcpStream::connect(addr).expect("connect loopback");
+    writer.set_nodelay(true).expect("nodelay");
+    let (reader, _) = listener.accept().expect("accept loopback");
+    (writer, reader)
+}
+
+/// A `PacketStream` over `reader` for a universe of `n`, with a short
+/// read timeout so hostile-peer tests stay fast.
+fn stream(reader: TcpStream, n: usize) -> PacketStream {
+    PacketStream::new(reader, 0, n, 1 << 20, Duration::from_millis(80)).expect("packet stream")
+}
+
+/// A valid sealed frame + packet for `from → to` at round `r`.
+fn packet(r: Round, from: usize, to: usize, payload: u64) -> Vec<u8> {
+    let frame = seal(&payload);
+    encode_packet(
+        r,
+        ProcessId::from_usize(from),
+        ProcessId::from_usize(to),
+        &frame,
+    )
+}
+
+/// Frames split across arbitrary TCP segment boundaries: writing three
+/// packets one byte at a time (a flush per byte, worst-case
+/// fragmentation) reassembles into exactly the three packets, bytes
+/// intact.
+#[test]
+fn one_byte_dribbles_reassemble_over_a_real_socket() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 4;
+    let (mut writer, reader) = pair();
+    let mut ps = stream(reader, n);
+    let packets: Vec<Vec<u8>> = (0..3)
+        .map(|i| packet(1 + i as Round, i, (i + 1) % n, 1000 + i as u64))
+        .collect();
+
+    let writer_thread = std::thread::spawn(move || {
+        for pkt in &packets {
+            for b in pkt {
+                writer.write_all(std::slice::from_ref(b)).expect("write");
+                writer.flush().expect("flush");
+            }
+        }
+        packets
+    });
+
+    let mut got = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while got.len() < 3 {
+        assert!(Instant::now() < deadline, "reassembly did not finish");
+        match ps.next_event().expect("no framing error on valid dribbles") {
+            PacketEvent::Packet(p) => got.push(p),
+            PacketEvent::Idle => {}
+            PacketEvent::Eof => panic!("premature EOF"),
+        }
+    }
+    let sent = writer_thread.join().expect("writer panicked");
+    for (i, p) in got.iter().enumerate() {
+        assert_eq!(p.round, 1 + i as Round);
+        assert_eq!(p.from.index(), i);
+        assert_eq!(p.to.index(), (i + 1) % n);
+        // the carried frame is byte-identical to what was sealed
+        assert_eq!(encode_packet(p.round, p.from, p.to, &p.frame), sent[i]);
+    }
+}
+
+/// A peer that closes its end mid-frame: everything already whole is
+/// delivered, then the cut surfaces as a typed `Disconnected`, not a
+/// panic or a hang.
+#[test]
+fn truncated_stream_mid_frame_is_a_typed_disconnect() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 4;
+    let (mut writer, reader) = pair();
+    let mut ps = stream(reader, n);
+    let whole = packet(1, 0, 1, 42);
+    let half = packet(2, 1, 2, 43);
+    writer.write_all(&whole).expect("write whole");
+    writer
+        .write_all(&half[..half.len() / 2])
+        .expect("write half");
+    drop(writer); // FIN mid-frame
+
+    let started = Instant::now();
+    match ps.next_event().expect("first packet is whole") {
+        PacketEvent::Packet(p) => assert_eq!(p.round, 1),
+        other => panic!("expected the whole packet, got {other:?}"),
+    }
+    let err = loop {
+        match ps.next_event() {
+            Ok(PacketEvent::Idle) => {}
+            Ok(other) => panic!("expected a disconnect, got {other:?}"),
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(err, SocketError::Disconnected { .. }),
+        "expected Disconnected, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "disconnect detection was not bounded"
+    );
+}
+
+/// Junk preamble: bytes that cannot start any packet (a non-canonical
+/// varint header) fail with a typed framing error carrying the wire
+/// codec's taxonomy.
+#[test]
+fn junk_preamble_is_a_typed_framing_error() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let (mut writer, reader) = pair();
+    let mut ps = stream(reader, 4);
+    // 0x80 0x00 is a padded (non-canonical) varint: permanently garbage
+    writer.write_all(&[0x80, 0x00, 0xde, 0xad]).expect("write");
+    let err = loop {
+        match ps.next_event() {
+            Ok(PacketEvent::Idle) => {}
+            Ok(other) => panic!("junk parsed as {other:?}"),
+            Err(e) => break e,
+        }
+    };
+    match err {
+        SocketError::Frame { source, .. } => {
+            assert!(matches!(source, WireError::NonCanonical), "got {source:?}")
+        }
+        other => panic!("expected Frame, got {other}"),
+    }
+}
+
+/// An oversized length prefix — a header announcing a frame bigger than
+/// the plan's cap — is rejected as soon as the *header* parses, without
+/// waiting for (or allocating) the advertised mountain of bytes.
+#[test]
+fn oversized_length_prefix_is_rejected_from_the_header_alone() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let (mut writer, reader) = pair();
+    let mut ps = stream(reader, 4);
+    // round=1, from=0, to=1, frame_len = 2^40: header only, no payload
+    let mut pkt = Vec::new();
+    for v in [1u64, 0, 1, 1 << 40] {
+        let mut chunk = Vec::new();
+        sskel_write_uvarint(&mut chunk, v);
+        pkt.extend_from_slice(&chunk);
+    }
+    writer.write_all(&pkt).expect("write");
+    let started = Instant::now();
+    let err = loop {
+        match ps.next_event() {
+            Ok(PacketEvent::Idle) => {}
+            Ok(other) => panic!("oversized prefix parsed as {other:?}"),
+            Err(e) => break e,
+        }
+    };
+    match err {
+        SocketError::Frame { source, .. } => {
+            assert!(
+                matches!(source, WireError::InvalidValue(_)),
+                "got {source:?}"
+            )
+        }
+        other => panic!("expected Frame, got {other}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "rejection waited for the advertised bytes"
+    );
+}
+
+/// Minimal canonical LEB128 writer for crafting hostile headers without
+/// reaching into crate internals.
+fn sskel_write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A packet addressed outside the universe is framing garbage (it can
+/// only come from a confused or hostile peer), typed as such.
+#[test]
+fn out_of_universe_endpoint_is_rejected() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 3;
+    let (mut writer, reader) = pair();
+    let mut ps = stream(reader, n);
+    let bad = packet(1, 6, 7, 9); // endpoints 6, 7 in a universe of 3
+    writer.write_all(&bad).expect("write");
+    let err = loop {
+        match ps.next_event() {
+            Ok(PacketEvent::Idle) => {}
+            Ok(other) => panic!("out-of-universe packet parsed as {other:?}"),
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(
+            err,
+            SocketError::Frame {
+                source: WireError::InvalidValue(_),
+                ..
+            }
+        ),
+        "got {err}"
+    );
+}
+
+/// A peer that starts a packet and freezes: the reader distinguishes
+/// benign idleness (timeout at a packet boundary → `Idle`) from a
+/// mid-frame stall (timeout with a partial packet buffered → typed
+/// `Stalled`), within a bounded wall-clock.
+#[test]
+fn mid_frame_stall_past_the_read_timeout_is_typed_stalled() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 4;
+    let (mut writer, reader) = pair();
+    let mut ps = stream(reader, n);
+
+    // quiet line: timeouts at the boundary are Idle, forever benign
+    match ps.next_event().expect("idle is not an error") {
+        PacketEvent::Idle => {}
+        other => panic!("expected Idle on a quiet line, got {other:?}"),
+    }
+
+    // half a packet, then silence
+    let pkt = packet(1, 0, 1, 7);
+    writer.write_all(&pkt[..pkt.len() / 2]).expect("write half");
+    writer.flush().expect("flush");
+    let started = Instant::now();
+    let err = loop {
+        match ps.next_event() {
+            Ok(PacketEvent::Idle) => {} // pre-drain wakeups are fine
+            Ok(other) => panic!("expected a stall, got {other:?}"),
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(err, SocketError::Stalled { .. }),
+        "expected Stalled, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stall detection was not bounded"
+    );
+
+    // the stalled writer is still alive; completing the packet after the
+    // error would be a new session's problem — the engine tears the run
+    // down instead, which is what the engine-level tests pin
+    drop(writer);
+}
+
+/// Slow/late peer, engine level, happy half: a shard that connects after
+/// a delay *within* the handshake budget joins the mesh and the run
+/// completes byte-identical to lockstep — lateness below the timeout is
+/// invisible.
+#[test]
+fn late_connecting_shard_within_budget_completes_identically() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 6;
+    let inputs: Vec<Value> = (0..n).map(|i| 5 + 3 * i as Value).collect();
+    let s = FixedSchedule::synchronous(n);
+    let until = RunUntil::AllDecided { max_rounds: 20 };
+    let spawn = || KSetAgreement::spawn_all(n, &inputs);
+    let (ls, _) = run_lockstep(&s, spawn(), until);
+    let plan = SocketPlan::new(3).with_handshake_delay(1, Duration::from_millis(150));
+    let started = Instant::now();
+    let (sock, _) = run_socket(&s, spawn(), until, plan).expect("late-but-in-budget run");
+    assert_eq!(ls.decisions, sock.decisions);
+    assert_eq!(ls.msg_stats, sock.msg_stats);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "run was not bounded"
+    );
+}
+
+/// Slow/late peer, engine level, hostile half: a shard that connects
+/// *after* the handshake budget fails the whole run with a typed
+/// handshake error within a bounded wall-clock — never a hang, and the
+/// remaining shards are all released.
+#[test]
+fn late_connecting_shard_past_budget_is_a_typed_handshake_failure() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 6;
+    let inputs: Vec<Value> = (0..n).map(|i| 5 + 3 * i as Value).collect();
+    let s = FixedSchedule::synchronous(n);
+    let plan = SocketPlan::new(3)
+        .with_handshake_timeout(Duration::from_millis(60))
+        .with_handshake_delay(2, Duration::from_millis(600));
+    let started = Instant::now();
+    let err = run_socket(
+        &s,
+        KSetAgreement::spawn_all(n, &inputs),
+        RunUntil::AllDecided { max_rounds: 20 },
+        plan,
+    )
+    .expect_err("a shard past the handshake budget must fail the run");
+    assert!(
+        matches!(err, SocketError::Handshake { .. }),
+        "expected Handshake, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "handshake failure was not bounded"
+    );
+}
+
+/// Peer disconnect mid-round, receiver protocol: after an engine-shaped
+/// exchange (several whole packets of one round), the peer dies mid-way
+/// through its next frame. The receiver delivers everything whole, then
+/// surfaces the cut as a typed `Disconnected` — the exact event a shard
+/// worker converts into an aborted run.
+#[test]
+fn peer_disconnect_mid_round_delivers_the_round_then_fails_typed() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 5;
+    let (mut writer, reader) = pair();
+    let mut ps = stream(reader, n);
+    // a full round's worth of frames from process 0 to each neighbour…
+    for to in 1..n {
+        writer
+            .write_all(&packet(3, 0, to, 100 + to as u64))
+            .expect("write");
+    }
+    // …then death mid-way through a round-4 frame
+    let cut = packet(4, 0, 1, 999);
+    writer
+        .write_all(&cut[..cut.len() - 3])
+        .expect("write partial");
+    drop(writer);
+
+    let started = Instant::now();
+    let mut delivered = 0;
+    let err = loop {
+        match ps.next_event() {
+            Ok(PacketEvent::Packet(p)) => {
+                assert_eq!(p.round, 3, "only whole round-3 frames are deliverable");
+                delivered += 1;
+            }
+            Ok(PacketEvent::Idle) => {}
+            Ok(PacketEvent::Eof) => panic!("mid-frame cut reported as clean EOF"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(delivered, n - 1, "every whole frame precedes the failure");
+    assert!(
+        matches!(err, SocketError::Disconnected { .. }),
+        "expected Disconnected, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "disconnect handling was not bounded"
+    );
+}
+
+/// Engine level, hostile round budget: a per-round deadline the kernel
+/// cannot reliably beat converts transport slowness into a typed
+/// `Timeout`/`Aborted` failure — never a panic, never a hang. (On a fast
+/// quiet machine the run may legitimately finish; both outcomes are
+/// valid, what is pinned is the absence of hangs and the error type.)
+#[test]
+fn unmeetable_round_budget_fails_typed_or_completes_but_never_hangs() {
+    if !loopback_available() {
+        eprintln!("skipping: loopback unavailable in this sandbox");
+        return;
+    }
+    let n = 6;
+    let inputs: Vec<Value> = (0..n).map(|i| 1 + i as Value).collect();
+    let s = FixedSchedule::synchronous(n);
+    let plan = SocketPlan::new(3)
+        .with_round_timeout(Duration::from_millis(1))
+        .with_read_timeout(Duration::from_millis(1));
+    let started = Instant::now();
+    let outcome = run_socket(
+        &s,
+        KSetAgreement::spawn_all(n, &inputs),
+        RunUntil::Rounds(1_000),
+        plan,
+    );
+    match outcome {
+        Ok((trace, _)) => assert_eq!(trace.rounds_executed, 1_000),
+        Err(e) => assert!(
+            matches!(
+                e,
+                SocketError::Timeout { .. }
+                    | SocketError::Aborted
+                    | SocketError::Stalled { .. }
+                    | SocketError::Io { .. }
+            ),
+            "expected a transport-typed failure, got {e}"
+        ),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "round-budget failure handling was not bounded"
+    );
+}
