@@ -25,11 +25,12 @@ static SMOKE: AtomicBool = AtomicBool::new(false);
 
 use sskel_bench::{inputs, ring_skeleton, ring_with_chords, std_schedule, SEED};
 use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round};
-use sskel_kset::{lemma11_bound, DecisionRule, KSetAgreement, SkeletonEstimator};
+use sskel_kset::{lemma11_bound, AgreementPool, DecisionRule, KSetAgreement, SkeletonEstimator};
 use sskel_model::{
-    run_lockstep, run_lockstep_codec, run_sharded, run_sharded_codec, run_socket, run_threaded,
-    ChurnAdversary, CorruptionOverlay, FixedSchedule, NoFaults, RotatingRootAdversary, RunUntil,
-    Schedule, ShardPlan, SocketPlan, StableRootAdversary,
+    run_lockstep, run_lockstep_codec, run_multiplex_codec, run_sharded, run_sharded_codec,
+    run_socket, run_threaded, ChurnAdversary, CorruptionOverlay, FixedSchedule, MultiplexPlan,
+    MuxInstance, NoFaults, RotatingRootAdversary, RunUntil, Schedule, ShardPlan, SocketPlan,
+    StableRootAdversary,
 };
 
 struct Record {
@@ -332,6 +333,69 @@ fn codec_workloads(out: &mut Vec<Record>) {
     }
 }
 
+/// Agreement-as-a-service throughput: `M` concurrent instances on one
+/// multiplexed worker pool vs. the same `M` runs executed solo
+/// back-to-back. The service metric is **decisions per second** —
+/// `n · M / median_ns` for the `decisions_per_sec` rows; the
+/// `sequential_solo` row is the same quantity without the per-tick wire
+/// batching, shared schedule synthesis or pooled estimator buffers, so
+/// the gap is exactly what multiplexing amortizes (methodology in
+/// `docs/BENCHMARKS.md`). All instances share one schedule object (the
+/// co-scheduled regime the synthesis cache exists for) and draw their
+/// algorithm instances from an [`AgreementPool`], so steady-state
+/// iterations recycle graph buffers exactly as a long-lived service
+/// would.
+fn multiplex_workloads(out: &mut Vec<Record>) {
+    let n = 16usize;
+    let s = FixedSchedule::synchronous(n);
+    let ins = inputs(n);
+    let until = RunUntil::AllDecided {
+        max_rounds: lemma11_bound(&s) + 2,
+    };
+    let mut pool = AgreementPool::new();
+    for &m in &[1usize, 8, 64] {
+        out.push(measure(
+            &format!("multiplex/decisions_per_sec/{n}x{m}"),
+            || {
+                let instances: Vec<MuxInstance<'_, KSetAgreement>> = (0..m)
+                    .map(|_| {
+                        let algs = pool
+                            .spawn_all(n, &ins, DecisionRule::Paper)
+                            .expect("pool spawn");
+                        MuxInstance::new(&s, algs, until)
+                    })
+                    .collect();
+                let results = run_multiplex_codec(instances, MultiplexPlan::new(4), &NoFaults);
+                let mut decided = 0usize;
+                for (trace, algs) in results {
+                    decided += trace.decisions.iter().flatten().count();
+                    pool.retire(algs);
+                }
+                decided
+            },
+        ));
+    }
+
+    // the no-multiplexing baseline: the same 64 runs, solo and sequential
+    let m = 64usize;
+    out.push(measure(
+        &format!("multiplex/sequential_solo/{n}x{m}"),
+        || {
+            let mut decided = 0usize;
+            for _ in 0..m {
+                let algs = pool
+                    .spawn_all(n, &ins, DecisionRule::Paper)
+                    .expect("pool spawn");
+                let (trace, algs) =
+                    run_sharded_codec(&s, algs, until, ShardPlan::new(4), &NoFaults);
+                decided += trace.decisions.iter().flatten().count();
+                pool.retire(algs);
+            }
+            decided
+        },
+    ));
+}
+
 /// Hostile-schedule workloads: full runs to decision under the seedable
 /// message adversaries (see `sskel-model`'s `adversary` module). These
 /// track the cost of the conformance story — per-round graph synthesis is
@@ -389,6 +453,7 @@ fn main() {
     engines_workloads(&mut records);
     socket_workloads(&mut records);
     codec_workloads(&mut records);
+    multiplex_workloads(&mut records);
     adversary_workloads(&mut records);
 
     let mut json = String::from("{\n");

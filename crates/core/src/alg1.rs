@@ -140,6 +140,35 @@ impl KSetAgreement {
         }
     }
 
+    /// Restores a retired instance to the exact state
+    /// [`KSetAgreement::with_rule`]`(ctx, rule)` would construct — same
+    /// universe, any process/input — without allocating: `PT_p` is
+    /// refilled in place and the estimator's graph buffers are recycled
+    /// ([`SkeletonEstimator::recycle`]). This is what [`crate::AgreementPool`]
+    /// calls when an agreement service reuses a decided instance for a
+    /// newly admitted one.
+    ///
+    /// # Panics
+    /// Panics if `ctx.n` differs from this instance's universe size (pool
+    /// entries are shape-keyed; a different `n` needs a fresh instance).
+    pub fn recycle(&mut self, ctx: ProcessCtx, rule: DecisionRule) {
+        assert_eq!(
+            ctx.n, self.n,
+            "recycle cannot change the universe size; spawn a fresh instance"
+        );
+        self.me = ctx.id;
+        self.pt.clear();
+        for p in ProcessId::all(self.n) {
+            self.pt.insert(p);
+        }
+        self.x = ctx.input;
+        self.decided = false;
+        self.decision = None;
+        self.path = None;
+        self.rule = rule;
+        self.est.recycle(ctx.id);
+    }
+
     /// Instantiates the whole system: one instance per process, with
     /// `inputs[p]` as `v_p`.
     ///
@@ -216,6 +245,11 @@ impl KSetAgreement {
     /// This process's id.
     pub fn id(&self) -> ProcessId {
         self.me
+    }
+
+    /// The universe size `n` this instance was built for.
+    pub fn universe(&self) -> usize {
+        self.n
     }
 
     /// The current timely neighborhood `PT_p`.

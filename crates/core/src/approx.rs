@@ -197,6 +197,36 @@ impl SkeletonEstimator {
         self.rebase_limit
     }
 
+    /// Restores the estimator to the exact state of
+    /// [`SkeletonEstimator::new`]`(n, me)` — same universe, possibly a
+    /// different process — **reusing the existing graph buffers** instead
+    /// of allocating fresh ones. This is the pooling hook
+    /// ([`crate::AgreementPool`]) that lets an agreement service retire a
+    /// decided instance and admit a new one without touching the
+    /// allocator: both labelled digraphs are reset in place
+    /// ([`LabeledDigraph::reset_to_node`], incremental over dirty rows)
+    /// and rebased back to the initial delta base, and the scratch space
+    /// is already call-local to `update`. If a graph `Arc` is still shared
+    /// (a round message holding [`SkeletonEstimator::graph_arc`] outlives
+    /// the run), that buffer alone is reallocated.
+    ///
+    /// # Panics
+    /// Panics if `me` is outside the universe.
+    pub fn recycle(&mut self, me: ProcessId) {
+        assert!(me.index() < self.n, "process out of universe");
+        self.me = me;
+        self.rebase_limit = DEFAULT_REBASE_LIMIT.max(self.n as Round + 2);
+        for graph in [&mut self.cur, &mut self.spare] {
+            match Arc::get_mut(graph) {
+                Some(g) => {
+                    g.reset_to_node(me);
+                    g.rebase(0);
+                }
+                None => *graph = Arc::new(LabeledDigraph::with_node(self.n, me)),
+            }
+        }
+    }
+
     /// `true` iff the end of round `r` is a **canonical cut point**: the
     /// first round carrying a fresh [`canonical_base`] — i.e. the round in
     /// which the delta window rebased. The graph is then freshly compacted

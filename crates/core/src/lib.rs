@@ -30,6 +30,7 @@ pub mod baseline;
 pub mod consensus;
 pub mod invariants;
 pub mod msg;
+pub mod pool;
 pub mod verify;
 
 pub use alg1::{DecisionPath, DecisionRule, KSetAgreement, SpawnError};
@@ -37,4 +38,5 @@ pub use approx::SkeletonEstimator;
 pub use baseline::{FloodMin, NaiveMinHorizon};
 pub use invariants::InvariantChecker;
 pub use msg::{KSetMsg, MsgKind};
+pub use pool::AgreementPool;
 pub use verify::{lemma11_bound, verify, Verdict, VerifySpec};

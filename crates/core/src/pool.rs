@@ -1,0 +1,157 @@
+//! Recycling pool for [`KSetAgreement`] instances.
+//!
+//! An agreement *service* (the multiplexed engine,
+//! `sskel_model::run_multiplex_codec`) admits and retires whole instance
+//! universes continuously. Constructing `n` fresh [`KSetAgreement`]
+//! values per admission allocates two dense `n × n` labelled digraphs
+//! plus the estimator scratch per process — by far the largest
+//! allocation in the system. This pool keeps retired instances and
+//! restores them in place ([`KSetAgreement::recycle`] →
+//! [`crate::SkeletonEstimator::recycle`]), so steady-state instance churn
+//! over a fixed universe size performs **zero graph allocations**: the
+//! label matrices, bitset rows and scratch buffers of a decided run are
+//! reused verbatim by the next one.
+//!
+//! Recycling is exact, not approximate: a recycled instance is
+//! state-identical to a freshly constructed one, so runs spawned from the
+//! pool produce byte-identical traces (pinned by the unit test below and
+//! exercised at service scale by `tests/multiplex_conformance.rs`).
+
+use sskel_model::{ProcessCtx, Value};
+
+use crate::alg1::{DecisionRule, KSetAgreement, SpawnError};
+
+/// A free list of retired [`KSetAgreement`] instances, keyed by universe
+/// size at reuse time.
+///
+/// ```
+/// use sskel_kset::{AgreementPool, DecisionRule};
+///
+/// let mut pool = AgreementPool::new();
+/// let algs = pool
+///     .spawn_all(3, &[30, 10, 20], DecisionRule::FreshnessGuarded)
+///     .unwrap();
+/// // ... run the instance to completion, then hand the algorithms back:
+/// pool.retire(algs);
+/// assert_eq!(pool.pooled(), 3);
+/// // The next same-sized universe reuses the retired graph buffers.
+/// let algs = pool
+///     .spawn_all(3, &[7, 8, 9], DecisionRule::FreshnessGuarded)
+///     .unwrap();
+/// assert_eq!(pool.pooled(), 0);
+/// # drop(algs);
+/// ```
+#[derive(Debug, Default)]
+pub struct AgreementPool {
+    free: Vec<KSetAgreement>,
+}
+
+impl AgreementPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        AgreementPool::default()
+    }
+
+    /// Returns a run's algorithm instances to the free list for reuse.
+    pub fn retire(&mut self, algs: Vec<KSetAgreement>) {
+        self.free.extend(algs);
+    }
+
+    /// The number of retired instances currently available for reuse.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Instantiates a universe of `n` processes with the given inputs and
+    /// decision rule, recycling same-`n` retirees where available and
+    /// constructing the remainder fresh. State-identical to
+    /// [`KSetAgreement::try_spawn_all_with`], reporting the same
+    /// [`SpawnError`]s.
+    pub fn spawn_all(
+        &mut self,
+        n: usize,
+        inputs: &[Value],
+        rule: DecisionRule,
+    ) -> Result<Vec<KSetAgreement>, SpawnError> {
+        if n == 0 {
+            return Err(SpawnError::EmptyUniverse);
+        }
+        if inputs.len() != n {
+            return Err(SpawnError::InputCountMismatch {
+                expected: n,
+                got: inputs.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for (i, &input) in inputs.iter().enumerate() {
+            let ctx = ProcessCtx {
+                id: sskel_graph::ProcessId::from_usize(i),
+                n,
+                input,
+            };
+            match self.free.iter().position(|a| a.universe() == n) {
+                Some(pos) => {
+                    let mut alg = self.free.swap_remove(pos);
+                    alg.recycle(ctx, rule);
+                    out.push(alg);
+                }
+                None => out.push(KSetAgreement::with_rule(ctx, rule)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sskel_model::{run_lockstep, FixedSchedule, RoundAlgorithm, RunUntil};
+
+    /// A pooled respawn must be indistinguishable from a fresh spawn: the
+    /// recycled instances produce the same trace, decision set and final
+    /// estimator graphs.
+    #[test]
+    fn recycled_instances_run_byte_identical_to_fresh() {
+        let n = 5;
+        let schedule = FixedSchedule::synchronous(n);
+        let until = RunUntil::AllDecided { max_rounds: 20 };
+        let first: Vec<Value> = (0..n as Value).map(|v| v * 3 + 1).collect();
+        let second: Vec<Value> = (0..n as Value).rev().collect();
+        let rule = DecisionRule::FreshnessGuarded;
+
+        let mut pool = AgreementPool::new();
+        let algs = pool.spawn_all(n, &first, rule).unwrap();
+        let (_, used) = run_lockstep(&schedule, algs, until);
+        pool.retire(used);
+        assert_eq!(pool.pooled(), n);
+
+        // Second wave from the pool vs. a fresh system on the same inputs.
+        let pooled = pool.spawn_all(n, &second, rule).unwrap();
+        assert_eq!(pool.pooled(), 0, "same-n retirees are reused, not leaked");
+        let fresh = KSetAgreement::spawn_all_with(n, &second, rule);
+        let (t_pooled, a_pooled) = run_lockstep(&schedule, pooled, until);
+        let (t_fresh, a_fresh) = run_lockstep(&schedule, fresh, until);
+        assert_eq!(t_pooled.decisions, t_fresh.decisions);
+        assert_eq!(t_pooled.rounds_executed, t_fresh.rounds_executed);
+        assert_eq!(t_pooled.msg_stats, t_fresh.msg_stats);
+        for (p, f) in a_pooled.iter().zip(a_fresh.iter()) {
+            assert_eq!(p.decision(), f.decision());
+            assert_eq!(p.approx_graph(), f.approx_graph());
+            assert_eq!(p.approx_graph().base(), f.approx_graph().base());
+        }
+    }
+
+    /// A different universe size never reuses mismatched buffers.
+    #[test]
+    fn mismatched_universe_constructs_fresh() {
+        let mut pool = AgreementPool::new();
+        let algs = pool.spawn_all(3, &[1, 2, 3], DecisionRule::Paper).unwrap();
+        pool.retire(algs);
+        let bigger = pool
+            .spawn_all(4, &[1, 2, 3, 4], DecisionRule::Paper)
+            .unwrap();
+        assert_eq!(bigger.len(), 4);
+        assert_eq!(pool.pooled(), 3, "3-process retirees stay pooled");
+        assert!(pool.spawn_all(0, &[], DecisionRule::Paper).is_err());
+    }
+}

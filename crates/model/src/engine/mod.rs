@@ -18,6 +18,13 @@
 //!   timeouts and typed [`SocketError`]s; trace-identical to
 //!   [`run_lockstep_codec`] over the same schedule, seed and fault plane.
 //!
+//! [`multiplex`] layers *agreement as a service* on top of the sharded
+//! partition: `M` concurrent instances on one worker pool
+//! ([`MultiplexPlan`]), per-(shard, tick) wire batching with uvarint
+//! instance tags, shared schedule synthesis and arena-recycled buffers —
+//! every instance's trace byte-identical to its solo
+//! [`run_sharded_codec`] run.
+//!
 //! All deliver round-`r` messages exactly along the edges of `G^r`:
 //! process `q` receives `p`'s round-`r` broadcast iff `(p → q) ∈ G^r`.
 //! `docs/CONCURRENCY.md` at the repository root compares the engines and
@@ -30,12 +37,14 @@
 //! snapshots taken at the canonical rebase cut points.
 
 pub mod lockstep;
+pub mod multiplex;
 pub mod recovery;
 pub mod sharded;
 pub mod socket;
 pub mod threaded;
 
 pub use lockstep::{run_lockstep, run_lockstep_codec, run_lockstep_observed};
+pub use multiplex::{run_multiplex_codec, MultiplexPlan, MuxInstance};
 pub use recovery::run_lockstep_recovering;
 pub use sharded::{run_sharded, run_sharded_codec, ShardPlan};
 pub use socket::{

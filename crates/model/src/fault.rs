@@ -263,6 +263,250 @@ impl PacketBuffer {
     }
 }
 
+/// Accumulates the sealed frames one shard sends another during one tick
+/// of a multiplexed run ([`crate::engine::run_multiplex_codec`]), grouped
+/// by instance, and encodes them into **one** batch packet:
+///
+/// ```text
+/// batch := uvarint group_count, group × group_count
+/// group := uvarint instance_id, uvarint frame_count (≥ 1),
+///          entry × frame_count
+/// entry := uvarint from, uvarint to, uvarint frame_len,
+///          frame_len frame bytes   (a seal()ed frame, trailer intact)
+/// ```
+///
+/// The encoding is canonical: groups appear in strictly increasing
+/// instance order (enforced by [`BatchBuilder::push`] at build time and by
+/// [`BatchReader`] at decode time), a group is never empty, and nothing
+/// follows the last entry. Like [`encode_packet`], this is *transport*
+/// framing: the per-frame [`seal`] checksum still guards each payload, so
+/// a fault plane keeps tampering individual frames (and the quarantine
+/// ledger stays per-edge), while batch-level damage surfaces as a typed
+/// [`WireError`] from the reader.
+#[derive(Debug, Default)]
+pub struct BatchBuilder {
+    /// `(instance, from, to, sealed frame)`, in push order — which
+    /// [`BatchBuilder::push`] requires to be nondecreasing in the
+    /// instance id, so the entries form contiguous per-instance runs.
+    entries: Vec<(usize, ProcessId, ProcessId, Bytes)>,
+}
+
+impl BatchBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BatchBuilder::default()
+    }
+
+    /// Appends one sealed frame for `instance` on edge `(from → to)`.
+    ///
+    /// # Panics
+    /// Panics if `instance` is smaller than the previously pushed one —
+    /// callers iterate instances in id order, which is what makes the
+    /// encoding canonical without a sort.
+    pub fn push(&mut self, instance: usize, from: ProcessId, to: ProcessId, frame: Bytes) {
+        if let Some((last, ..)) = self.entries.last() {
+            assert!(
+                instance >= *last,
+                "batch entries must be pushed in nondecreasing instance order"
+            );
+        }
+        self.entries.push((instance, from, to, frame));
+    }
+
+    /// Number of frames queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no frames are queued (the batch still encodes — to a
+    /// single zero group-count uvarint — so per-tick exchanges stay
+    /// symmetric even when a shard has nothing to say).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops the queued frames, keeping the entry buffer's capacity for
+    /// the next tick.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Encodes the queued frames into one batch packet.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut groups = 0u64;
+        let mut prev = None;
+        for (i, ..) in &self.entries {
+            if prev != Some(*i) {
+                groups += 1;
+                prev = Some(*i);
+            }
+        }
+        let mut out = Vec::new();
+        write_uvarint(&mut out, groups);
+        let mut k = 0;
+        while k < self.entries.len() {
+            let instance = self.entries[k].0;
+            let run_end = self.entries[k..]
+                .iter()
+                .position(|(i, ..)| *i != instance)
+                .map_or(self.entries.len(), |off| k + off);
+            write_uvarint(&mut out, instance as u64);
+            write_uvarint(&mut out, (run_end - k) as u64);
+            for (_, from, to, frame) in &self.entries[k..run_end] {
+                write_uvarint(&mut out, from.index() as u64);
+                write_uvarint(&mut out, to.index() as u64);
+                write_uvarint(&mut out, frame.len() as u64);
+                out.extend_from_slice(frame);
+            }
+            k = run_end;
+        }
+        out
+    }
+}
+
+/// One frame pulled out of a batch by [`BatchReader::next_frame`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct BatchFrame<'a> {
+    /// The instance the frame belongs to.
+    pub instance: usize,
+    /// The sender (an index into the instance's own universe).
+    pub from: ProcessId,
+    /// The receiver (an index into the instance's own universe).
+    pub to: ProcessId,
+    /// The still-sealed frame bytes, borrowed from the batch buffer.
+    pub frame: &'a [u8],
+    /// Byte offset of `frame` inside the batch buffer — lets a caller
+    /// holding the batch as [`Bytes`] take a zero-copy refcounted slice
+    /// instead of copying the frame out.
+    pub offset: usize,
+}
+
+/// Decoder for [`BatchBuilder::encode`] packets. Unlike [`PacketBuffer`]
+/// it operates on a *complete* buffer (batches travel one-per-channel-send
+/// inside a process, or inside an already-reassembled stream packet), so
+/// every defect is immediately typed — there is no "incomplete" state:
+///
+/// * truncation anywhere (mid-varint, mid-group, mid-frame) is
+///   [`WireError::UnexpectedEnd`];
+/// * an instance id outside the registered universe table, a duplicate or
+///   out-of-order group, an empty group, an endpoint outside the
+///   instance's universe, a frame length beyond `max_frame`, or bytes
+///   after the last group are all [`WireError::InvalidValue`] with a
+///   distinct message;
+/// * padded varints are [`WireError::NonCanonical`] (from the shared
+///   uvarint decoder).
+///
+/// The reader never panics on arbitrary bytes (pinned by the negative
+/// suite in `tests/fault_plane.rs`).
+#[derive(Debug)]
+pub struct BatchReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Universe size per instance id; ids at or beyond the table are
+    /// unknown.
+    universes: &'a [usize],
+    max_frame: usize,
+    started: bool,
+    groups_left: u64,
+    entries_left: u64,
+    cur_instance: usize,
+    last_instance: Option<usize>,
+}
+
+impl<'a> BatchReader<'a> {
+    /// A reader over one complete batch. `universes[i]` is the universe
+    /// size of instance `i`; frames may not exceed `max_frame` bytes.
+    pub fn new(buf: &'a [u8], universes: &'a [usize], max_frame: usize) -> Self {
+        BatchReader {
+            buf,
+            pos: 0,
+            universes,
+            max_frame,
+            started: false,
+            groups_left: 0,
+            entries_left: 0,
+            cur_instance: 0,
+            last_instance: None,
+        }
+    }
+
+    fn read_varint(&mut self) -> Result<u64, WireError> {
+        let mut rd = &self.buf[self.pos..];
+        let before = rd.len();
+        let v = crate::wire::read_uvarint(&mut rd)?;
+        self.pos += before - rd.len();
+        Ok(v)
+    }
+
+    /// The next frame, `Ok(None)` at the clean end of the batch, or the
+    /// typed defect (permanent: the batch is garbage).
+    pub fn next_frame(&mut self) -> Result<Option<BatchFrame<'a>>, WireError> {
+        if !self.started {
+            self.groups_left = self.read_varint()?;
+            self.started = true;
+        }
+        while self.entries_left == 0 {
+            if self.groups_left == 0 {
+                if self.pos < self.buf.len() {
+                    return Err(WireError::InvalidValue("trailing bytes after batch"));
+                }
+                return Ok(None);
+            }
+            let id = self.read_varint()?;
+            if id >= self.universes.len() as u64 {
+                return Err(WireError::InvalidValue("unknown instance id in batch"));
+            }
+            let id = id as usize;
+            match self.last_instance {
+                Some(last) if id == last => {
+                    return Err(WireError::InvalidValue("duplicate instance group in batch"));
+                }
+                Some(last) if id < last => {
+                    return Err(WireError::InvalidValue(
+                        "batch instance groups out of order",
+                    ));
+                }
+                _ => {}
+            }
+            let count = self.read_varint()?;
+            if count == 0 {
+                return Err(WireError::InvalidValue("empty instance group in batch"));
+            }
+            self.cur_instance = id;
+            self.last_instance = Some(id);
+            self.entries_left = count;
+            self.groups_left -= 1;
+        }
+        let from = self.read_varint()?;
+        let to = self.read_varint()?;
+        let n = self.universes[self.cur_instance] as u64;
+        if from >= n || to >= n {
+            return Err(WireError::InvalidValue(
+                "batch endpoint outside instance universe",
+            ));
+        }
+        let len = self.read_varint()?;
+        if len > self.max_frame as u64 {
+            return Err(WireError::InvalidValue("frame length exceeds cap"));
+        }
+        let len = len as usize;
+        if self.buf.len() - self.pos < len {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let offset = self.pos;
+        let frame = &self.buf[offset..offset + len];
+        self.pos += len;
+        self.entries_left -= 1;
+        Ok(Some(BatchFrame {
+            instance: self.cur_instance,
+            from: ProcessId::from_usize(from as usize),
+            to: ProcessId::from_usize(to as usize),
+            frame,
+            offset,
+        }))
+    }
+}
+
 /// One in-flight frame mutation, with its seeded parameters baked in.
 /// The variants mirror the negative-path generators of
 /// `wire_negative.rs`: every shape that suite proves the codecs survive
@@ -618,6 +862,36 @@ pub enum Delivery<M> {
     Quarantined(WireError),
 }
 
+/// A caller-owned one-entry memo for [`Transport::unpack_cached`]:
+/// the last successfully decoded untampered frame, keyed by
+/// `(round, sender, frame bytes)`.
+///
+/// A broadcast ships the *same* sealed frame to every receiver, and the
+/// multiplex engine's batched packets (and its intra-shard stash) keep
+/// those repeats adjacent — so a receiving worker that remembers its
+/// last decode can recognize the repeat and share one decode across all
+/// same-shard receivers of the broadcast. The memo holds exactly one
+/// entry because the repeats are consecutive; the full byte comparison
+/// (not just the key) is the correctness guard, so colliding
+/// `(round, sender)` pairs from different multiplexed instances simply
+/// miss and re-decode.
+pub struct DecodeCache<M> {
+    entry: Option<(Round, ProcessId, Bytes, Arc<M>)>,
+}
+
+impl<M> DecodeCache<M> {
+    /// An empty memo.
+    pub fn new() -> Self {
+        DecodeCache { entry: None }
+    }
+}
+
+impl<M> Default for DecodeCache<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The payload path the engines are generic over: how a broadcast
 /// payload is packed for flight, what arrives, and how many of a round's
 /// sends actually reach their receivers (for sender-side `MsgStats`
@@ -640,6 +914,23 @@ pub trait Transport<M>: Sync {
     /// Unpacks the frame that arrived on `(from → to)` in round `r`,
     /// applying the fault plane (if any) on the way.
     fn unpack(&self, r: Round, from: ProcessId, to: ProcessId, f: Self::Frame) -> Delivery<M>;
+
+    /// [`Transport::unpack`] with a caller-owned [`DecodeCache`]: a
+    /// transport *may* share one decode across consecutive receivers of
+    /// the same `(round, sender, bytes)` frame. Implementations must be
+    /// observationally identical to `unpack` — the same [`Delivery`]
+    /// values on every edge, with the fault plane still evaluated
+    /// per `(round, from, to)`. The default ignores the memo.
+    fn unpack_cached(
+        &self,
+        r: Round,
+        from: ProcessId,
+        to: ProcessId,
+        f: Self::Frame,
+        _cache: &mut DecodeCache<M>,
+    ) -> Delivery<M> {
+        self.unpack(r, from, to, f)
+    }
 
     /// How many of the `receivers` of a round-`r` broadcast by `from`
     /// will actually receive it (the plane's survivors).
@@ -716,6 +1007,37 @@ impl<M: Wire + Send + Sync + 'static, P: FaultPlane> Transport<M> for CodecTrans
         }
     }
 
+    /// Decode sharing: an untampered edge whose bytes equal the memo's
+    /// entry reuses the decoded [`Arc`] instead of re-running
+    /// `open`. Decoding is deterministic, so the shared value is what a
+    /// fresh decode would have produced; a tampered edge takes the full
+    /// [`Transport::unpack`] path and never touches the memo.
+    fn unpack_cached(
+        &self,
+        r: Round,
+        from: ProcessId,
+        to: ProcessId,
+        f: Bytes,
+        cache: &mut DecodeCache<M>,
+    ) -> Delivery<M> {
+        if self.plane.tamper(r, from, to).is_some() {
+            return self.unpack(r, from, to, f);
+        }
+        if let Some((cr, cfrom, cf, m)) = &cache.entry {
+            if *cr == r && *cfrom == from && cf.as_slice() == f.as_slice() {
+                return Delivery::Deliver(Arc::clone(m));
+            }
+        }
+        match open(&f) {
+            Ok(m) => {
+                let m = Arc::new(m);
+                cache.entry = Some((r, from, f, Arc::clone(&m)));
+                Delivery::Deliver(m)
+            }
+            Err(e) => Delivery::Quarantined(e),
+        }
+    }
+
     fn delivered_count(&self, r: Round, from: ProcessId, receivers: &ProcessSet) -> u64 {
         receivers
             .iter()
@@ -753,6 +1075,61 @@ mod tests {
             open::<u64>(&frame),
             Err(WireError::InvalidValue("frame checksum mismatch"))
         );
+    }
+
+    #[test]
+    fn unpack_cached_shares_decodes_but_faults_per_edge() {
+        // Drops every frame addressed to process 1, leaves the rest alone.
+        struct DropTo1;
+        impl FaultPlane for DropTo1 {
+            fn tamper(&self, _r: Round, _from: ProcessId, to: ProcessId) -> Option<Tamper> {
+                (to == ProcessId::from_usize(1)).then_some(Tamper::Drop)
+            }
+        }
+        let t: CodecTransport<DropTo1> = CodecTransport::new(DropTo1);
+        let mut cache: DecodeCache<u64> = DecodeCache::new();
+        let frame = seal(&7u64);
+
+        // First untampered edge decodes and populates the memo; the next
+        // receiver of the same (round, sender, bytes) shares that decode
+        // (same Arc, not merely an equal value).
+        let a = match t.unpack_cached(1, p(0), p(0), frame.clone(), &mut cache) {
+            Delivery::Deliver(m) => m,
+            _ => panic!("untampered frame must deliver"),
+        };
+        let b = match t.unpack_cached(1, p(0), p(2), frame.clone(), &mut cache) {
+            Delivery::Deliver(m) => m,
+            _ => panic!("untampered repeat must deliver"),
+        };
+        assert!(Arc::ptr_eq(&a, &b), "repeat did not share the decode");
+
+        // The plane is still consulted per edge: a tampered edge between
+        // two cache hits takes the full unpack path.
+        assert!(matches!(
+            t.unpack_cached(1, p(0), p(1), frame.clone(), &mut cache),
+            Delivery::Dropped
+        ));
+
+        // Equal key, different bytes (another multiplexed instance at the
+        // same local round): the byte comparison forces a fresh decode.
+        let other = seal(&8u64);
+        match t.unpack_cached(1, p(0), p(2), other, &mut cache) {
+            Delivery::Deliver(m) => assert_eq!(*m, 8),
+            _ => panic!("differing bytes must decode freshly"),
+        }
+
+        // Garbage after a hit neither panics nor poisons the memo.
+        let mut bad = frame.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            t.unpack_cached(1, p(0), p(2), Bytes::from(bad), &mut cache),
+            Delivery::Quarantined(WireError::InvalidValue("frame checksum mismatch"))
+        ));
+        match t.unpack_cached(2, p(0), p(2), frame, &mut cache) {
+            Delivery::Deliver(m) => assert_eq!(*m, 7),
+            _ => panic!("fresh round must decode"),
+        }
     }
 
     #[test]
@@ -828,6 +1205,150 @@ mod tests {
         assert!(pb.try_next().unwrap().is_some());
         assert_eq!(pb.try_next(), Ok(None));
         assert!(!pb.mid_packet());
+    }
+
+    #[test]
+    fn batch_round_trips_across_instances() {
+        let mut b = BatchBuilder::new();
+        assert!(b.is_empty());
+        let frames: [(usize, usize, usize, u64); 4] = [
+            (0, 0, 1, 7),
+            (0, 1, 0, 300),
+            (2, 2, 0, u64::MAX),
+            (2, 0, 2, 0),
+        ];
+        for (i, from, to, v) in frames {
+            b.push(i, p(from), p(to), seal(&v));
+        }
+        assert_eq!(b.len(), 4);
+        let bytes = b.encode();
+        let universes = [2usize, 1, 3];
+        let mut rd = BatchReader::new(&bytes, &universes, 1 << 20);
+        for (i, from, to, v) in frames {
+            let f = rd.next_frame().expect("valid batch").expect("frame");
+            assert_eq!((f.instance, f.from, f.to), (i, p(from), p(to)));
+            assert_eq!(open::<u64>(f.frame), Ok(v));
+            assert_eq!(&bytes[f.offset..f.offset + f.frame.len()], f.frame);
+        }
+        assert_eq!(rd.next_frame(), Ok(None));
+        // an empty batch is a single zero varint and decodes to nothing
+        b.clear();
+        assert!(b.is_empty());
+        let empty = b.encode();
+        assert_eq!(empty, vec![0]);
+        let mut rd = BatchReader::new(&empty, &universes, 1 << 20);
+        assert_eq!(rd.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn batch_reader_types_every_defect() {
+        let universes = [3usize, 3];
+        let read_all = |bytes: &[u8], max_frame: usize| {
+            let mut rd = BatchReader::new(bytes, &universes, max_frame);
+            loop {
+                match rd.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        let mut b = BatchBuilder::new();
+        b.push(0, p(0), p(1), seal(&5u64));
+        b.push(1, p(2), p(0), seal(&6u64));
+        let good = b.encode();
+        assert_eq!(read_all(&good, 1 << 20), Ok(()));
+
+        // truncation anywhere mid-batch: UnexpectedEnd, never a panic
+        for cut in 0..good.len() {
+            assert_eq!(
+                read_all(&good[..cut], 1 << 20),
+                Err(WireError::UnexpectedEnd),
+                "cut={cut}"
+            );
+        }
+        // trailing junk after the last group
+        let mut long = good.clone();
+        long.push(0xab);
+        assert_eq!(
+            read_all(&long, 1 << 20),
+            Err(WireError::InvalidValue("trailing bytes after batch"))
+        );
+        // unknown instance id
+        let mut b = BatchBuilder::new();
+        b.push(7, p(0), p(1), seal(&5u64));
+        assert_eq!(
+            read_all(&b.encode(), 1 << 20),
+            Err(WireError::InvalidValue("unknown instance id in batch"))
+        );
+        // duplicate group: hand-encode two groups with the same id
+        let mut dup = Vec::new();
+        write_uvarint(&mut dup, 2); // group count
+        for _ in 0..2 {
+            write_uvarint(&mut dup, 1); // instance id
+            write_uvarint(&mut dup, 1); // frame count
+            write_uvarint(&mut dup, 0); // from
+            write_uvarint(&mut dup, 1); // to
+            write_uvarint(&mut dup, 0); // frame length
+        }
+        assert_eq!(
+            read_all(&dup, 1 << 20),
+            Err(WireError::InvalidValue("duplicate instance group in batch"))
+        );
+        // out-of-order groups
+        let mut ooo = Vec::new();
+        write_uvarint(&mut ooo, 2);
+        for id in [1u64, 0] {
+            write_uvarint(&mut ooo, id);
+            write_uvarint(&mut ooo, 1);
+            write_uvarint(&mut ooo, 0);
+            write_uvarint(&mut ooo, 1);
+            write_uvarint(&mut ooo, 0);
+        }
+        assert_eq!(
+            read_all(&ooo, 1 << 20),
+            Err(WireError::InvalidValue(
+                "batch instance groups out of order"
+            ))
+        );
+        // empty group
+        let mut empty_group = Vec::new();
+        write_uvarint(&mut empty_group, 1);
+        write_uvarint(&mut empty_group, 0); // instance
+        write_uvarint(&mut empty_group, 0); // zero frames
+        assert_eq!(
+            read_all(&empty_group, 1 << 20),
+            Err(WireError::InvalidValue("empty instance group in batch"))
+        );
+        // endpoint outside the instance's universe
+        let mut b = BatchBuilder::new();
+        b.push(0, p(0), p(5), seal(&5u64));
+        assert_eq!(
+            read_all(&b.encode(), 1 << 20),
+            Err(WireError::InvalidValue(
+                "batch endpoint outside instance universe"
+            ))
+        );
+        // oversized frame: rejected from the length prefix alone
+        let mut b = BatchBuilder::new();
+        b.push(0, p(0), p(1), seal(&5u64));
+        assert_eq!(
+            read_all(&b.encode(), 4),
+            Err(WireError::InvalidValue("frame length exceeds cap"))
+        );
+        // non-canonical varint in the header
+        assert_eq!(
+            read_all(&[0x80, 0x00], 1 << 20),
+            Err(WireError::NonCanonical)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing instance order")]
+    fn batch_builder_rejects_disordered_pushes() {
+        let mut b = BatchBuilder::new();
+        b.push(3, p(0), p(1), seal(&1u64));
+        b.push(1, p(0), p(1), seal(&2u64));
     }
 
     #[test]

@@ -43,6 +43,12 @@
 //! panicking. [`engine::run_lockstep_recovering`] adds crash/restart
 //! recovery from wire-codec snapshots taken at the canonical rebase cut
 //! points.
+//!
+//! [`engine::run_multiplex_codec`] turns the sharded engine into an
+//! *agreement service*: `M` concurrent instances share one worker pool,
+//! inter-shard frames of a tick coalesce into instance-tagged batch
+//! packets ([`fault::BatchBuilder`] / [`fault::BatchReader`]), and every
+//! instance's trace stays byte-identical to its solo sharded run.
 
 #![deny(missing_docs)]
 
@@ -66,13 +72,14 @@ pub use adversary::{
 };
 pub use algorithm::{ProcessCtx, Received, Recoverable, RoundAlgorithm, Value};
 pub use engine::{
-    run_lockstep, run_lockstep_codec, run_lockstep_observed, run_lockstep_recovering, run_sharded,
-    run_sharded_codec, run_socket, run_socket_codec, run_threaded, run_threaded_codec, RunUntil,
-    ShardPlan, SocketError, SocketPlan,
+    run_lockstep, run_lockstep_codec, run_lockstep_observed, run_lockstep_recovering,
+    run_multiplex_codec, run_sharded, run_sharded_codec, run_socket, run_socket_codec,
+    run_threaded, run_threaded_codec, MultiplexPlan, MuxInstance, RunUntil, ShardPlan, SocketError,
+    SocketPlan,
 };
 pub use fault::{
-    CorruptionOverlay, EdgeFault, EffectiveSchedule, FaultCause, FaultPlane, FaultStats, NoFaults,
-    Tamper,
+    BatchBuilder, BatchFrame, BatchReader, CorruptionOverlay, EdgeFault, EffectiveSchedule,
+    FaultCause, FaultPlane, FaultStats, NoFaults, Tamper,
 };
 pub use schedule::{validate as validate_schedule, FixedSchedule, Schedule, TableSchedule};
 pub use skeleton::SkeletonTracker;

@@ -12,11 +12,22 @@
 //! * [`AdversaryConfig`] — one sampled conformance case (family × universe
 //!   size × seed), buildable into a boxed [`Schedule`];
 //! * [`adversary_config`] — a (vendored) proptest [`Strategy`] over
-//!   configs, with shrinking toward smaller universes and seed 0.
+//!   configs, with shrinking toward smaller universes and seed 0;
+//! * [`mux_workload`] — a strategy over whole multiplexed-service
+//!   workloads (instance mixes with staggered admission ticks) for the
+//!   multiplex conformance tier;
+//! * the loopback seam shared by every socket-tier suite:
+//!   [`loopback_available`] / [`require_loopback`] for the one skip path,
+//!   [`loopback_pair`] / [`hostile_packet_stream`] for hand-driven hostile
+//!   peers, and [`seeded_socket_plan`] for the conformance column's
+//!   seed-derived plans.
 
+use std::net::{TcpListener, TcpStream};
 use std::ops::Range;
+use std::time::Duration;
 
 use proptest::{Strategy, TestRng};
+use sskel_graph::Round;
 
 use crate::adversary::{
     ChurnAdversary, CrashOverlay, CrashRestartOverlay, HealedPartitionAdversary,
@@ -100,7 +111,59 @@ pub fn seed_override_cases() -> Vec<u64> {
 pub fn loopback_available() -> bool {
     use std::sync::OnceLock;
     static AVAILABLE: OnceLock<bool> = OnceLock::new();
-    *AVAILABLE.get_or_init(|| std::net::TcpListener::bind(("127.0.0.1", 0)).is_ok())
+    *AVAILABLE.get_or_init(|| TcpListener::bind(("127.0.0.1", 0)).is_ok())
+}
+
+/// The one self-skip path for socket-tier tests: `true` when loopback is
+/// usable, otherwise prints the canonical skip note for `test` on stderr
+/// and returns `false` (the caller returns early, keeping the suite green
+/// in network-less sandboxes). Both `tests/socket_transport.rs` and the
+/// conformance socket column skip through this probe.
+pub fn require_loopback(test: &str) -> bool {
+    if loopback_available() {
+        true
+    } else {
+        eprintln!("skipping {test}: loopback unavailable in this sandbox");
+        false
+    }
+}
+
+/// A connected loopback TCP pair: `(writer end, reader end)`, nodelay on
+/// the writer so hand-crafted hostile byte sequences hit the reader
+/// without coalescing delays.
+///
+/// # Panics
+/// Panics if loopback sockets cannot be set up — call only after
+/// [`require_loopback`] (or [`loopback_available`]) said they can.
+pub fn loopback_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let writer = TcpStream::connect(addr).expect("connect loopback");
+    writer.set_nodelay(true).expect("nodelay");
+    let (reader, _) = listener.accept().expect("accept loopback");
+    (writer, reader)
+}
+
+/// A [`PacketStream`](crate::engine::socket::PacketStream) over `reader`
+/// for a universe of `n`, configured the way the hostile-peer suite needs
+/// it: generous frame cap, short read timeout so stall/disconnect tests
+/// stay fast.
+///
+/// # Panics
+/// Panics if the stream cannot be configured (loopback sockets support
+/// every knob used here).
+pub fn hostile_packet_stream(reader: TcpStream, n: usize) -> crate::engine::socket::PacketStream {
+    crate::engine::socket::PacketStream::new(reader, 0, n, 1 << 20, Duration::from_millis(80))
+        .expect("packet stream")
+}
+
+/// The conformance suite's seed-derived socket plan: shard count and
+/// window are read from different bit ranges of `seed` than the sharded
+/// column's plan, so the two columns exercise distinct partitions of the
+/// same run.
+pub fn seeded_socket_plan(seed: u64) -> crate::engine::SocketPlan {
+    crate::engine::SocketPlan::new(1 + ((seed >> 8) % 3) as usize)
+        .with_window([1u32, 2, 7][(seed >> 24) as usize % 3])
 }
 
 /// The adversary families the conformance suite iterates over.
@@ -263,6 +326,129 @@ impl Strategy for AdversaryConfigStrategy {
     }
 }
 
+/// One sampled multiplexed-service workload: a mix of adversary cases,
+/// each with the global tick at which the service admits it. Mixed
+/// families, universe sizes and admission ticks in one run is exactly the
+/// regime the multiplex engine's batching/arena paths must stay
+/// byte-identical under.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MuxWorkload {
+    /// The instances: `(case, admission tick)`, admission ticks ≥ 1.
+    pub instances: Vec<(AdversaryConfig, Round)>,
+}
+
+impl std::fmt::Display for MuxWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload of {}: [", self.instances.len())?;
+        for (i, (cfg, admit)) in self.instances.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(
+                f,
+                "{:?} n={} seed={:#x} @t{}",
+                cfg.family, cfg.n, cfg.seed, admit
+            )?;
+        }
+        write!(f, "] (reproduce with SSKEL_TEST_SEED)")
+    }
+}
+
+/// A strategy over [`MuxWorkload`]s of `1..=max_instances` instances with
+/// universes drawn from `n_range` (bumped to the `LowerBound` floor where
+/// needed) and admission ticks in `1..=8`. About a quarter of the
+/// instances *duplicate* an earlier instance's config — same family, `n`
+/// **and** seed — so sampled workloads routinely contain co-scheduled
+/// sharers and exercise the engine's shared-synthesis path. Shrinks by
+/// dropping instances from the back, then shrinking each config toward
+/// small universes / seed 0 and admission ticks toward 1.
+pub fn mux_workload(max_instances: usize, n_range: Range<usize>) -> MuxWorkloadStrategy {
+    assert!(max_instances >= 1);
+    assert!(n_range.start >= 1 && n_range.start < n_range.end);
+    MuxWorkloadStrategy {
+        max_instances,
+        n_range,
+    }
+}
+
+/// See [`mux_workload`].
+#[derive(Clone, Debug)]
+pub struct MuxWorkloadStrategy {
+    max_instances: usize,
+    n_range: Range<usize>,
+}
+
+impl Strategy for MuxWorkloadStrategy {
+    type Value = MuxWorkload;
+
+    fn generate(&self, rng: &mut TestRng) -> MuxWorkload {
+        let m = 1 + rng.below(self.max_instances as u64) as usize;
+        let mut instances: Vec<(AdversaryConfig, Round)> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let admit = 1 + rng.below(8) as Round;
+            // Re-admit an earlier config (schedule-sharing path) about a
+            // quarter of the time.
+            if !instances.is_empty() && rng.below(4) == 0 {
+                let (cfg, _) = &instances[rng.below(instances.len() as u64) as usize];
+                let cfg = cfg.clone();
+                instances.push((cfg, admit));
+                continue;
+            }
+            let family = ALL_FAMILIES[rng.below(ALL_FAMILIES.len() as u64) as usize];
+            let span = (self.n_range.end - self.n_range.start) as u64;
+            let mut n = self.n_range.start + rng.below(span) as usize;
+            if family == AdversaryFamily::LowerBound {
+                n = n.max(4);
+            }
+            let cfg = AdversaryConfig {
+                family,
+                n,
+                seed: mix_seed(rng.next_u64()),
+            };
+            instances.push((cfg, admit));
+        }
+        MuxWorkload { instances }
+    }
+
+    fn shrink(&self, value: &MuxWorkload) -> Vec<MuxWorkload> {
+        let mut out = Vec::new();
+        // 1. fewer instances (smallest counterexamples first)
+        if value.instances.len() > 1 {
+            out.push(MuxWorkload {
+                instances: vec![value.instances[0].clone()],
+            });
+            out.push(MuxWorkload {
+                instances: value.instances[..value.instances.len() - 1].to_vec(),
+            });
+        }
+        // 2. all admissions at tick 1 (removes the staggering dimension)
+        if value.instances.iter().any(|(_, a)| *a != 1) {
+            out.push(MuxWorkload {
+                instances: value
+                    .instances
+                    .iter()
+                    .map(|(c, _)| (c.clone(), 1))
+                    .collect(),
+            });
+        }
+        // 3. shrink one config at a time via the per-config strategy
+        for (i, (cfg, admit)) in value.instances.iter().enumerate() {
+            let floor = if cfg.family == AdversaryFamily::LowerBound {
+                self.n_range.start.max(4)
+            } else {
+                self.n_range.start
+            };
+            let per = adversary_config(cfg.family, floor..self.n_range.end.max(floor + 1));
+            for smaller in per.shrink(cfg) {
+                let mut instances = value.instances.clone();
+                instances[i] = (smaller, *admit);
+                out.push(MuxWorkload { instances });
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +492,64 @@ mod tests {
                 ..big
             })
             .is_empty());
+    }
+
+    #[test]
+    fn mux_workload_generates_in_bounds_and_shrinks_toward_singletons() {
+        let strat = mux_workload(6, 2..9);
+        let mut rng = TestRng::for_case("mux_workload_bounds", 0);
+        let mut saw_duplicate = false;
+        for _ in 0..64 {
+            let w = strat.generate(&mut rng);
+            assert!((1..=6).contains(&w.instances.len()));
+            for (cfg, admit) in &w.instances {
+                assert!((1..=8).contains(admit));
+                let floor = if cfg.family == AdversaryFamily::LowerBound {
+                    4
+                } else {
+                    2
+                };
+                assert!(cfg.n >= floor && cfg.n < 9, "{cfg}");
+            }
+            for (i, (cfg, _)) in w.instances.iter().enumerate() {
+                if w.instances[..i].iter().any(|(c, _)| c == cfg) {
+                    saw_duplicate = true;
+                }
+            }
+        }
+        assert!(
+            saw_duplicate,
+            "the schedule-sharing path must be sampled routinely"
+        );
+
+        let big = MuxWorkload {
+            instances: vec![
+                (
+                    AdversaryConfig {
+                        family: AdversaryFamily::Churn,
+                        n: 8,
+                        seed: mix_seed(1),
+                    },
+                    5,
+                ),
+                (
+                    AdversaryConfig {
+                        family: AdversaryFamily::Crash,
+                        n: 7,
+                        seed: mix_seed(2),
+                    },
+                    3,
+                ),
+            ],
+        };
+        let cands = strat.shrink(&big);
+        assert!(cands.iter().any(|w| w.instances.len() == 1));
+        assert!(cands
+            .iter()
+            .any(|w| w.instances.iter().all(|(_, a)| *a == 1)));
+        assert!(cands
+            .iter()
+            .any(|w| w.instances.len() == 2 && w.instances[0].0.n < 8));
     }
 
     #[test]

@@ -58,18 +58,19 @@ pub mod prelude {
     pub use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round, FIRST_ROUND};
     pub use sskel_kset::consensus::{guaranteed_k, guarantees_consensus};
     pub use sskel_kset::{
-        lemma11_bound, verify, DecisionPath, DecisionRule, FloodMin, InvariantChecker,
-        KSetAgreement, KSetMsg, NaiveMinHorizon, SkeletonEstimator, SpawnError, Verdict,
-        VerifySpec,
+        lemma11_bound, verify, AgreementPool, DecisionPath, DecisionRule, FloodMin,
+        InvariantChecker, KSetAgreement, KSetMsg, NaiveMinHorizon, SkeletonEstimator, SpawnError,
+        Verdict, VerifySpec,
     };
     pub use sskel_model::{
         run_lockstep, run_lockstep_codec, run_lockstep_observed, run_lockstep_recovering,
-        run_sharded, run_sharded_codec, run_socket, run_socket_codec, run_threaded,
-        run_threaded_codec, validate_schedule, ChurnAdversary, CorruptionOverlay, CrashOverlay,
-        CrashRestartOverlay, EdgeFault, EffectiveSchedule, FaultCause, FaultPlane, FaultStats,
-        FixedSchedule, HealedPartitionAdversary, LowerBoundAdversary, NoFaults, PartitionEpisode,
-        ProcessCtx, Received, Recoverable, RotatingRootAdversary, RoundAlgorithm, RunTrace,
-        RunUntil, Schedule, ShardPlan, SkeletonTracker, SocketError, SocketPlan,
+        run_multiplex_codec, run_sharded, run_sharded_codec, run_socket, run_socket_codec,
+        run_threaded, run_threaded_codec, validate_schedule, BatchBuilder, BatchReader,
+        ChurnAdversary, CorruptionOverlay, CrashOverlay, CrashRestartOverlay, EdgeFault,
+        EffectiveSchedule, FaultCause, FaultPlane, FaultStats, FixedSchedule,
+        HealedPartitionAdversary, LowerBoundAdversary, MultiplexPlan, MuxInstance, NoFaults,
+        PartitionEpisode, ProcessCtx, Received, Recoverable, RotatingRootAdversary, RoundAlgorithm,
+        RunTrace, RunUntil, Schedule, ShardPlan, SkeletonTracker, SocketError, SocketPlan,
         StableRootAdversary, TableSchedule, Tamper, Value,
     };
     pub use sskel_predicates::{

@@ -32,8 +32,8 @@
 use proptest::prelude::*;
 
 use sskel::model::testutil::{
-    adversary_config, fuzz_cases, loopback_available, seed_override_cases, AdversaryConfig,
-    AdversaryFamily, ALL_FAMILIES,
+    adversary_config, fuzz_cases, loopback_available, seed_override_cases, seeded_socket_plan,
+    AdversaryConfig, AdversaryFamily, ALL_FAMILIES,
 };
 use sskel::prelude::*;
 
@@ -69,12 +69,11 @@ fn conform(cfg: &AdversaryConfig) -> Result<(), TestCaseError> {
     );
 
     // Fourth column: the same case over real loopback TCP. The plan is
-    // derived from different seed bits than the sharded plan, so the two
-    // columns exercise distinct partitions of the same run.
+    // derived from different seed bits than the sharded plan
+    // (testutil::seeded_socket_plan), so the two columns exercise
+    // distinct partitions of the same run.
     let socket = if loopback_available() {
-        let plan = SocketPlan::new(1 + ((cfg.seed >> 8) % 3) as usize)
-            .with_window([1u32, 2, 7][(cfg.seed >> 24) as usize % 3]);
-        let (t, _) = run_socket(s.as_ref(), spawn(), until, plan)
+        let (t, _) = run_socket(s.as_ref(), spawn(), until, seeded_socket_plan(cfg.seed))
             .map_err(|e| TestCaseError::fail(format!("{cfg}: socket engine failed: {e}")))?;
         Some(t)
     } else {

@@ -434,3 +434,151 @@ fn kset_snapshot_restore_rejects_garbage_without_panicking() {
         let _: Result<KSetAgreement, _> = sskel::model::Recoverable::restore(&bad);
     }
 }
+
+/// The fault plane through the **multiplexed** engine: M instances on one
+/// worker pool, every inter-shard frame travelling inside an
+/// instance-tagged batch packet, with a `CorruptionOverlay` tampering at
+/// the codec boundary. Per instance, the trace *and the quarantine
+/// ledger* are byte-identical to a solo `run_sharded_codec` of the same
+/// (schedule, inputs, plane) — batching frames does not change what the
+/// plane sees, at any rate, under staggered admissions.
+#[test]
+fn multiplexed_corruption_matches_solo_per_instance() {
+    let cases = [
+        (AdversaryFamily::StableRoot, 6usize, 1u32),
+        (AdversaryFamily::HealedPartition, 4, 3),
+        (AdversaryFamily::Crash, 7, 2),
+        (AdversaryFamily::RotatingRoot, 5, 6),
+    ];
+    for (ri, rate) in [0.0, 0.4, 1.0].into_iter().enumerate() {
+        let plane = CorruptionOverlay::new(mix_seed(0xba7c + ri as u64), rate);
+        let configs: Vec<(AdversaryConfig, Round)> = cases
+            .iter()
+            .enumerate()
+            .map(|(i, &(family, n, admit))| {
+                (
+                    AdversaryConfig {
+                        family,
+                        n,
+                        seed: mix_seed(0x1000 * ri as u64 + i as u64),
+                    },
+                    admit,
+                )
+            })
+            .collect();
+        let scheds: Vec<Box<dyn Schedule>> = configs.iter().map(|(c, _)| c.build()).collect();
+        let until_for = |s: &dyn Schedule| RunUntil::Rounds(lemma11_bound(s) + 2);
+        let instances: Vec<MuxInstance<'_, KSetAgreement>> = configs
+            .iter()
+            .zip(scheds.iter())
+            .map(|((cfg, admit), s)| {
+                MuxInstance::new(
+                    s.as_ref(),
+                    freshness_spawn(s.n(), &cfg.inputs()),
+                    until_for(s.as_ref()),
+                )
+                .admitted_at(*admit)
+            })
+            .collect();
+        let results = run_multiplex_codec(instances, MultiplexPlan::new(3), &plane);
+        for (((cfg, admit), s), (mux, _)) in configs.iter().zip(scheds.iter()).zip(results.iter()) {
+            let (solo, _) = run_sharded_codec(
+                s.as_ref(),
+                freshness_spawn(s.n(), &cfg.inputs()),
+                until_for(s.as_ref()),
+                ShardPlan::new(2),
+                &plane,
+            );
+            assert_identical(mux, &solo, &format!("rate={rate} {cfg} @t{admit}"));
+            if rate == 1.0 && s.n() > 1 {
+                assert!(
+                    !mux.faults.is_empty(),
+                    "rate=1.0 {cfg}: batched frames escaped the plane"
+                );
+            }
+        }
+    }
+}
+
+/// Negative paths of the instance-tagged batch framing, at the public
+/// API: unknown instance ids, duplicate groups, truncation mid-batch and
+/// oversized frames all surface as **typed** [`WireError`]s from
+/// `BatchReader` — never a panic — and decoding garbage never reads past
+/// the buffer.
+#[test]
+fn hostile_batch_framing_fails_typed_never_panics() {
+    use sskel::model::wire::{write_uvarint, WireError};
+
+    let universes = [3usize, 5];
+    let p = ProcessId::from_usize;
+    let mut b = BatchBuilder::new();
+    b.push(0, p(0), p(1), bytes::Bytes::from(b"alpha".to_vec()));
+    b.push(1, p(4), p(2), bytes::Bytes::from(b"bet".to_vec()));
+    let good = b.encode();
+
+    let drain = |buf: &[u8], max: usize| -> Result<usize, WireError> {
+        let mut rd = BatchReader::new(buf, &universes, max);
+        let mut n = 0;
+        while rd.next_frame()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    };
+
+    // the well-formed batch decodes fully
+    assert_eq!(drain(&good, usize::MAX).unwrap(), 2);
+
+    // every strict prefix is a typed truncation error, never a panic
+    for cut in 0..good.len() {
+        match drain(&good[..cut], usize::MAX) {
+            Err(WireError::UnexpectedEnd) => {}
+            other => panic!("cut at {cut}: expected UnexpectedEnd, got {other:?}"),
+        }
+    }
+
+    // unknown instance id: a group tagged beyond the universe table
+    let mut bad: Vec<u8> = Vec::new();
+    write_uvarint(&mut bad, 1); // one group
+    write_uvarint(&mut bad, 9); // instance 9: not served here
+    write_uvarint(&mut bad, 1);
+    for v in [0u64, 1, 2] {
+        write_uvarint(&mut bad, v);
+    }
+    bad.extend_from_slice(b"xy");
+    assert!(
+        matches!(drain(&bad, usize::MAX), Err(WireError::InvalidValue(_))),
+        "unknown instance id must be typed"
+    );
+
+    // duplicate instance group (also covers out-of-order, same check)
+    let mut dup: Vec<u8> = Vec::new();
+    write_uvarint(&mut dup, 2);
+    for _ in 0..2 {
+        write_uvarint(&mut dup, 0); // instance 0, twice
+        write_uvarint(&mut dup, 1);
+        for v in [0u64, 1, 1] {
+            write_uvarint(&mut dup, v);
+        }
+        dup.extend_from_slice(b"z");
+    }
+    assert!(
+        matches!(drain(&dup, usize::MAX), Err(WireError::InvalidValue(_))),
+        "duplicate instance group must be typed"
+    );
+
+    // oversized frame vs. the reader's cap
+    assert!(
+        matches!(drain(&good, 4), Err(WireError::InvalidValue(_))),
+        "a frame past the cap must be typed"
+    );
+
+    // random single-byte corruption across the whole batch: typed error
+    // or (rarely) a still-valid parse — never a panic, verified by running
+    for i in 0..good.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut mangled = good.clone();
+            mangled[i] ^= flip;
+            let _ = drain(&mangled, usize::MAX);
+        }
+    }
+}

@@ -21,30 +21,13 @@
 //! cannot bind loopback sockets.
 
 use std::io::Write;
-use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-use sskel::model::engine::socket::{PacketEvent, PacketStream};
+use sskel::model::engine::socket::PacketEvent;
 use sskel::model::fault::{encode_packet, seal};
-use sskel::model::testutil::loopback_available;
+use sskel::model::testutil::{hostile_packet_stream, loopback_pair, require_loopback};
 use sskel::model::wire::WireError;
 use sskel::prelude::*;
-
-/// A connected loopback socket pair: (writer end, reader end).
-fn pair() -> (TcpStream, TcpStream) {
-    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
-    let addr = listener.local_addr().expect("local addr");
-    let writer = TcpStream::connect(addr).expect("connect loopback");
-    writer.set_nodelay(true).expect("nodelay");
-    let (reader, _) = listener.accept().expect("accept loopback");
-    (writer, reader)
-}
-
-/// A `PacketStream` over `reader` for a universe of `n`, with a short
-/// read timeout so hostile-peer tests stay fast.
-fn stream(reader: TcpStream, n: usize) -> PacketStream {
-    PacketStream::new(reader, 0, n, 1 << 20, Duration::from_millis(80)).expect("packet stream")
-}
 
 /// A valid sealed frame + packet for `from → to` at round `r`.
 fn packet(r: Round, from: usize, to: usize, payload: u64) -> Vec<u8> {
@@ -63,13 +46,12 @@ fn packet(r: Round, from: usize, to: usize, payload: u64) -> Vec<u8> {
 /// intact.
 #[test]
 fn one_byte_dribbles_reassemble_over_a_real_socket() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("one_byte_dribbles_reassemble_over_a_real_socket") {
         return;
     }
     let n = 4;
-    let (mut writer, reader) = pair();
-    let mut ps = stream(reader, n);
+    let (mut writer, reader) = loopback_pair();
+    let mut ps = hostile_packet_stream(reader, n);
     let packets: Vec<Vec<u8>> = (0..3)
         .map(|i| packet(1 + i as Round, i, (i + 1) % n, 1000 + i as u64))
         .collect();
@@ -109,13 +91,12 @@ fn one_byte_dribbles_reassemble_over_a_real_socket() {
 /// panic or a hang.
 #[test]
 fn truncated_stream_mid_frame_is_a_typed_disconnect() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("truncated_stream_mid_frame_is_a_typed_disconnect") {
         return;
     }
     let n = 4;
-    let (mut writer, reader) = pair();
-    let mut ps = stream(reader, n);
+    let (mut writer, reader) = loopback_pair();
+    let mut ps = hostile_packet_stream(reader, n);
     let whole = packet(1, 0, 1, 42);
     let half = packet(2, 1, 2, 43);
     writer.write_all(&whole).expect("write whole");
@@ -151,12 +132,11 @@ fn truncated_stream_mid_frame_is_a_typed_disconnect() {
 /// codec's taxonomy.
 #[test]
 fn junk_preamble_is_a_typed_framing_error() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("junk_preamble_is_a_typed_framing_error") {
         return;
     }
-    let (mut writer, reader) = pair();
-    let mut ps = stream(reader, 4);
+    let (mut writer, reader) = loopback_pair();
+    let mut ps = hostile_packet_stream(reader, 4);
     // 0x80 0x00 is a padded (non-canonical) varint: permanently garbage
     writer.write_all(&[0x80, 0x00, 0xde, 0xad]).expect("write");
     let err = loop {
@@ -179,12 +159,11 @@ fn junk_preamble_is_a_typed_framing_error() {
 /// waiting for (or allocating) the advertised mountain of bytes.
 #[test]
 fn oversized_length_prefix_is_rejected_from_the_header_alone() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("oversized_length_prefix_is_rejected_from_the_header_alone") {
         return;
     }
-    let (mut writer, reader) = pair();
-    let mut ps = stream(reader, 4);
+    let (mut writer, reader) = loopback_pair();
+    let mut ps = hostile_packet_stream(reader, 4);
     // round=1, from=0, to=1, frame_len = 2^40: header only, no payload
     let mut pkt = Vec::new();
     for v in [1u64, 0, 1, 1 << 40] {
@@ -234,13 +213,12 @@ fn sskel_write_uvarint(out: &mut Vec<u8>, mut v: u64) {
 /// only come from a confused or hostile peer), typed as such.
 #[test]
 fn out_of_universe_endpoint_is_rejected() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("out_of_universe_endpoint_is_rejected") {
         return;
     }
     let n = 3;
-    let (mut writer, reader) = pair();
-    let mut ps = stream(reader, n);
+    let (mut writer, reader) = loopback_pair();
+    let mut ps = hostile_packet_stream(reader, n);
     let bad = packet(1, 6, 7, 9); // endpoints 6, 7 in a universe of 3
     writer.write_all(&bad).expect("write");
     let err = loop {
@@ -268,13 +246,12 @@ fn out_of_universe_endpoint_is_rejected() {
 /// `Stalled`), within a bounded wall-clock.
 #[test]
 fn mid_frame_stall_past_the_read_timeout_is_typed_stalled() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("mid_frame_stall_past_the_read_timeout_is_typed_stalled") {
         return;
     }
     let n = 4;
-    let (mut writer, reader) = pair();
-    let mut ps = stream(reader, n);
+    let (mut writer, reader) = loopback_pair();
+    let mut ps = hostile_packet_stream(reader, n);
 
     // quiet line: timeouts at the boundary are Idle, forever benign
     match ps.next_event().expect("idle is not an error") {
@@ -315,8 +292,7 @@ fn mid_frame_stall_past_the_read_timeout_is_typed_stalled() {
 /// invisible.
 #[test]
 fn late_connecting_shard_within_budget_completes_identically() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("late_connecting_shard_within_budget_completes_identically") {
         return;
     }
     let n = 6;
@@ -342,8 +318,7 @@ fn late_connecting_shard_within_budget_completes_identically() {
 /// remaining shards are all released.
 #[test]
 fn late_connecting_shard_past_budget_is_a_typed_handshake_failure() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("late_connecting_shard_past_budget_is_a_typed_handshake_failure") {
         return;
     }
     let n = 6;
@@ -377,13 +352,12 @@ fn late_connecting_shard_past_budget_is_a_typed_handshake_failure() {
 /// worker converts into an aborted run.
 #[test]
 fn peer_disconnect_mid_round_delivers_the_round_then_fails_typed() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("peer_disconnect_mid_round_delivers_the_round_then_fails_typed") {
         return;
     }
     let n = 5;
-    let (mut writer, reader) = pair();
-    let mut ps = stream(reader, n);
+    let (mut writer, reader) = loopback_pair();
+    let mut ps = hostile_packet_stream(reader, n);
     // a full round's worth of frames from process 0 to each neighbour…
     for to in 1..n {
         writer
@@ -428,8 +402,7 @@ fn peer_disconnect_mid_round_delivers_the_round_then_fails_typed() {
 /// valid, what is pinned is the absence of hangs and the error type.)
 #[test]
 fn unmeetable_round_budget_fails_typed_or_completes_but_never_hangs() {
-    if !loopback_available() {
-        eprintln!("skipping: loopback unavailable in this sandbox");
+    if !require_loopback("unmeetable_round_budget_fails_typed_or_completes_but_never_hangs") {
         return;
     }
     let n = 6;
