@@ -3,6 +3,7 @@
 //! regenerated from these, with fixed seeds for reproducibility.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

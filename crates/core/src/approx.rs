@@ -64,8 +64,10 @@ pub fn canonical_base(r: Round, n: usize, limit: Round) -> Round {
 struct GraphBatch(Vec<*const LabeledDigraph>);
 
 // SAFETY: the vector is empty whenever `update` is not executing, so moving
-// or sharing the estimator across threads never transfers live borrows.
+// the estimator to another thread never transfers live borrows.
 unsafe impl Send for GraphBatch {}
+// SAFETY: same invariant as `Send` above — between `update` calls there is
+// nothing to alias, and during one the batch is confined to that call.
 unsafe impl Sync for GraphBatch {}
 
 impl Clone for GraphBatch {

@@ -27,6 +27,7 @@
 //! map covering every public module.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod adjacency;
 pub mod digraph;

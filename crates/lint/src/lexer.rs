@@ -1,0 +1,417 @@
+//! A small hand-rolled Rust lexer: just enough of the language to strip
+//! comments and string/char literals out of the token stream (while
+//! keeping the comments, line-addressed, for the SAFETY/`lint: allow`/
+//! `ordering:` grammars) and to tell lifetimes from char literals.
+//!
+//! This is deliberately **not** a parser. The structural facts the rules
+//! need — which lines sit inside `#[cfg(test)]` items, which function a
+//! token belongs to, whether a `[` opens an index expression — are
+//! recovered by [`crate::rules`] from this flat token stream with a brace
+//! stack, in the same spirit as the repository's other vendored
+//! stand-ins: exactly the surface the workspace needs, nothing more.
+
+/// One lexical token, with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub tok: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// Token kinds. Literals and lifetimes are collapsed — the rules never
+/// look inside them, they only need to know the slot is *not* an
+/// identifier or punctuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `unsafe`, `unwrap`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// A string, char, byte or numeric literal (contents discarded).
+    Literal,
+    /// A lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+}
+
+/// One comment, with the 1-based line it sits on. Multi-line block
+/// comments produce one entry per line so the line-window grammars
+/// (SAFETY within 5 lines, `lint: allow` within 2) see every line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: usize,
+    /// The comment text with the `//`/`/*`/`*/` delimiters removed and
+    /// surrounding whitespace trimmed. Doc-comment markers (`/`, `!`)
+    /// are left in place; consumers trim what they care about.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment lines in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`. Unterminated constructs (a string or block comment
+/// running off the end of the file) are tolerated: the lexer consumes to
+/// EOF instead of erroring, because the workspace it lints must already
+/// compile — the linter's job is rules, not syntax validation.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.char_indices().peekable(),
+        src: source,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next().map(|(_, c)| c)
+    }
+
+    fn push(&mut self, tok: Tok, line: usize) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => self.line_comment(),
+                '/' if self.peek2() == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(Tok::Literal, line);
+                }
+                '\'' => self.lifetime_or_char(),
+                c if c.is_ascii_digit() => {
+                    // A numeric literal: digits plus alphanumeric suffix
+                    // characters (`0x1f`, `1_000u64`). `1.5` lexes as
+                    // three tokens, which is fine — no rule cares.
+                    while self
+                        .peek()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        self.bump();
+                    }
+                    self.push(Tok::Literal, line);
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_string(),
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // consume `//`
+        let start = self.chars.peek().map_or(self.src.len(), |&(i, _)| i);
+        while self.peek().is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        let end = self.chars.peek().map_or(self.src.len(), |&(i, _)| i);
+        self.out.comments.push(Comment {
+            line,
+            text: self.src[start..end].trim().to_string(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut cur = String::new();
+        let mut cur_line = self.line;
+        while depth > 0 {
+            match (self.peek(), self.peek2()) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    cur.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('\n'), _) => {
+                    self.out.comments.push(Comment {
+                        line: cur_line,
+                        text: std::mem::take(&mut cur)
+                            .trim()
+                            .trim_start_matches('*')
+                            .trim()
+                            .to_string(),
+                    });
+                    self.bump();
+                    cur_line = self.line;
+                }
+                (Some(c), _) => {
+                    self.bump();
+                    cur.push(c);
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment {
+            line: cur_line,
+            text: cur.trim().trim_start_matches('*').trim().to_string(),
+        });
+    }
+
+    /// Consumes a double-quoted string body (opening quote already
+    /// consumed), honoring backslash escapes.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body: `#` count already known, opening
+    /// delimiter consumed up to and including the `"`.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// `'a` (lifetime/label) vs `'x'` / `'\n'` (char literal).
+    fn lifetime_or_char(&mut self) {
+        let line = self.line;
+        self.bump(); // the `'`
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Could be `'a` (lifetime) or `'a'` (char literal): decide
+                // by whether a closing quote follows the identifier run.
+                let mut it = self.chars.clone();
+                let mut len = 0usize;
+                while let Some(&(_, c)) = it.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        it.next();
+                        len += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let closes = it.peek().map(|&(_, c)| c) == Some('\'');
+                for _ in 0..len {
+                    self.bump();
+                }
+                if closes {
+                    self.bump(); // closing quote of the char literal
+                    self.push(Tok::Literal, line);
+                } else {
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            Some('\\') => {
+                self.bump();
+                self.bump(); // escape head (`n`, `u`, `'`, …)
+                while self.peek().is_some_and(|c| c != '\'') {
+                    self.bump(); // `\u{…}` tail
+                }
+                self.bump();
+                self.push(Tok::Literal, line);
+            }
+            Some(_) => {
+                self.bump(); // the char
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::Literal, line);
+            }
+            None => {}
+        }
+    }
+
+    /// An identifier — unless it is the `r`/`b`/`br` prefix of a (raw)
+    /// string or byte-string literal.
+    fn ident_or_prefixed_string(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_str_prefix = matches!(name.as_str(), "r" | "b" | "br");
+        match (is_str_prefix, self.peek()) {
+            (true, Some('"')) if name == "b" => {
+                self.bump();
+                self.string_body();
+                self.push(Tok::Literal, line);
+            }
+            (true, Some('"')) => {
+                // `r"…"` / `br"…"`: raw, no escapes.
+                self.bump();
+                self.raw_string_body(0);
+                self.push(Tok::Literal, line);
+            }
+            (true, Some('#')) if name != "b" => {
+                let mut hashes = 0usize;
+                while self.peek() == Some('#') {
+                    self.bump();
+                    hashes += 1;
+                }
+                if self.peek() == Some('"') {
+                    self.bump();
+                    self.raw_string_body(hashes);
+                    self.push(Tok::Literal, line);
+                } else {
+                    // `r#ident` — a raw identifier.
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            raw.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Ident(raw), line);
+                }
+            }
+            (true, Some('\'')) if name == "b" => {
+                self.lifetime_or_char();
+            }
+            _ => self.push(Tok::Ident(name), line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r#"
+            // unwrap() in a comment
+            let x = "panic!() in a string"; /* assert! in a block */
+            y.unwrap();
+        "#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "y", "unwrap"]);
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("unwrap() in a comment"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = r##"let s = r#"x.unwrap() "quoted" "#; s.len();"##;
+        assert_eq!(idents(src), vec!["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lx = lex(src);
+        let lifetimes = lx.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = lx
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Literal))
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_char_literals_lex() {
+        let src = r"let c = '\n'; let u = '\u{1F600}'; let q = '\'';";
+        assert_eq!(idents(src), vec!["let", "c", "let", "u", "let", "q"]);
+    }
+
+    #[test]
+    fn block_comments_nest_and_split_lines() {
+        let src = "/* outer /* inner */ SAFETY: still\n a comment */ fn f() {}";
+        let lx = lex(src);
+        assert_eq!(idents("fn f() {}"), idents_of(&lx));
+        assert!(lx.comments.iter().any(|c| c.text.contains("SAFETY: still")));
+        assert!(lx.comments.iter().any(|c| c.line == 2));
+    }
+
+    fn idents_of(lx: &Lexed) -> Vec<String> {
+        lx.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let lx = lex(src);
+        let lines: Vec<usize> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,45 @@
+//! `sskel-lint` binary: lints the workspace, prints findings as
+//! `file:line · rule · message`, exits 1 iff anything was found.
+//!
+//! With no argument the workspace root is derived from this crate's
+//! manifest directory (`crates/lint` → two levels up), so
+//! `cargo run -p sskel-lint` works from anywhere inside the repo; an
+//! explicit root can be passed as the only argument.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from(".")),
+    };
+    match sskel_lint::lint_workspace(&root) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.is_clean() {
+                println!("sskel-lint: clean ({} files)", report.files_scanned);
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "sskel-lint: {} finding(s) across {} files",
+                    report.findings.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!(
+                "sskel-lint: cannot walk workspace at {}: {e}",
+                root.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! The rule set: a single structural walk over the token stream of one
+//! file, dispatching to the four rule families. The walk maintains a
+//! brace stack annotated with "is this a `#[cfg(test)]`/`#[test]` item"
+//! and "which `fn` does this body belong to", which is all the context
+//! the rules need:
+//!
+//! * **R1 `panic-discipline`** — in configured never-panic zones, no
+//!   `unwrap`/`expect`/`panic!`/`assert!`/`unreachable!`/`todo!`/
+//!   `unimplemented!` and no slice/array index `[...]`. `debug_assert*`
+//!   is exempt (compiled out of release builds; it documents internal
+//!   invariants without risking a release panic).
+//! * **R2 `safety-comment`** — every `unsafe` token (block, fn, impl)
+//!   outside test code must have a `// SAFETY:` comment on the same line
+//!   or within the five preceding lines. The companion crate-level check
+//!   ([`check_crate_unsafe_policy`]) requires `#![forbid(unsafe_code)]`
+//!   in crates with zero unsafe and `#![deny(unsafe_code)]` in crates
+//!   that have any.
+//! * **R3 `determinism`** — in trace-affecting files, no `Instant::now`,
+//!   `SystemTime`, `HashMap`, `HashSet` or `thread_rng` (files may be
+//!   configured `allow_time` — the socket engine's timeout plumbing).
+//! * **R4 `atomic-ordering`** — in configured files, every
+//!   `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` use must have a
+//!   comment containing `ordering:` on the same line or within the five
+//!   preceding lines.
+//!
+//! Escape hatch: a comment `lint: allow(<rule>) — <justification>` on the
+//! same line as the violation or within the two preceding lines
+//! suppresses R1/R3 findings for that rule. The justification must be
+//! non-empty **on the directive's own line**; a bare `lint: allow(rule)`
+//! does not suppress and additionally reports `allow-justification`.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+use crate::{FileConfig, Finding};
+
+/// Rule identifiers as printed in findings (`file:line · rule · message`).
+pub mod rule {
+    /// R1: panic construct in a never-panic zone.
+    pub const PANIC: &str = "panic-discipline";
+    /// R2: `unsafe` without an adjacent `SAFETY:` comment.
+    pub const SAFETY: &str = "safety-comment";
+    /// R2 (crate level): missing `#![forbid(unsafe_code)]` /
+    /// `#![deny(unsafe_code)]`.
+    pub const FORBID: &str = "forbid-unsafe";
+    /// R3: nondeterministic construct in trace-affecting code.
+    pub const DETERMINISM: &str = "determinism";
+    /// R4: atomic ordering without an ordering-argument comment.
+    pub const ORDERING: &str = "atomic-ordering";
+    /// A `lint: allow(...)` directive with an empty justification.
+    pub const ALLOW: &str = "allow-justification";
+}
+
+/// Short rule names accepted inside `lint: allow(...)`.
+fn allow_name(rule: &'static str) -> &'static str {
+    match rule {
+        rule::PANIC => "panic",
+        rule::SAFETY => "safety",
+        rule::DETERMINISM => "determinism",
+        rule::ORDERING => "ordering",
+        other => other,
+    }
+}
+
+/// Methods R1 bans (called as `.name(`).
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+/// Macros R1 bans (invoked as `name!`). `debug_assert*` is deliberately
+/// absent — see the module docs.
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+/// Atomic orderings R4 audits.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Keywords that may directly precede a `[` without forming an index
+/// expression (array literals, slice patterns, array types).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+/// The per-file analysis result.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Rule findings, in source order.
+    pub findings: Vec<Finding>,
+    /// Whether the file contains any `unsafe` token (test code included —
+    /// `#![forbid(unsafe_code)]` would reject those too).
+    pub has_unsafe: bool,
+}
+
+/// Window (in lines, above the use) within which a `SAFETY:` or
+/// `ordering:` comment satisfies R2/R4.
+const COMMENT_WINDOW: usize = 5;
+/// Window (in lines, above the violation) within which a `lint: allow`
+/// directive applies.
+const ALLOW_WINDOW: usize = 2;
+
+/// One brace-delimited scope on the walk stack.
+struct Frame {
+    test: bool,
+    fn_name: Option<String>,
+}
+
+/// Analyzes one file's source under `cfg`, producing findings and the
+/// crate-level `unsafe` presence bit.
+pub fn analyze(path: &str, source: &str, cfg: &FileConfig) -> FileReport {
+    let lexed = lex(source);
+    let comments = &lexed.comments;
+    let toks = &lexed.tokens;
+    let mut report = FileReport::default();
+    let mut walker = Walker {
+        path,
+        cfg,
+        comments,
+        stack: Vec::new(),
+        paren_depth: 0,
+        pending_test: false,
+        pending_fn: None,
+        report: &mut report,
+    };
+    walker.walk(toks);
+    report
+}
+
+struct Walker<'a> {
+    path: &'a str,
+    cfg: &'a FileConfig,
+    comments: &'a [Comment],
+    stack: Vec<Frame>,
+    /// Combined `(`/`[` nesting depth — a `fn` body's `{` only opens at
+    /// depth 0, never inside a signature.
+    paren_depth: usize,
+    pending_test: bool,
+    pending_fn: Option<String>,
+    report: &'a mut FileReport,
+}
+
+impl Walker<'_> {
+    fn in_test(&self) -> bool {
+        self.stack.iter().any(|f| f.test)
+    }
+
+    /// `true` iff the walk position is inside the file's never-panic
+    /// zone: the whole file (`fns: None`) or any enclosing function whose
+    /// name is listed.
+    fn in_panic_zone(&self) -> bool {
+        match &self.cfg.panic_zone {
+            None => false,
+            Some(None) => true,
+            Some(Some(fns)) => self
+                .stack
+                .iter()
+                .any(|f| f.fn_name.as_deref().is_some_and(|n| fns.contains(&n))),
+        }
+    }
+
+    fn comment_window(&self, line: usize, window: usize) -> impl Iterator<Item = &Comment> {
+        let lo = line.saturating_sub(window);
+        self.comments
+            .iter()
+            .filter(move |c| c.line >= lo && c.line <= line)
+    }
+
+    /// Looks for a justified `lint: allow(<name>)` directive covering
+    /// `line`. Returns `true` if the finding is suppressed; an unjustified
+    /// directive reports [`rule::ALLOW`] and suppresses nothing.
+    fn allowed(&mut self, line: usize, rule_id: &'static str) -> bool {
+        let name = allow_name(rule_id);
+        let mut unjustified = None;
+        for c in self.comment_window(line, ALLOW_WINDOW) {
+            if let Some((directive_rule, justified)) = parse_allow(&c.text) {
+                if directive_rule == name {
+                    if justified {
+                        return true;
+                    }
+                    unjustified = Some(c.line);
+                }
+            }
+        }
+        if let Some(dline) = unjustified {
+            self.report.findings.push(Finding {
+                file: self.path.to_string(),
+                line: dline,
+                rule: rule::ALLOW,
+                message: format!(
+                    "`lint: allow({name})` requires a non-empty justification on the directive line"
+                ),
+            });
+        }
+        false
+    }
+
+    fn emit(&mut self, line: usize, rule_id: &'static str, message: String) {
+        if self.allowed(line, rule_id) {
+            return;
+        }
+        self.report.findings.push(Finding {
+            file: self.path.to_string(),
+            line,
+            rule: rule_id,
+            message,
+        });
+    }
+
+    /// `true` iff a comment containing `needle` (case-insensitive,
+    /// followed by a colon) sits on `line` or within [`COMMENT_WINDOW`]
+    /// lines above it.
+    fn has_tagged_comment(&self, line: usize, needle: &str) -> bool {
+        self.comment_window(line, COMMENT_WINDOW).any(|c| {
+            let lower = c.text.to_ascii_lowercase();
+            lower
+                .find(needle)
+                .is_some_and(|i| lower[i + needle.len()..].trim_start().starts_with(':'))
+        })
+    }
+
+    fn walk(&mut self, toks: &[Token]) {
+        let mut i = 0usize;
+        while i < toks.len() {
+            // Attributes are consumed atomically: their contents never
+            // trigger rules, and `#[cfg(test)]` / `#[test]` marks the next
+            // item as test code.
+            if toks[i].tok == Tok::Punct('#')
+                && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+            {
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                let mut is_test = false;
+                let mut negated = false;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(s) if s == "test" => is_test = true,
+                        Tok::Ident(s) if s == "not" => negated = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if is_test && !negated {
+                    self.pending_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+
+            let line = toks[i].line;
+            match &toks[i].tok {
+                Tok::Punct('(') | Tok::Punct('[') => {
+                    self.check_open_bracket(toks, i);
+                    self.paren_depth += 1;
+                }
+                Tok::Punct(')') | Tok::Punct(']') => {
+                    self.paren_depth = self.paren_depth.saturating_sub(1);
+                }
+                Tok::Punct('{') => {
+                    self.stack.push(Frame {
+                        test: self.pending_test,
+                        fn_name: self.pending_fn.take(),
+                    });
+                    self.pending_test = false;
+                }
+                Tok::Punct('}') => {
+                    self.stack.pop();
+                }
+                Tok::Punct(';') if self.paren_depth == 0 => {
+                    // An item ended without a body (`#[cfg(test)] use …;`,
+                    // a trait method signature): drop pending markers.
+                    self.pending_test = false;
+                    self.pending_fn = None;
+                }
+                Tok::Ident(name) => {
+                    match name.as_str() {
+                        "fn" => {
+                            if let Some(Token {
+                                tok: Tok::Ident(fname),
+                                ..
+                            }) = toks.get(i + 1)
+                            {
+                                self.pending_fn = Some(fname.clone());
+                            }
+                        }
+                        "unsafe" => {
+                            self.report.has_unsafe = true;
+                            if !self.in_test() && !self.has_tagged_comment(line, "safety") {
+                                self.emit(
+                                    line,
+                                    rule::SAFETY,
+                                    "`unsafe` without a `// SAFETY:` comment on the same line \
+                                     or the 5 lines above"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
+                    if !self.in_test() {
+                        self.check_ident(toks, i);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// R1's slice-index arm: a `[` that directly follows an expression
+    /// (identifier, `]`, or `)`) opens an index expression.
+    fn check_open_bracket(&mut self, toks: &[Token], i: usize) {
+        if toks[i].tok != Tok::Punct('[') || self.in_test() || !self.in_panic_zone() {
+            return;
+        }
+        let indexes = match i.checked_sub(1).map(|p| &toks[p].tok) {
+            Some(Tok::Ident(prev)) => !is_keyword(prev),
+            Some(Tok::Punct(']')) | Some(Tok::Punct(')')) => true,
+            _ => false,
+        };
+        if indexes {
+            self.emit(
+                toks[i].line,
+                rule::PANIC,
+                "slice/array index can panic in a never-panic zone; use a checked accessor \
+                 or justify with `lint: allow(panic)`"
+                    .to_string(),
+            );
+        }
+    }
+
+    /// R1 (methods + macros), R3 and R4 ident-triggered checks.
+    fn check_ident(&mut self, toks: &[Token], i: usize) {
+        let Tok::Ident(name) = &toks[i].tok else {
+            return;
+        };
+        let line = toks[i].line;
+        let next = toks.get(i + 1).map(|t| &t.tok);
+        let prev = i.checked_sub(1).map(|p| &toks[p].tok);
+
+        // R1: `.unwrap(` / `.expect(` and panic macros.
+        if self.in_panic_zone() {
+            if PANIC_METHODS.contains(&name.as_str())
+                && prev == Some(&Tok::Punct('.'))
+                && next == Some(&Tok::Punct('('))
+            {
+                self.emit(
+                    line,
+                    rule::PANIC,
+                    format!("`.{name}()` can panic in a never-panic zone; return a typed error"),
+                );
+            }
+            if PANIC_MACROS.contains(&name.as_str()) && next == Some(&Tok::Punct('!')) {
+                self.emit(
+                    line,
+                    rule::PANIC,
+                    format!("`{name}!` in a never-panic zone; return a typed error"),
+                );
+            }
+        }
+
+        // R3: nondeterministic constructs in trace-affecting code.
+        if self.cfg.determinism {
+            let next2 = toks.get(i + 2).map(|t| &t.tok);
+            match name.as_str() {
+                "Instant"
+                    if !self.cfg.allow_time
+                        && next == Some(&Tok::Punct(':'))
+                        && next2 == Some(&Tok::Punct(':'))
+                        && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Ident("now".into())) =>
+                {
+                    self.emit(
+                        line,
+                        rule::DETERMINISM,
+                        "`Instant::now` in trace-affecting code: wall-clock reads make \
+                         runs schedule-dependent"
+                            .to_string(),
+                    );
+                }
+                "SystemTime" if !self.cfg.allow_time => self.emit(
+                    line,
+                    rule::DETERMINISM,
+                    "`SystemTime` in trace-affecting code".to_string(),
+                ),
+                "HashMap" | "HashSet" => self.emit(
+                    line,
+                    rule::DETERMINISM,
+                    format!(
+                        "`{name}` iteration order is nondeterministic; use a Vec/BTreeMap \
+                         (or justify with `lint: allow(determinism)`)"
+                    ),
+                ),
+                "thread_rng" => self.emit(
+                    line,
+                    rule::DETERMINISM,
+                    "`thread_rng` is unseeded; derive randomness from the run seed".to_string(),
+                ),
+                _ => {}
+            }
+        }
+
+        // R4: atomic orderings need an ordering-argument comment.
+        if self.cfg.ordering
+            && name == "Ordering"
+            && next == Some(&Tok::Punct(':'))
+            && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        {
+            if let Some(Tok::Ident(ord)) = toks.get(i + 3).map(|t| &t.tok) {
+                if ORDERINGS.contains(&ord.as_str())
+                    && !self.has_tagged_comment(line, "ordering")
+                    && !self.allowed(line, rule::ORDERING)
+                {
+                    self.report.findings.push(Finding {
+                        file: self.path.to_string(),
+                        line,
+                        rule: rule::ORDERING,
+                        message: format!(
+                            "`Ordering::{ord}` without an `// ordering:` argument on the same \
+                             line or the 5 lines above"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Parses a `lint: allow(<rule>)` directive out of a comment line.
+/// Returns `(rule, has_justification)`; the justification is everything
+/// after the closing paren on the same line, with leading separator
+/// punctuation (`—`, `-`, `:`) stripped.
+pub fn parse_allow(comment: &str) -> Option<(&str, bool)> {
+    let i = comment.find("lint:")?;
+    let rest = comment[i + "lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim();
+    let just = rest[close + 1..]
+        .trim_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | '.'));
+    Some((rule, just.chars().any(|c| c.is_alphanumeric())))
+}
+
+/// The crate-level half of R2: a crate whose sources contain no `unsafe`
+/// must lock that in with `#![forbid(unsafe_code)]`; a crate with audited
+/// `unsafe` must carry `#![deny(unsafe_code)]` so every use needs an
+/// explicit module-scoped `#[allow(unsafe_code)]`.
+///
+/// `lib_rs` is the crate root source, `lib_path` the path reported in
+/// findings, `has_unsafe` the OR of [`FileReport::has_unsafe`] over the
+/// crate's files.
+pub fn check_crate_unsafe_policy(
+    lib_path: &str,
+    lib_rs: &str,
+    has_unsafe: bool,
+) -> Option<Finding> {
+    // Token-level search so a commented-out attribute does not count.
+    let lexed = lex(lib_rs);
+    let mut attrs: Vec<String> = Vec::new();
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.tok == Tok::Punct('#')
+            && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('!'))
+            && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('['))
+        {
+            let mut depth = 0usize;
+            let mut body = String::new();
+            for t in &toks[i + 2..] {
+                match &t.tok {
+                    Tok::Punct('[') => {
+                        depth += 1;
+                        if depth > 1 {
+                            body.push('[');
+                        }
+                    }
+                    Tok::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        body.push(']');
+                    }
+                    Tok::Ident(s) => {
+                        body.push_str(s);
+                        body.push(' ');
+                    }
+                    Tok::Punct(c) => body.push(*c),
+                    _ => {}
+                }
+            }
+            attrs.push(body);
+        }
+    }
+    let has = |lint: &str, level: &str| {
+        attrs
+            .iter()
+            .any(|a| a.starts_with(level) && a.contains(lint))
+    };
+    if has_unsafe {
+        if !has("unsafe_code", "deny") && !has("unsafe_code", "warn") {
+            return Some(Finding {
+                file: lib_path.to_string(),
+                line: 1,
+                rule: rule::FORBID,
+                message: "crate contains `unsafe`: add `#![deny(unsafe_code)]` with \
+                          module-scoped `#[allow(unsafe_code)]` at each audited site"
+                    .to_string(),
+            });
+        }
+    } else if !has("unsafe_code", "forbid") {
+        return Some(Finding {
+            file: lib_path.to_string(),
+            line: 1,
+            rule: rule::FORBID,
+            message: "crate has no `unsafe`: lock it in with `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    None
+}

@@ -1,0 +1,278 @@
+//! Fixture suite: each rule family gets a violating fixture (exact
+//! `(line, rule)` expectations) and a compliant twin (must be clean),
+//! plus escape-hatch round-trips and the crate-level `unsafe` policy.
+//!
+//! The fixture `.rs` files live in `tests/fixtures/` and are data, not
+//! code: cargo does not compile test subdirectories, and
+//! `lint_workspace` deliberately skips per-crate `tests/` trees so the
+//! intentional violations never fail the live gate.
+
+use sskel_lint::rules::parse_allow;
+use sskel_lint::{check_crate_unsafe_policy, lint_source, rule, Config, Finding, Zone};
+
+/// A config whose only rule is a whole-file never-panic zone on `file`.
+fn panic_zone_whole(file: &'static str) -> Config {
+    Config {
+        never_panic_zones: vec![Zone { file, fns: None }],
+        determinism_paths: vec![],
+        determinism_exempt: vec![],
+        ordering_files: vec![],
+    }
+}
+
+/// Like [`panic_zone_whole`] but narrowed to named functions.
+fn panic_zone_fns(file: &'static str, fns: &'static [&'static str]) -> Config {
+    Config {
+        never_panic_zones: vec![Zone {
+            file,
+            fns: Some(fns),
+        }],
+        determinism_paths: vec![],
+        determinism_exempt: vec![],
+        ordering_files: vec![],
+    }
+}
+
+fn determinism_cfg(file: &'static str, allow_time: bool) -> Config {
+    Config {
+        never_panic_zones: vec![],
+        determinism_paths: vec![(file, allow_time)],
+        determinism_exempt: vec![],
+        ordering_files: vec![],
+    }
+}
+
+fn ordering_cfg(file: &'static str) -> Config {
+    Config {
+        never_panic_zones: vec![],
+        determinism_paths: vec![],
+        determinism_exempt: vec![],
+        ordering_files: vec![file],
+    }
+}
+
+/// The `(line, rule)` skeleton of a findings list.
+fn lines(findings: &[Finding]) -> Vec<(usize, &'static str)> {
+    findings.iter().map(|f| (f.line, f.rule)).collect()
+}
+
+#[test]
+fn r1_panic_fixture_flags_every_construct() {
+    let cfg = panic_zone_whole("panic_bad.rs");
+    let findings = lint_source("panic_bad.rs", include_str!("fixtures/panic_bad.rs"), &cfg);
+    assert_eq!(
+        lines(&findings),
+        vec![
+            (5, rule::PANIC),  // buf[0]
+            (6, rule::PANIC),  // .unwrap()
+            (6, rule::PANIC),  // .expect("n")
+            (8, rule::PANIC),  // panic!
+            (10, rule::PANIC), // assert!
+            (14, rule::PANIC), // unreachable!  (debug_assert! on 11 exempt)
+        ],
+        "got: {findings:#?}"
+    );
+}
+
+#[test]
+fn r1_compliant_twin_is_clean() {
+    let cfg = panic_zone_whole("panic_good.rs");
+    let findings = lint_source(
+        "panic_good.rs",
+        include_str!("fixtures/panic_good.rs"),
+        &cfg,
+    );
+    assert!(findings.is_empty(), "got: {findings:#?}");
+}
+
+#[test]
+fn r1_zone_narrowing_only_flags_listed_fns() {
+    let src = include_str!("fixtures/zone_fns.rs");
+    let narrowed = panic_zone_fns("zone_fns.rs", &["decode"]);
+    let findings = lint_source("zone_fns.rs", src, &narrowed);
+    assert_eq!(lines(&findings), vec![(4, rule::PANIC)]);
+
+    // The same file under a whole-file zone flags `build` too.
+    let whole = panic_zone_whole("zone_fns.rs");
+    let findings = lint_source("zone_fns.rs", src, &whole);
+    assert_eq!(lines(&findings), vec![(4, rule::PANIC), (9, rule::PANIC)]);
+
+    // And with no zone configured, nothing fires at all.
+    let findings = lint_source("zone_fns.rs", src, &panic_zone_whole("other.rs"));
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn allow_without_justification_suppresses_nothing_and_is_reported() {
+    let cfg = panic_zone_whole("allow_unjustified.rs");
+    let findings = lint_source(
+        "allow_unjustified.rs",
+        include_str!("fixtures/allow_unjustified.rs"),
+        &cfg,
+    );
+    assert_eq!(
+        lines(&findings),
+        vec![(5, rule::ALLOW), (6, rule::PANIC)],
+        "got: {findings:#?}"
+    );
+}
+
+#[test]
+fn allow_directive_grammar() {
+    // Justified: em-dash, hyphen, colon separators all work.
+    assert_eq!(
+        parse_allow("lint: allow(panic) — bounds checked above"),
+        Some(("panic", true))
+    );
+    assert_eq!(
+        parse_allow(" lint: allow(determinism) - probe only"),
+        Some(("determinism", true))
+    );
+    assert_eq!(
+        parse_allow("lint: allow(ordering): comment nearby"),
+        Some(("ordering", true))
+    );
+    // Bare or punctuation-only justifications do not count.
+    assert_eq!(parse_allow("lint: allow(panic)"), Some(("panic", false)));
+    assert_eq!(parse_allow("lint: allow(panic) ——"), Some(("panic", false)));
+    // Not a directive at all.
+    assert_eq!(parse_allow("plain prose about lint rules"), None);
+}
+
+#[test]
+fn r2_safety_fixture_and_twin() {
+    // No zone/determinism config needed: R2 is unconditional.
+    let cfg = panic_zone_whole("other.rs");
+    let bad = lint_source(
+        "safety_bad.rs",
+        include_str!("fixtures/safety_bad.rs"),
+        &cfg,
+    );
+    assert_eq!(lines(&bad), vec![(4, rule::SAFETY)]);
+
+    let good = lint_source(
+        "safety_good.rs",
+        include_str!("fixtures/safety_good.rs"),
+        &cfg,
+    );
+    assert!(good.is_empty(), "got: {good:#?}");
+}
+
+#[test]
+fn r2_crate_policy_four_quadrants() {
+    // Zero-unsafe crate without forbid → finding.
+    let f = check_crate_unsafe_policy("a/lib.rs", "#![deny(missing_docs)]", false);
+    assert_eq!(f.map(|f| f.rule), Some(rule::FORBID));
+    // Zero-unsafe crate with forbid → clean.
+    assert!(check_crate_unsafe_policy("a/lib.rs", "#![forbid(unsafe_code)]", false).is_none());
+    // Unsafe-bearing crate without deny → finding.
+    let f = check_crate_unsafe_policy("b/lib.rs", "#![forbid(something_else)]", true);
+    assert_eq!(f.map(|f| f.rule), Some(rule::FORBID));
+    // Unsafe-bearing crate with deny → clean.
+    assert!(check_crate_unsafe_policy("b/lib.rs", "#![deny(unsafe_code)]", true).is_none());
+    // A commented-out attribute does not satisfy the policy.
+    let f = check_crate_unsafe_policy("c/lib.rs", "// #![forbid(unsafe_code)]\n", false);
+    assert_eq!(f.map(|f| f.rule), Some(rule::FORBID));
+}
+
+#[test]
+fn r3_determinism_fixture_flags_clocks_hashes_and_rng() {
+    let cfg = determinism_cfg("determinism_bad.rs", false);
+    let findings = lint_source(
+        "determinism_bad.rs",
+        include_str!("fixtures/determinism_bad.rs"),
+        &cfg,
+    );
+    assert_eq!(
+        lines(&findings),
+        vec![
+            (2, rule::DETERMINISM), // use HashMap
+            (3, rule::DETERMINISM), // use SystemTime
+            (6, rule::DETERMINISM), // Instant::now
+            (7, rule::DETERMINISM), // SystemTime::now
+            (8, rule::DETERMINISM), // HashMap type
+            (8, rule::DETERMINISM), // HashMap::new
+            (9, rule::DETERMINISM), // thread_rng
+        ],
+        "got: {findings:#?}"
+    );
+}
+
+#[test]
+fn r3_allow_time_exempts_clocks_but_not_hashes() {
+    let cfg = determinism_cfg("determinism_bad.rs", true);
+    let findings = lint_source(
+        "determinism_bad.rs",
+        include_str!("fixtures/determinism_bad.rs"),
+        &cfg,
+    );
+    // The clock lines (3, 6, 7) drop out; hash containers and RNG stay.
+    assert_eq!(
+        lines(&findings),
+        vec![
+            (2, rule::DETERMINISM),
+            (8, rule::DETERMINISM),
+            (8, rule::DETERMINISM),
+            (9, rule::DETERMINISM),
+        ],
+        "got: {findings:#?}"
+    );
+}
+
+#[test]
+fn r3_compliant_twin_is_clean() {
+    let cfg = determinism_cfg("determinism_good.rs", false);
+    let findings = lint_source(
+        "determinism_good.rs",
+        include_str!("fixtures/determinism_good.rs"),
+        &cfg,
+    );
+    assert!(findings.is_empty(), "got: {findings:#?}");
+}
+
+#[test]
+fn r4_ordering_fixture_and_twin() {
+    let cfg = ordering_cfg("ordering_bad.rs");
+    let bad = lint_source(
+        "ordering_bad.rs",
+        include_str!("fixtures/ordering_bad.rs"),
+        &cfg,
+    );
+    assert_eq!(
+        lines(&bad),
+        vec![(5, rule::ORDERING), (6, rule::ORDERING)],
+        "got: {bad:#?}"
+    );
+
+    let cfg = ordering_cfg("ordering_good.rs");
+    let good = lint_source(
+        "ordering_good.rs",
+        include_str!("fixtures/ordering_good.rs"),
+        &cfg,
+    );
+    assert!(good.is_empty(), "got: {good:#?}");
+
+    // A file not in the ordering set is never audited.
+    let cfg = ordering_cfg("elsewhere.rs");
+    let off = lint_source(
+        "ordering_bad.rs",
+        include_str!("fixtures/ordering_bad.rs"),
+        &cfg,
+    );
+    assert!(off.is_empty());
+}
+
+#[test]
+fn findings_render_in_gate_format() {
+    let cfg = panic_zone_whole("safety_bad.rs");
+    let findings = lint_source(
+        "safety_bad.rs",
+        include_str!("fixtures/safety_bad.rs"),
+        &cfg,
+    );
+    let rendered = findings[0].to_string();
+    assert!(
+        rendered.starts_with("safety_bad.rs:4 · safety-comment · "),
+        "got: {rendered}"
+    );
+}

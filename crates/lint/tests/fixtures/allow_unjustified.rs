@@ -1,0 +1,7 @@
+//! Escape-hatch fixture: a bare allow suppresses nothing and is itself
+//! a finding.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    // lint: allow(panic)
+    buf[0]
+}

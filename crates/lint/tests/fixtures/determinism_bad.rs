@@ -1,0 +1,11 @@
+//! R3 fixture: wall clocks, hash containers and unseeded randomness.
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (u64, usize) {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    seen.insert(thread_rng().gen(), 0);
+    (0, seen.len())
+}

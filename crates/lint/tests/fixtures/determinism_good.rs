@@ -1,0 +1,12 @@
+//! R3 fixture: deterministic twins — ordered containers, seeded RNG,
+//! and a justified clock read.
+use std::collections::BTreeMap;
+
+pub fn stamp(seed: u64) -> usize {
+    let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    seen.insert(rng.next_u64(), 0);
+    // lint: allow(determinism) — latency probe only; never in traces.
+    let _t0 = Instant::now();
+    seen.len()
+}

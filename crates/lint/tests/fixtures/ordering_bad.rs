@@ -1,0 +1,7 @@
+//! R4 fixture: atomic orderings without ordering-argument comments.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::AcqRel);
+    c.load(Ordering::SeqCst)
+}

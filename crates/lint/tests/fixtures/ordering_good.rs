@@ -1,0 +1,8 @@
+//! R4 fixture: every ordering carries its argument.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    // ordering: AcqRel joins this RMW into the release sequence.
+    c.fetch_add(1, Ordering::AcqRel);
+    c.load(Ordering::SeqCst) // ordering: SeqCst — total order probe.
+}

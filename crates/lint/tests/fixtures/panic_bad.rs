@@ -1,0 +1,25 @@
+//! R1 fixture: every construct the panic-discipline rule must flag,
+//! plus test code and `debug_assert!` that it must not.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    let parsed: u8 = core::str::from_utf8(buf).unwrap().parse().expect("n");
+    if first > 10 {
+        panic!("too big");
+    }
+    assert!(first != 9);
+    debug_assert!(first != 8);
+    match first {
+        0..=10 => parsed,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1, 2];
+        assert_eq!(v[0], v.first().copied().unwrap());
+    }
+}

@@ -1,0 +1,16 @@
+//! R1 fixture: the compliant twin — typed errors, checked accessors,
+//! a justified escape hatch, and panic words hidden inside literals.
+
+pub fn decode(buf: &[u8]) -> Result<u8, ()> {
+    let first = *buf.first().ok_or(())?;
+    if first > 10 {
+        return Err(());
+    }
+    // lint: allow(panic) — `first <= 10` was checked one line up.
+    let capped = LOOKUP[first as usize];
+    debug_assert!(capped <= first);
+    let _doc = "calling buf[0].unwrap() here would be a bug";
+    Ok(capped)
+}
+
+const LOOKUP: [u8; 11] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10];

@@ -1,0 +1,5 @@
+//! R2 fixture: `unsafe` without an adjacent SAFETY comment.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

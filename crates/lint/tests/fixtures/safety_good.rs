@@ -1,0 +1,6 @@
+//! R2 fixture: audited `unsafe`.
+
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points at a live, aligned byte.
+    unsafe { *p }
+}

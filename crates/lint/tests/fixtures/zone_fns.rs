@@ -1,0 +1,10 @@
+//! Zone-narrowing fixture: only `decode` is a never-panic zone.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn build() -> u8 {
+    let v = vec![7u8];
+    v[0]
+}

@@ -1,0 +1,27 @@
+//! Live-workspace self-check: the linter must pass on the workspace
+//! that ships it. This is the same assertion as the tier-1 gate at
+//! `tests/lint_gate.rs`, run from inside the crate so `cargo test -p
+//! sskel-lint` is self-contained.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = sskel_lint::lint_workspace(&root).expect("workspace walk failed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small walk: {} files — did the workspace layout move?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "sskel-lint findings (fix or justify with `lint: allow(...)`):\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -520,6 +520,9 @@ where
                     match out.first[i][idx] {
                         None => {
                             out.first[i][idx] = Some((r, v));
+                            // ordering: Release before the tick barrier —
+                            // pairs with the Acquire sweep in the verdict
+                            // phase so every shard reads this tick's flag.
                             decided[i][p.index()].store(true, Ordering::Release);
                         }
                         Some((r0, v0)) if v0 != v => out.anomalies[i].push(format!(
@@ -540,6 +543,8 @@ where
         active.retain(|&i| {
             let meta = &metas[i];
             let r = tick - meta.admit_at + 1;
+            // ordering: Acquire after the barrier pairs with each
+            // shard's Release store above; all tick-t flags are visible.
             let all = decided[i].iter().all(|d| d.load(Ordering::Acquire));
             if meta.until.should_stop(r, all) {
                 out.rounds[i] = r;

@@ -246,6 +246,9 @@ where
     A::Msg: WireSized,
     T: Transport<A::Msg, Frame = Bytes>,
 {
+    // The snapshot is bytes this process wrote via `Recoverable::snapshot`
+    // — not adversarial input — and the round-trip is proptested.
+    // lint: allow(panic) — restore failure is a harness bug, not wire data.
     let mut alg = A::restore(&store.snapshot)
         .expect("snapshot written by Recoverable::snapshot must restore");
     debug_assert_eq!(
@@ -257,12 +260,16 @@ where
         rcv.clear();
         if r < store.kill {
             // A round the process executed live before the kill.
+            // lint: allow(panic) — index bounded by the debug_assert
+            // above: one log entry per live round in `cut+1..kill`.
             let entries = &store.log[(r - store.cut - 1) as usize];
             for (q, frame) in entries {
                 match transport.unpack(r, *q, p, frame.clone()) {
                     Delivery::Deliver(m) => rcv.insert(*q, m),
                     // The log holds only frames that unpacked to a
                     // delivery, and the fault plane is pure.
+                    // lint: allow(panic) — fault-plane purity invariant;
+                    // not reachable from wire input, only a harness bug.
                     _ => unreachable!("logged frame faulted on replay"),
                 }
             }
@@ -282,6 +289,8 @@ where
             trace.msg_stats.delivered_bytes += sz;
             match transport.unpack(r, p, p, transport.pack(&msg)) {
                 Delivery::Deliver(m) => rcv.insert(p, m),
+                // lint: allow(panic) — loopback frames are never tampered
+                // (FaultPlane contract); violation is a harness bug.
                 _ => unreachable!("loopback frame tampered"),
             }
         }

@@ -365,6 +365,8 @@ impl PacketStream {
                         Ok(PacketEvent::Eof)
                     };
                 }
+                // lint: allow(panic) — `read` returns `k <= chunk.len()`
+                // by the `Read` contract.
                 Ok(k) => self.buf.feed(&self.chunk[..k]),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -710,6 +712,8 @@ fn connect_mesh(
             if t == s {
                 continue;
             }
+            // lint: allow(panic) — `t` enumerates a row of the
+            // `addrs.len()`-square mesh, so `t < addrs.len()`.
             let mut stream = TcpStream::connect(addrs[t])
                 .map_err(|e| SocketError::Connect { to: t, source: e })?;
             stream
@@ -810,6 +814,8 @@ fn read_hello(stream: &mut TcpStream, deadline: Instant) -> Result<usize, Socket
                     detail: "peer closed during hello",
                 })
             }
+            // lint: allow(panic) — `byte` is a fixed `[u8; 1]`; index 0
+            // always exists.
             Ok(_) => buf.push(byte[0]),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {

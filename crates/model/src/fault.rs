@@ -114,7 +114,13 @@ pub fn open<M: Wire>(frame: &[u8]) -> Result<M, WireError> {
     if rd.has_remaining() {
         return Err(WireError::InvalidValue("trailing bytes inside frame"));
     }
-    let expect = u64::from_le_bytes(trailer.try_into().expect("trailer is 8 bytes"));
+    let expect = match <[u8; FRAME_CHECK_BYTES]>::try_from(trailer) {
+        Ok(bytes) => u64::from_le_bytes(bytes),
+        // Structurally impossible (`split_at` above yields exactly
+        // `FRAME_CHECK_BYTES`), but the decode path stays typed-error
+        // total even if that guard ever drifts.
+        Err(_) => return Err(WireError::UnexpectedEnd),
+    };
     if fnv64(payload) != expect {
         return Err(WireError::InvalidValue("frame checksum mismatch"));
     }
@@ -209,10 +215,14 @@ impl PacketBuffer {
     /// prefix of a packet; feed more and retry. Errors are permanent for
     /// the stream (see the type docs).
     pub fn try_next(&mut self) -> Result<Option<FramedPacket>, WireError> {
+        // lint: allow(panic) — `pos <= buf.len()` is a struct invariant
+        // (pos only advances by consumed bytes, compact() resets it).
         let avail = &self.buf[self.pos..];
         let mut header = [0u64; 4];
         let mut off = 0;
         for slot in &mut header {
+            // lint: allow(panic) — `off` is a sum of `used` returns, each
+            // bounded by the slice it was parsed from; `off <= avail.len()`.
             match try_read_uvarint(&avail[off..])? {
                 None => {
                     self.compact();
@@ -239,6 +249,8 @@ impl PacketBuffer {
             self.compact();
             return Ok(None);
         }
+        // lint: allow(panic) — guarded two lines up: `avail.len() >= off
+        // + frame_len` or we returned `Ok(None)`.
         let frame = Bytes::from(avail[off..off + frame_len].to_vec());
         self.pos += off + frame_len;
         if self.pos == self.buf.len() {
@@ -431,6 +443,8 @@ impl<'a> BatchReader<'a> {
     }
 
     fn read_varint(&mut self) -> Result<u64, WireError> {
+        // lint: allow(panic) — `pos` only advances by bytes the reader
+        // consumed or lengths checked against `buf.len()`; never past end.
         let mut rd = &self.buf[self.pos..];
         let before = rd.len();
         let v = crate::wire::read_uvarint(&mut rd)?;
@@ -479,6 +493,8 @@ impl<'a> BatchReader<'a> {
         }
         let from = self.read_varint()?;
         let to = self.read_varint()?;
+        // lint: allow(panic) — `cur_instance` was range-checked against
+        // `universes.len()` when its group header was parsed above.
         let n = self.universes[self.cur_instance] as u64;
         if from >= n || to >= n {
             return Err(WireError::InvalidValue(
@@ -494,6 +510,8 @@ impl<'a> BatchReader<'a> {
             return Err(WireError::UnexpectedEnd);
         }
         let offset = self.pos;
+        // lint: allow(panic) — guarded four lines up: `buf.len() - pos >=
+        // len` or we returned `UnexpectedEnd`.
         let frame = &self.buf[offset..offset + len];
         self.pos += len;
         self.entries_left -= 1;

@@ -51,6 +51,7 @@
 //! instance's trace stays byte-identical to its solo sharded run.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod adversary;
 pub mod algorithm;

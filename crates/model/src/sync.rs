@@ -120,18 +120,29 @@ impl ParkingBarrier {
 
     /// Returns `(is_leader, verdict)` for this generation.
     fn sync_round(&self, eval: impl FnOnce() -> bool) -> (bool, bool) {
+        // ordering: Acquire pairs with the leader's Release flip so a
+        // thread re-entering for the next generation reads a fresh `gen`.
         let gen = self.generation.load(Ordering::Acquire);
+        // ordering: AcqRel — the release half publishes this thread's
+        // pre-barrier writes into the RMW chain; the acquire half lets the
+        // last arriver see every earlier arrival's writes.
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             // Last thread: every earlier arrival's RMW on `arrived` is in
             // this RMW's release sequence, so their prior writes are
             // visible to `eval`.
             let verdict = eval();
+            // ordering: Relaxed — both stores are published by the
+            // Release flip of `generation` below; nobody reads them
+            // before observing the new generation.
             self.verdict.store(verdict, Ordering::Relaxed);
             self.arrived.store(0, Ordering::Relaxed);
             {
                 // Flip under the lock: a waiter only parks after checking
                 // the generation while holding it.
                 let _guard = self.lock.lock().expect("barrier mutex poisoned");
+                // ordering: Release — publishes `verdict`, the `arrived`
+                // reset and `eval`'s side effects to every waiter whose
+                // Acquire load sees the new generation.
                 self.generation
                     .store(gen.wrapping_add(1), Ordering::Release);
             }
@@ -140,6 +151,9 @@ impl ParkingBarrier {
         } else {
             let mut spins = self.spin_budget;
             while spins > 0 {
+                // ordering: Acquire pairs with the leader's Release flip;
+                // seeing the new generation makes `verdict` (Relaxed
+                // below) and all leader writes visible.
                 if self.generation.load(Ordering::Acquire) != gen {
                     return (false, self.verdict.load(Ordering::Relaxed));
                 }
@@ -147,10 +161,15 @@ impl ParkingBarrier {
                 std::hint::spin_loop();
             }
             let mut guard = self.lock.lock().expect("barrier mutex poisoned");
+            // ordering: Acquire — same pairing as the spin loop; the
+            // mutex alone would suffice for the parked path, but keeping
+            // the load uniform keeps the protocol one-shaped.
             while self.generation.load(Ordering::Acquire) == gen {
                 guard = self.cv.wait(guard).expect("barrier mutex poisoned");
             }
             drop(guard);
+            // ordering: Relaxed — ordered by the Acquire generation load
+            // above; the leader wrote `verdict` before its Release flip.
             (false, self.verdict.load(Ordering::Relaxed))
         }
     }
@@ -299,17 +318,28 @@ impl SpinBarrier {
     /// generation. Returns `true` on exactly one thread per generation (the
     /// "leader", i.e. the last arriver).
     pub fn wait(&self) -> bool {
+        // ordering: Acquire pairs with the leader's Release advance so a
+        // re-entering thread starts from the current generation.
         let gen = self.generation.load(Ordering::Acquire);
+        // ordering: AcqRel — release publishes this thread's pre-barrier
+        // writes; acquire gives the last arriver all earlier arrivals'.
         let arrived = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.total {
             // Last thread: reset the counter, then release the others by
             // advancing the generation.
+            // ordering: Relaxed reset is published by the Release store
+            // of `generation` right below.
             self.arrived.store(0, Ordering::Relaxed);
+            // ordering: Release — pairs with the waiters' Acquire loads;
+            // advancing the generation publishes the counter reset and
+            // every pre-barrier write in the RMW chain.
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
             true
         } else {
             let mut spins = 0u32;
+            // ordering: Acquire pairs with the leader's Release advance;
+            // exiting the loop makes all pre-barrier writes visible.
             while self.generation.load(Ordering::Acquire) == gen {
                 spins = spins.wrapping_add(1);
                 if spins.is_multiple_of(1024) {

@@ -259,11 +259,15 @@ impl WireSized for LabeledDigraph {
                     // the whole 64-column chunk.
                     let mut bits = w;
                     while bits != 0 {
+                        // lint: allow(panic) — adjacency bits index the
+                        // n-column row: `lo + tz < n == deltas.len()`.
                         let d = deltas[lo + bits.trailing_zeros() as usize];
                         bits &= bits - 1;
                         label_bytes += uvarint_len(u64::from(d));
                     }
                 } else {
+                    // lint: allow(panic) — `hi = min(lo + 64, n)` and the
+                    // label row is exactly `n` wide; `lo..hi` is in bounds.
                     for &d in &deltas[lo..hi] {
                         label_bytes +=
                             (d != 0) as usize * (1 + (d > 0x7f) as usize + (d > 0x3fff) as usize);

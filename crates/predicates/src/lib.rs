@@ -15,6 +15,7 @@
 //!   algorithm into exactly `k` decision values.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod common_source;
 pub mod families;

@@ -47,6 +47,7 @@
 //! | [`kset`] | Algorithm 1, estimator, baselines, verifier, lemma checkers |
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use sskel_graph as graph;
 pub use sskel_kset as kset;

@@ -1,0 +1,31 @@
+//! Tier-1 gate: `sskel-lint` must report zero findings on the live
+//! workspace. Equivalent to `cargo run -p sskel-lint` exiting 0, but
+//! wired into `cargo test` so the invariant travels with the ordinary
+//! test suite (CI runs it both ways).
+//!
+//! The rule catalog, zone map and escape-hatch grammar are documented in
+//! `docs/STATIC_ANALYSIS.md`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_invariant_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = sskel_lint::lint_workspace(root).expect("workspace walk failed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small walk: {} files — did the workspace layout move?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "sskel-lint findings (fix, or justify with `lint: allow(<rule>) — why`; \
+         see docs/STATIC_ANALYSIS.md):\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
