@@ -26,11 +26,12 @@ static SMOKE: AtomicBool = AtomicBool::new(false);
 use sskel_bench::{inputs, ring_skeleton, ring_with_chords, std_schedule, SEED};
 use sskel_graph::{Digraph, LabeledDigraph, ProcessId, ProcessSet, Round};
 use sskel_kset::{lemma11_bound, AgreementPool, DecisionRule, KSetAgreement, SkeletonEstimator};
+use sskel_model::engine::{resume_from_journal, run_lockstep_journaled};
 use sskel_model::{
     run_lockstep, run_lockstep_codec, run_multiplex_codec, run_sharded, run_sharded_codec,
     run_socket, run_threaded, ChurnAdversary, CorruptionOverlay, FixedSchedule, MultiplexPlan,
-    MuxInstance, NoFaults, RotatingRootAdversary, RunUntil, Schedule, ShardPlan, SocketPlan,
-    StableRootAdversary,
+    MuxInstance, NoFaults, RotatingRootAdversary, RunMeta, RunUntil, Schedule, ShardPlan,
+    SocketPlan, StableRootAdversary,
 };
 
 struct Record {
@@ -443,6 +444,48 @@ fn adversary_workloads(out: &mut Vec<Record>) {
     }));
 }
 
+/// The durable run store on the hot path: `journal/write` is a full
+/// journaled run (the codec run plus sealing every round's frames and the
+/// snapshot cuts into a `Vec` sink — the write-amplification of
+/// durability), `journal/replay` is `resume_from_journal` over a complete
+/// journal (pure restore-and-replay, no live rounds — the recovery-time
+/// metric).
+fn journal_workloads(out: &mut Vec<Record>) {
+    let n = 32usize;
+    let s = FixedSchedule::synchronous(n);
+    let ins = inputs(n);
+    let until = RunUntil::Rounds(12);
+    let meta = RunMeta {
+        seed: SEED,
+        rebase_limit: n as u64 + 2,
+    };
+    let spawn = || {
+        let mut algs = KSetAgreement::spawn_all(n, &ins);
+        for a in &mut algs {
+            a.set_rebase_limit(n as Round + 2);
+        }
+        algs
+    };
+    out.push(measure(&format!("journal/write/{n}"), || {
+        let mut journal = Vec::new();
+        run_lockstep_journaled(&s, spawn(), until, &NoFaults, &meta, &mut journal)
+            .expect("journaled run")
+            .0
+            .rounds_executed
+    }));
+
+    let mut journal = Vec::new();
+    run_lockstep_journaled(&s, spawn(), until, &NoFaults, &meta, &mut journal)
+        .expect("journaled run");
+    out.push(measure(&format!("journal/replay/{n}"), || {
+        let mut sink = Vec::new();
+        resume_from_journal::<_, KSetAgreement, _, _>(&s, &journal, until, &NoFaults, &mut sink)
+            .expect("resume")
+            .0
+            .rounds_executed
+    }));
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         SMOKE.store(true, Ordering::Relaxed);
@@ -455,6 +498,7 @@ fn main() {
     codec_workloads(&mut records);
     multiplex_workloads(&mut records);
     adversary_workloads(&mut records);
+    journal_workloads(&mut records);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"sskel-perf-v1\",");

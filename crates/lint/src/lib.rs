@@ -137,10 +137,19 @@ impl Default for Config {
                         "read_hello",
                     ]),
                 },
-                // Crash-recovery restore/replay paths.
+                // Crash-recovery restore/replay paths; the journal resume
+                // entry point parses on-disk bytes a crashed (or hostile)
+                // writer controls.
                 Zone {
                     file: "crates/model/src/engine/recovery.rs",
-                    fns: Some(&["recover"]),
+                    fns: Some(&["recover", "resume_from_journal"]),
+                },
+                // The durable run store: every decode path in it reads
+                // adversarial input (a journal file is whatever is on
+                // disk after a kill).
+                Zone {
+                    file: "crates/model/src/journal.rs",
+                    fns: None,
                 },
                 // Snapshot restore validates 11 malformed-input classes
                 // with typed errors; keep it that way.

@@ -45,7 +45,7 @@ pub mod threaded;
 
 pub use lockstep::{run_lockstep, run_lockstep_codec, run_lockstep_observed};
 pub use multiplex::{run_multiplex_codec, MultiplexPlan, MuxInstance};
-pub use recovery::run_lockstep_recovering;
+pub use recovery::{resume_from_journal, run_lockstep_journaled, run_lockstep_recovering};
 pub use sharded::{run_sharded, run_sharded_codec, ShardPlan};
 pub use socket::{
     run_socket, run_socket_codec, PacketEvent, PacketStream, SocketError, SocketPlan,

@@ -36,9 +36,13 @@ use crate::adversary::CrashRestartOverlay;
 use crate::algorithm::{Received, Recoverable};
 use crate::engine::RunUntil;
 use crate::fault::{CodecTransport, Delivery, FaultCause, FaultPlane, Transport};
+use crate::journal::{
+    scan, JournalHeader, JournalWriter, ResumeError, RoundRecord, RunMeta, SnapshotRecord,
+    ENGINE_LOCKSTEP_JOURNALED, JOURNAL_VERSION,
+};
 use crate::schedule::Schedule;
 use crate::trace::RunTrace;
-use crate::wire::{Wire, WireSized};
+use crate::wire::{Wire, WireError, WireSized};
 
 /// One process's durable store: the last snapshot and everything needed
 /// to catch back up from it.
@@ -306,6 +310,314 @@ where
     alg
 }
 
+/// [`super::run_lockstep_codec`] with a durable on-disk journal: before
+/// round 1 the header and an initial snapshot (cut 0) are appended to
+/// `sink`, every round appends its `n` sealed broadcast frames, and every
+/// round where all algorithms report [`Recoverable::snapshot_due`]
+/// appends a fresh snapshot — each record flushed before the run
+/// proceeds, so a process killed at any byte leaves a resumable prefix
+/// (see [`resume_from_journal`]).
+///
+/// The trace is byte-identical to [`super::run_lockstep_codec`] over the
+/// same schedule, plane and stop condition: journaling is pure
+/// observation.
+///
+/// # Errors
+/// Returns the first `sink` write/flush failure.
+///
+/// # Panics
+/// Panics if `algs.len() != schedule.n()`.
+pub fn run_lockstep_journaled<S, A, P, W>(
+    schedule: &S,
+    mut algs: Vec<A>,
+    until: RunUntil,
+    plane: &P,
+    meta: &RunMeta,
+    sink: W,
+) -> std::io::Result<(RunTrace, Vec<A>)>
+where
+    S: Schedule + ?Sized,
+    A: Recoverable,
+    A::Msg: Wire,
+    P: FaultPlane,
+    W: std::io::Write,
+{
+    let n = schedule.n();
+    assert_eq!(
+        algs.len(),
+        n,
+        "need exactly one algorithm instance per process"
+    );
+    let header = JournalHeader {
+        version: JOURNAL_VERSION,
+        n,
+        seed: meta.seed,
+        engine: ENGINE_LOCKSTEP_JOURNALED,
+        rebase_limit: meta.rebase_limit,
+    };
+    let mut writer = JournalWriter::create(sink, &header)?;
+    let mut trace = RunTrace::new(n);
+    writer.append_snapshot(&SnapshotRecord {
+        round: 0,
+        decisions: trace.decisions.clone(),
+        anomalies: trace.anomalies.clone(),
+        snaps: algs.iter().map(Recoverable::snapshot).collect(),
+    })?;
+    let transport = CodecTransport::new(plane);
+    run_journaled_rounds(
+        schedule,
+        &mut algs,
+        until,
+        &transport,
+        &mut writer,
+        &mut trace,
+        FIRST_ROUND,
+    )?;
+    trace.faults.finalize();
+    Ok((trace, algs))
+}
+
+/// The live round loop shared by [`run_lockstep_journaled`] (from
+/// round 1) and [`resume_from_journal`] (from the first unjournaled
+/// round).
+/// Mirrors the accounting of the plain lockstep engine body exactly, with
+/// one addition: right after packing, the round's frames are appended to
+/// the journal (a durability point — the round is replayable from then
+/// on), and a snapshot record follows any round where every algorithm
+/// reports `snapshot_due`.
+fn run_journaled_rounds<S, A, T, W>(
+    schedule: &S,
+    algs: &mut [A],
+    until: RunUntil,
+    transport: &T,
+    writer: &mut JournalWriter<W>,
+    trace: &mut RunTrace,
+    start: Round,
+) -> std::io::Result<()>
+where
+    S: Schedule + ?Sized,
+    A: Recoverable,
+    A::Msg: WireSized,
+    T: Transport<A::Msg, Frame = Bytes>,
+    W: std::io::Write,
+{
+    let n = algs.len();
+    let mut g = Digraph::empty(n);
+    let mut msgs: Vec<Arc<A::Msg>> = Vec::with_capacity(n);
+    let mut frames: Vec<Bytes> = Vec::with_capacity(n);
+    let mut rcv: Received<A::Msg> = Received::new(n);
+    let mut receivers: Vec<u64> = vec![0; n];
+
+    let mut r: Round = start;
+    loop {
+        schedule.graph_into(r, &mut g);
+        debug_assert_eq!(g.n(), n, "schedule emitted graph over wrong universe");
+
+        msgs.clear();
+        msgs.extend(algs.iter().map(|a| Arc::new(a.send(r))));
+        frames.clear();
+        frames.extend(msgs.iter().map(|m| transport.pack(m)));
+        writer.append_round(&RoundRecord {
+            round: r,
+            frames: frames.clone(),
+        })?;
+
+        for (p, deg) in receivers.iter_mut().enumerate() {
+            let me = ProcessId::from_usize(p);
+            *deg = transport.delivered_count(r, me, g.out_neighbors(me));
+        }
+        for (m, &recv_count) in msgs.iter().zip(&receivers) {
+            let sz = m.wire_bytes() as u64;
+            trace.msg_stats.broadcasts += 1;
+            trace.msg_stats.broadcast_bytes += sz;
+            trace.msg_stats.deliveries += recv_count;
+            trace.msg_stats.delivered_bytes += sz * recv_count;
+        }
+
+        for (p, alg) in algs.iter_mut().enumerate() {
+            let me = ProcessId::from_usize(p);
+            rcv.clear();
+            for q in g.in_neighbors(me).iter() {
+                match transport.unpack(r, q, me, frames[q.index()].clone()) {
+                    Delivery::Deliver(m) => rcv.insert(q, m),
+                    Delivery::Dropped => trace.faults.record(r, q, me, FaultCause::Dropped),
+                    Delivery::Quarantined(e) => {
+                        trace.faults.record(r, q, me, FaultCause::Quarantined(e));
+                    }
+                }
+            }
+            alg.receive(r, &rcv);
+        }
+        rcv.clear();
+
+        for (p, alg) in algs.iter().enumerate() {
+            if let Some(v) = alg.decision() {
+                trace.record_decision(ProcessId::from_usize(p), r, v);
+            }
+        }
+
+        trace.rounds_executed = r;
+        if algs.iter().all(|a| a.snapshot_due(r)) {
+            writer.append_snapshot(&SnapshotRecord {
+                round: r,
+                decisions: trace.decisions.clone(),
+                anomalies: trace.anomalies.clone(),
+                snaps: algs.iter().map(Recoverable::snapshot).collect(),
+            })?;
+        }
+
+        if until.should_stop(r, trace.all_decided()) {
+            return Ok(());
+        }
+        r += 1;
+    }
+}
+
+/// Restarts a [`run_lockstep_journaled`] run from the bytes its killed
+/// predecessor left behind: restores every process from the last durable
+/// snapshot, **replays** the journaled rounds — recomputing message
+/// statistics and the fault ledger by re-running the delivery loop
+/// through `plane` (the plane is pure, so the outcomes are the original
+/// run's) — and continues live from the first unjournaled round,
+/// appending continuation records to `sink` (which must be positioned at
+/// the end of the journal's durable prefix). The resulting trace and
+/// final states are byte-identical to the uninterrupted run.
+///
+/// # Errors
+/// [`ResumeError::Wire`] on undecodable or inconsistent journal bytes —
+/// including a schedule whose universe does not match the header, a
+/// journal written by a different engine, or one killed before its first
+/// snapshot became durable. [`ResumeError::Io`] if appending
+/// continuation records to `sink` fails. Never panics on any journal
+/// bytes: this function is a `sskel-lint` never-panic zone.
+pub fn resume_from_journal<S, A, P, W>(
+    schedule: &S,
+    bytes: &[u8],
+    until: RunUntil,
+    plane: &P,
+    sink: W,
+) -> Result<(RunTrace, Vec<A>), ResumeError>
+where
+    S: Schedule + ?Sized,
+    A: Recoverable,
+    A::Msg: Wire,
+    P: FaultPlane,
+    W: std::io::Write,
+{
+    let scanned = scan(bytes)?;
+    if scanned.header.engine != ENGINE_LOCKSTEP_JOURNALED {
+        return Err(WireError::InvalidValue("journal written by a different engine").into());
+    }
+    let n = schedule.n();
+    if scanned.header.n != n {
+        return Err(WireError::InvalidValue("journal universe does not match schedule").into());
+    }
+    let last = scanned
+        .snapshots
+        .last()
+        .ok_or(WireError::InvalidValue("journal holds no durable snapshot"))?;
+    let cut = last.round;
+    let mut algs: Vec<A> = last
+        .snaps
+        .iter()
+        .map(|s| A::restore(s.as_slice()))
+        .collect::<Result<_, WireError>>()?;
+    let mut trace = RunTrace::new(n);
+    trace.decisions.clear();
+    trace.decisions.extend(last.decisions.iter().copied());
+    trace.anomalies.extend(last.anomalies.iter().cloned());
+
+    // Replay every journaled round through the fault plane. Rounds at or
+    // before the cut only rebuild the accounting (the snapshot already
+    // holds the algorithms' state); rounds after it also re-feed the
+    // algorithms and re-poll decisions.
+    let transport = CodecTransport::new(plane);
+    let mut g = Digraph::empty(n);
+    let mut rcv: Received<A::Msg> = Received::new(n);
+    let mut stopped = false;
+    for rec in &scanned.rounds {
+        let r = rec.round;
+        schedule.graph_into(r, &mut g);
+        for (p, frame) in rec.frames.iter().enumerate() {
+            // Senders must re-decode their own frame for the byte
+            // accounting; this also rejects adversarial journals whose
+            // frames don't hold a valid message.
+            let m: A::Msg = crate::fault::open(frame.as_slice())?;
+            let me = ProcessId::from_usize(p);
+            let sz = m.wire_bytes() as u64;
+            let cnt = <CodecTransport<&P> as Transport<A::Msg>>::delivered_count(
+                &transport,
+                r,
+                me,
+                g.out_neighbors(me),
+            );
+            trace.msg_stats.broadcasts += 1;
+            trace.msg_stats.broadcast_bytes += sz;
+            trace.msg_stats.deliveries += cnt;
+            trace.msg_stats.delivered_bytes += sz * cnt;
+        }
+        for (p, alg) in algs.iter_mut().enumerate() {
+            let me = ProcessId::from_usize(p);
+            rcv.clear();
+            for q in g.in_neighbors(me).iter() {
+                let frame = rec
+                    .frames
+                    .get(q.index())
+                    .ok_or(WireError::InvalidValue("round record universe mismatch"))?;
+                match transport.unpack(r, q, me, frame.clone()) {
+                    Delivery::Deliver(m) => {
+                        if r > cut {
+                            rcv.insert(q, m);
+                        }
+                    }
+                    Delivery::Dropped => trace.faults.record(r, q, me, FaultCause::Dropped),
+                    Delivery::Quarantined(e) => {
+                        trace.faults.record(r, q, me, FaultCause::Quarantined(e));
+                    }
+                }
+            }
+            if r > cut {
+                alg.receive(r, &rcv);
+            }
+        }
+        rcv.clear();
+        if r > cut {
+            for (p, alg) in algs.iter().enumerate() {
+                if let Some(v) = alg.decision() {
+                    trace.record_decision(ProcessId::from_usize(p), r, v);
+                }
+            }
+        }
+        trace.rounds_executed = r;
+        // Sound for replay: had the original run stopped at a round ≤ cut,
+        // the journal would end there — so replaying its verdict can only
+        // reproduce the original stop, never invent an earlier one.
+        if until.should_stop(r, trace.all_decided()) {
+            stopped = true;
+            break;
+        }
+    }
+
+    if !stopped {
+        let next = scanned
+            .rounds
+            .last()
+            .map_or(FIRST_ROUND, |rec| rec.round + 1);
+        let mut writer = JournalWriter::resume(sink);
+        run_journaled_rounds(
+            schedule,
+            &mut algs,
+            until,
+            &transport,
+            &mut writer,
+            &mut trace,
+            next,
+        )?;
+    }
+    trace.faults.finalize();
+    Ok((trace, algs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,11 +709,9 @@ mod tests {
     }
 
     fn assert_traces_identical(a: &RunTrace, b: &RunTrace) {
-        assert_eq!(a.decisions, b.decisions);
-        assert_eq!(a.msg_stats, b.msg_stats);
-        assert_eq!(a.rounds_executed, b.rounds_executed);
-        assert_eq!(a.faults, b.faults);
-        assert_eq!(a.anomalies, b.anomalies);
+        if let Some(d) = crate::journal::diff_run_traces(a, b) {
+            panic!("traces diverge — {d}");
+        }
     }
 
     #[test]
@@ -442,6 +752,153 @@ mod tests {
         assert_traces_identical(&t1, &t2);
         assert_eq!(a1, a2);
         assert!(!t2.faults.is_empty(), "rate 0.3 never fired");
+    }
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            seed: 0xabcd,
+            rebase_limit: 3,
+        }
+    }
+
+    #[test]
+    fn journaled_run_is_pure_observation() {
+        let n = 5;
+        let s = FixedSchedule::synchronous(n);
+        for until in [RunUntil::Rounds(9), RunUntil::AllDecided { max_rounds: 9 }] {
+            let (t1, a1) = run_lockstep_codec(&s, spawn(n, 3), until, &NoFaults);
+            let mut journal = Vec::new();
+            let (t2, a2) =
+                run_lockstep_journaled(&s, spawn(n, 3), until, &NoFaults, &meta(), &mut journal)
+                    .unwrap();
+            assert_traces_identical(&t1, &t2);
+            assert_eq!(a1, a2);
+            let scanned = scan(&journal).unwrap();
+            assert!(!scanned.truncated);
+            assert_eq!(scanned.header.seed, 0xabcd);
+            assert_eq!(scanned.rounds.len() as Round, t1.rounds_executed);
+            // RecMinFlood snapshots every third round, plus the initial cut
+            assert_eq!(
+                scanned
+                    .snapshots
+                    .iter()
+                    .map(|s| s.round)
+                    .collect::<Vec<_>>(),
+                (0..=t1.rounds_executed).step_by(3).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn resume_after_kill_at_any_record_boundary_is_byte_identical() {
+        let n = 5;
+        let s = FixedSchedule::synchronous(n);
+        let plane = CorruptionOverlay::new(77, 0.25).quiet_after(6);
+        let until = RunUntil::Rounds(10);
+        let (oracle_t, oracle_a) = run_lockstep_codec(&s, spawn(n, 3), until, &plane);
+        let mut journal = Vec::new();
+        let _ =
+            run_lockstep_journaled(&s, spawn(n, 3), until, &plane, &meta(), &mut journal).unwrap();
+        let full = scan(&journal).unwrap();
+        let first_snapshot_end = full.record_ends[1]; // header, then cut 0
+        for &cut in &full.record_ends {
+            let mut store = journal[..cut].to_vec();
+            let prefix = store.clone();
+            let res =
+                resume_from_journal::<_, RecMinFlood, _, _>(&s, &prefix, until, &plane, &mut store);
+            if cut < first_snapshot_end {
+                assert!(
+                    matches!(res, Err(ResumeError::Wire(_))),
+                    "no durable snapshot at {cut}"
+                );
+                continue;
+            }
+            let (t, a) = res.unwrap();
+            assert_traces_identical(&oracle_t, &t);
+            assert_eq!(oracle_a, a, "kill at byte {cut}");
+            // the continuation journal is itself complete and scans clean
+            let rescanned = scan(&store).unwrap();
+            assert!(!rescanned.truncated);
+            assert_eq!(rescanned.rounds.len() as Round, oracle_t.rounds_executed);
+        }
+        assert!(!oracle_t.faults.is_empty(), "rate 0.25 never fired");
+    }
+
+    #[test]
+    fn resume_of_a_complete_journal_adds_no_rounds() {
+        let n = 4;
+        let s = FixedSchedule::synchronous(n);
+        let until = RunUntil::AllDecided { max_rounds: 20 };
+        let mut journal = Vec::new();
+        let (t1, a1) =
+            run_lockstep_journaled(&s, spawn(n, 2), until, &NoFaults, &meta(), &mut journal)
+                .unwrap();
+        let before = journal.len();
+        let prefix = journal.clone();
+        let (t2, a2) = resume_from_journal::<_, RecMinFlood, _, _>(
+            &s,
+            &prefix,
+            until,
+            &NoFaults,
+            &mut journal,
+        )
+        .unwrap();
+        assert_traces_identical(&t1, &t2);
+        assert_eq!(a1, a2);
+        assert_eq!(journal.len(), before, "pure replay appends nothing");
+    }
+
+    #[test]
+    fn chained_kills_compose() {
+        // kill → resume → kill the resumed run → resume again
+        let n = 6;
+        let s = FixedSchedule::synchronous(n);
+        let plane = CorruptionOverlay::new(5, 0.2).quiet_after(7);
+        let until = RunUntil::Rounds(12);
+        let (oracle_t, oracle_a) = run_lockstep_codec(&s, spawn(n, 3), until, &plane);
+        let mut journal = Vec::new();
+        let _ =
+            run_lockstep_journaled(&s, spawn(n, 3), until, &plane, &meta(), &mut journal).unwrap();
+        let full = scan(&journal).unwrap();
+        // first kill: mid-run, torn mid-record — the restarting process
+        // truncates its store to the durable prefix before continuing
+        let first = full.record_ends[4] + 3;
+        let prefix = journal[..first].to_vec();
+        let mut store = prefix[..scan(&prefix).unwrap().durable_len].to_vec();
+        let _ = resume_from_journal::<_, RecMinFlood, _, _>(&s, &prefix, until, &plane, &mut store)
+            .unwrap();
+        // second kill: strip the freshly appended tail mid-record again
+        let store2_scan = scan(&store).unwrap();
+        let second = *store2_scan.record_ends.last().unwrap() - 5;
+        let prefix2 = store[..second].to_vec();
+        let mut store2 = prefix2[..scan(&prefix2).unwrap().durable_len].to_vec();
+        let (t, a) =
+            resume_from_journal::<_, RecMinFlood, _, _>(&s, &prefix2, until, &plane, &mut store2)
+                .unwrap();
+        assert_traces_identical(&oracle_t, &t);
+        assert_eq!(oracle_a, a);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configurations() {
+        let s = FixedSchedule::synchronous(3);
+        let until = RunUntil::Rounds(4);
+        let mut journal = Vec::new();
+        let _ = run_lockstep_journaled(&s, spawn(3, 2), until, &NoFaults, &meta(), &mut journal)
+            .unwrap();
+        // universe mismatch vs the resuming schedule
+        let wrong = FixedSchedule::synchronous(4);
+        let res = resume_from_journal::<_, RecMinFlood, _, _>(
+            &wrong,
+            &journal,
+            until,
+            &NoFaults,
+            Vec::new(),
+        );
+        assert!(
+            matches!(res, Err(ResumeError::Wire(WireError::InvalidValue(m))) if m.contains("universe")),
+            "schedule mismatch must be typed"
+        );
     }
 
     #[test]

@@ -1,0 +1,1143 @@
+//! Durable run store: append-only on-disk journals, resume-after-restart,
+//! and first-divergence trace diffing.
+//!
+//! A journal is the byte stream a [`crate::engine::run_lockstep_journaled`]
+//! run appends as it executes, flushed record by record, so that a process
+//! killed at *any* byte leaves a usable prefix behind. The format reuses
+//! the two codec layers everything else in this workspace already trusts:
+//! each record body is a [`crate::wire::Wire`] encoding wrapped in the
+//! [`crate::fault::seal`] checksummed-frame envelope, and the record
+//! stream itself is framed with canonical uvarints.
+//!
+//! ```text
+//! journal   := record*
+//! record    := tag:uvarint  len:uvarint  body:[len bytes]
+//! body      := seal(wire-encoding)          (payload ++ fnv64 trailer)
+//! tag 1     := JournalHeader                (exactly once, first)
+//! tag 2     := SnapshotRecord               (cut 0 first, then at each
+//!                                            snapshot_due round)
+//! tag 3     := RoundRecord                  (rounds 1, 2, … contiguous)
+//! ```
+//!
+//! [`scan`] is the single reader. Its error taxonomy mirrors the socket
+//! stream parser: a record whose tag, length, or body extends past the end
+//! of the file is a **truncated tail** — the torn final write of a killed
+//! process — and scanning stops cleanly at the last durable record
+//! ([`JournalScan::truncated`]). Anything wrong *inside* the durable
+//! prefix (checksum mismatch, non-canonical varint, out-of-sequence
+//! round, universe mismatch) is corruption and surfaces as a typed
+//! [`WireError`] — never a panic; this module is a `sskel-lint`
+//! never-panic zone.
+//!
+//! Round records store the n **sealed broadcast frames** of the round —
+//! not deliveries, not stats. Deliveries, message statistics and the
+//! fault ledger are *recomputed* during replay by re-running the delivery
+//! loop through the same fault plane: the plane is a pure function of
+//! `(seed, round, from, to)`, so replaying the recorded frames yields the
+//! exact deliveries, quarantines and byte counts of the original run.
+//! This keeps typed errors like [`WireError::InvalidValue`] (which holds
+//! a `&'static str` and cannot round-trip through a file) out of the
+//! format entirely.
+//!
+//! The diffing half ([`diff_run_traces`], [`diff_journals`]) answers the
+//! question every byte-identity suite used to answer with a bare
+//! `assert_eq!`: *where first?* A [`Divergence`] names the first divergent
+//! `round · process · component` with both values.
+
+use bytes::{Buf, BufMut, Bytes};
+use sskel_graph::{ProcessId, Round};
+use std::io::{self, Write};
+
+use crate::fault::{open, seal};
+use crate::trace::{DecisionRecord, RunTrace};
+use crate::wire::{
+    read_uvarint, try_read_uvarint, uvarint_len, write_uvarint, Wire, WireError, WireSized,
+};
+
+/// Journal format version written into every header; [`scan`] rejects any
+/// other value with a typed error so a stale reader never misparses a
+/// newer layout.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Engine identifier of [`crate::engine::run_lockstep_journaled`] in
+/// [`JournalHeader::engine`].
+pub const ENGINE_LOCKSTEP_JOURNALED: u64 = 1;
+
+const TAG_HEADER: u64 = 1;
+const TAG_SNAPSHOT: u64 = 2;
+const TAG_ROUND: u64 = 3;
+
+/// Largest universe size a header may claim. Far above anything the
+/// engines run, and small enough that a corrupt header cannot coerce the
+/// reader into absurd allocations.
+const MAX_UNIVERSE: u64 = 65_535;
+
+/// Run provenance recorded in the journal header: what a resuming process
+/// needs to reconstruct the *configuration* of the run (the schedule and
+/// algorithms themselves are code, not data).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Seed of the schedule / fault plane, recorded for provenance and
+    /// surfaced by the diff tool.
+    pub seed: u64,
+    /// The algorithms' rebase limit (drives `snapshot_due` cut points).
+    pub rebase_limit: u64,
+}
+
+/// First record of every journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Format version; must equal [`JOURNAL_VERSION`].
+    pub version: u64,
+    /// Universe size of the run. Every snapshot and round record in the
+    /// journal must carry exactly `n` entries.
+    pub n: usize,
+    /// See [`RunMeta::seed`].
+    pub seed: u64,
+    /// Which engine wrote the journal (e.g.
+    /// [`ENGINE_LOCKSTEP_JOURNALED`]).
+    pub engine: u64,
+    /// See [`RunMeta::rebase_limit`].
+    pub rebase_limit: u64,
+}
+
+impl WireSized for JournalHeader {
+    fn wire_bytes(&self) -> usize {
+        uvarint_len(self.version)
+            + uvarint_len(self.n as u64)
+            + uvarint_len(self.seed)
+            + uvarint_len(self.engine)
+            + uvarint_len(self.rebase_limit)
+    }
+}
+
+impl Wire for JournalHeader {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        write_uvarint(buf, self.version);
+        write_uvarint(buf, self.n as u64);
+        write_uvarint(buf, self.seed);
+        write_uvarint(buf, self.engine);
+        write_uvarint(buf, self.rebase_limit);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let version = read_uvarint(buf)?;
+        let n_raw = read_uvarint(buf)?;
+        if n_raw == 0 || n_raw > MAX_UNIVERSE {
+            return Err(WireError::InvalidValue(
+                "journal universe size out of range",
+            ));
+        }
+        Ok(JournalHeader {
+            version,
+            n: n_raw as usize,
+            seed: read_uvarint(buf)?,
+            engine: read_uvarint(buf)?,
+            rebase_limit: read_uvarint(buf)?,
+        })
+    }
+}
+
+/// Durable state at one cut: everything a restarted process needs
+/// *besides* the replayable round records. `round == 0` is the initial
+/// snapshot taken before round 1; later cuts land wherever the
+/// algorithms' `snapshot_due` says.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotRecord {
+    /// The cut: state is as of the end of this round (0 = initial state).
+    pub round: Round,
+    /// Per-process decisions as of the cut (index = process index).
+    pub decisions: Vec<Option<DecisionRecord>>,
+    /// Trace anomalies accumulated up to the cut.
+    pub anomalies: Vec<String>,
+    /// Per-process algorithm snapshots
+    /// ([`crate::algorithm::Recoverable::snapshot`] bytes).
+    pub snaps: Vec<Bytes>,
+}
+
+impl WireSized for SnapshotRecord {
+    fn wire_bytes(&self) -> usize {
+        let mut sz = uvarint_len(u64::from(self.round)) + uvarint_len(self.decisions.len() as u64);
+        for d in &self.decisions {
+            sz += match d {
+                None => 1,
+                Some(rec) => 1 + uvarint_len(rec.value) + uvarint_len(u64::from(rec.round)),
+            };
+        }
+        sz += uvarint_len(self.anomalies.len() as u64);
+        for a in &self.anomalies {
+            sz += uvarint_len(a.len() as u64) + a.len();
+        }
+        sz += uvarint_len(self.snaps.len() as u64);
+        for s in &self.snaps {
+            sz += uvarint_len(s.len() as u64) + s.len();
+        }
+        sz
+    }
+}
+
+impl Wire for SnapshotRecord {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        write_uvarint(buf, u64::from(self.round));
+        write_uvarint(buf, self.decisions.len() as u64);
+        for d in &self.decisions {
+            match d {
+                None => write_uvarint(buf, 0),
+                Some(rec) => {
+                    write_uvarint(buf, 1);
+                    write_uvarint(buf, rec.value);
+                    write_uvarint(buf, u64::from(rec.round));
+                }
+            }
+        }
+        write_uvarint(buf, self.anomalies.len() as u64);
+        for a in &self.anomalies {
+            write_uvarint(buf, a.len() as u64);
+            for &b in a.as_bytes() {
+                buf.put_u8(b);
+            }
+        }
+        write_uvarint(buf, self.snaps.len() as u64);
+        for s in &self.snaps {
+            write_uvarint(buf, s.len() as u64);
+            for &b in s.as_slice() {
+                buf.put_u8(b);
+            }
+        }
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let round = read_round(buf)?;
+        let n_dec = read_count(buf)?;
+        let mut decisions = Vec::with_capacity(n_dec);
+        for _ in 0..n_dec {
+            decisions.push(match read_uvarint(buf)? {
+                0 => None,
+                1 => Some(DecisionRecord {
+                    value: read_uvarint(buf)?,
+                    round: read_round(buf)?,
+                }),
+                _ => return Err(WireError::InvalidValue("invalid decision flag")),
+            });
+        }
+        let n_anom = read_count(buf)?;
+        let mut anomalies = Vec::with_capacity(n_anom);
+        for _ in 0..n_anom {
+            let raw = read_blob_vec(buf)?;
+            anomalies.push(
+                String::from_utf8(raw)
+                    .map_err(|_| WireError::InvalidValue("anomaly is not UTF-8"))?,
+            );
+        }
+        let n_snaps = read_count(buf)?;
+        let mut snaps = Vec::with_capacity(n_snaps);
+        for _ in 0..n_snaps {
+            snaps.push(Bytes::from(read_blob_vec(buf)?));
+        }
+        Ok(SnapshotRecord {
+            round,
+            decisions,
+            anomalies,
+            snaps,
+        })
+    }
+}
+
+/// One executed round: the `n` **sealed broadcast frames**, one per
+/// sender, exactly as [`crate::fault::Transport::pack`] produced them
+/// (pre-tamper — corruption overlays mangle at the receiver, so the
+/// sender-side frames are the clean common input of every delivery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// The round these frames were broadcast in.
+    pub round: Round,
+    /// Sealed frame of each sender (index = process index).
+    pub frames: Vec<Bytes>,
+}
+
+impl WireSized for RoundRecord {
+    fn wire_bytes(&self) -> usize {
+        let mut sz = uvarint_len(u64::from(self.round)) + uvarint_len(self.frames.len() as u64);
+        for f in &self.frames {
+            sz += uvarint_len(f.len() as u64) + f.len();
+        }
+        sz
+    }
+}
+
+impl Wire for RoundRecord {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        write_uvarint(buf, u64::from(self.round));
+        write_uvarint(buf, self.frames.len() as u64);
+        for f in &self.frames {
+            write_uvarint(buf, f.len() as u64);
+            for &b in f.as_slice() {
+                buf.put_u8(b);
+            }
+        }
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let round = read_round(buf)?;
+        let n_frames = read_count(buf)?;
+        let mut frames = Vec::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            frames.push(Bytes::from(read_blob_vec(buf)?));
+        }
+        Ok(RoundRecord { round, frames })
+    }
+}
+
+/// Reads a round number, rejecting values outside `u32`.
+fn read_round<B: Buf>(buf: &mut B) -> Result<Round, WireError> {
+    Round::try_from(read_uvarint(buf)?).map_err(|_| WireError::InvalidValue("round overflows u32"))
+}
+
+/// Reads a collection count, bounding it by the bytes actually present
+/// (every element occupies at least one byte) so a corrupt count can
+/// never coerce an absurd allocation.
+fn read_count<B: Buf>(buf: &mut B) -> Result<usize, WireError> {
+    let raw = read_uvarint(buf)?;
+    if raw > buf.remaining() as u64 {
+        return Err(WireError::InvalidValue("collection length exceeds input"));
+    }
+    Ok(raw as usize)
+}
+
+/// Reads a length-prefixed byte string.
+fn read_blob_vec<B: Buf>(buf: &mut B) -> Result<Vec<u8>, WireError> {
+    let len = read_count(buf)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        out.push(buf.get_u8());
+    }
+    Ok(out)
+}
+
+/// Appends records to a journal sink, flushing after every record — each
+/// completed [`JournalWriter::append_snapshot`] / `append_round` is a
+/// durability point: a kill after the flush can always resume from it.
+pub struct JournalWriter<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Starts a fresh journal: writes (and flushes) the header record.
+    pub fn create(sink: W, header: &JournalHeader) -> io::Result<Self> {
+        let mut w = JournalWriter { sink };
+        w.append_record(TAG_HEADER, &seal(header))?;
+        Ok(w)
+    }
+
+    /// Continues an existing journal (the sink must be positioned at the
+    /// end of the durable prefix — e.g. a file opened in append mode, or
+    /// a `Vec` already holding [`JournalScan::durable_len`] bytes).
+    pub fn resume(sink: W) -> Self {
+        JournalWriter { sink }
+    }
+
+    /// Appends one snapshot record and flushes.
+    pub fn append_snapshot(&mut self, rec: &SnapshotRecord) -> io::Result<()> {
+        self.append_record(TAG_SNAPSHOT, &seal(rec))
+    }
+
+    /// Appends one round record and flushes.
+    pub fn append_round(&mut self, rec: &RoundRecord) -> io::Result<()> {
+        self.append_record(TAG_ROUND, &seal(rec))
+    }
+
+    /// Returns the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+
+    fn append_record(&mut self, tag: u64, body: &Bytes) -> io::Result<()> {
+        let mut head: Vec<u8> = Vec::with_capacity(uvarint_len(tag) + 10);
+        write_uvarint(&mut head, tag);
+        write_uvarint(&mut head, body.len() as u64);
+        self.sink.write_all(&head)?;
+        self.sink.write_all(body.as_slice())?;
+        self.sink.flush()
+    }
+}
+
+/// Everything [`scan`] recovers from a journal's bytes.
+#[derive(Clone, Debug)]
+pub struct JournalScan {
+    /// The (validated) header.
+    pub header: JournalHeader,
+    /// Snapshot records in cut order; the first has `round == 0`.
+    pub snapshots: Vec<SnapshotRecord>,
+    /// Round records, contiguous from round 1 (`rounds[i].round == i+1`).
+    pub rounds: Vec<RoundRecord>,
+    /// Byte length of the durable prefix: everything up to the end of the
+    /// last complete record. Equal to the input length iff `!truncated`.
+    pub durable_len: usize,
+    /// `true` iff the input ended inside a record (the torn final write
+    /// of a killed process) — the tail past `durable_len` was ignored.
+    pub truncated: bool,
+    /// End offset of each complete record, in order (the first entry is
+    /// the header's end). Lets tests kill a run at every durability
+    /// boundary without re-parsing.
+    pub record_ends: Vec<usize>,
+}
+
+/// Parses a journal byte stream into its durable records.
+///
+/// Truncation — a final tag, length, or body extending past the end of
+/// the input — is **not** an error: it is exactly the state a process
+/// killed mid-append leaves behind, and the scan stops cleanly at the
+/// last durable record with [`JournalScan::truncated`] set. Everything
+/// else (missing or duplicated header, version mismatch, checksum
+/// failure, out-of-sequence rounds, universe mismatches, unknown tags)
+/// is a typed [`WireError`]; this function never panics on any input.
+pub fn scan(bytes: &[u8]) -> Result<JournalScan, WireError> {
+    let mut pos = 0usize;
+    let mut header: Option<JournalHeader> = None;
+    let mut snapshots: Vec<SnapshotRecord> = Vec::new();
+    let mut rounds: Vec<RoundRecord> = Vec::new();
+    let mut record_ends: Vec<usize> = Vec::new();
+    let mut truncated = false;
+
+    while pos < bytes.len() {
+        let rest = match bytes.get(pos..) {
+            Some(r) => r,
+            None => break,
+        };
+        let (tag, tag_len) = match try_read_uvarint(rest)? {
+            Some(t) => t,
+            None => {
+                truncated = true;
+                break;
+            }
+        };
+        let after_tag = match rest.get(tag_len..) {
+            Some(r) => r,
+            None => {
+                truncated = true;
+                break;
+            }
+        };
+        let (len, len_len) = match try_read_uvarint(after_tag)? {
+            Some(t) => t,
+            None => {
+                truncated = true;
+                break;
+            }
+        };
+        let body_end = match usize::try_from(len)
+            .ok()
+            .and_then(|l| len_len.checked_add(l))
+        {
+            Some(e) => e,
+            None => {
+                // A length this large can never be satisfied: treat it as
+                // the torn tail it must be (the body certainly isn't here).
+                truncated = true;
+                break;
+            }
+        };
+        let body = match after_tag.get(len_len..body_end) {
+            Some(b) => b,
+            None => {
+                truncated = true;
+                break;
+            }
+        };
+        match tag {
+            TAG_HEADER => {
+                if header.is_some() {
+                    return Err(WireError::InvalidValue("duplicate journal header"));
+                }
+                let h: JournalHeader = open(body)?;
+                if h.version != JOURNAL_VERSION {
+                    return Err(WireError::InvalidValue(
+                        "unsupported journal format version",
+                    ));
+                }
+                header = Some(h);
+            }
+            TAG_SNAPSHOT => {
+                let h = header
+                    .as_ref()
+                    .ok_or(WireError::InvalidValue("journal record before header"))?;
+                let s: SnapshotRecord = open(body)?;
+                if u64::from(s.round) != rounds.len() as u64 {
+                    return Err(WireError::InvalidValue("snapshot cut out of sequence"));
+                }
+                if s.decisions.len() != h.n || s.snaps.len() != h.n {
+                    return Err(WireError::InvalidValue("snapshot universe mismatch"));
+                }
+                snapshots.push(s);
+            }
+            TAG_ROUND => {
+                let h = header
+                    .as_ref()
+                    .ok_or(WireError::InvalidValue("journal record before header"))?;
+                let r: RoundRecord = open(body)?;
+                if u64::from(r.round) != rounds.len() as u64 + 1 {
+                    return Err(WireError::InvalidValue("round record out of sequence"));
+                }
+                if r.frames.len() != h.n {
+                    return Err(WireError::InvalidValue("round record universe mismatch"));
+                }
+                rounds.push(r);
+            }
+            _ => return Err(WireError::InvalidValue("unknown journal record tag")),
+        }
+        pos = match pos
+            .checked_add(tag_len)
+            .and_then(|p| p.checked_add(body_end))
+        {
+            Some(p) => p,
+            // Unreachable in practice (`body` was sliced out of `bytes`),
+            // but the scan stays typed-error total regardless.
+            None => return Err(WireError::InvalidValue("journal offset overflow")),
+        };
+        record_ends.push(pos);
+    }
+
+    // A journal whose durable prefix holds no complete header is not a
+    // journal yet — the kill landed inside the very first write.
+    let header = header.ok_or(WireError::UnexpectedEnd)?;
+    let durable_len = record_ends.last().copied().unwrap_or(0);
+    Ok(JournalScan {
+        header,
+        snapshots,
+        rounds,
+        durable_len,
+        truncated: truncated || durable_len < bytes.len(),
+        record_ends,
+    })
+}
+
+/// Failure of [`crate::engine::resume_from_journal`]: either the journal
+/// bytes are unusable ([`WireError`]) or the continuation sink failed
+/// ([`io::Error`]).
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The journal could not be decoded or is inconsistent with the
+    /// resuming configuration.
+    Wire(WireError),
+    /// Writing the continuation records failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Wire(e) => write!(f, "journal decode: {e}"),
+            ResumeError::Io(e) => write!(f, "journal io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<WireError> for ResumeError {
+    fn from(e: WireError) -> Self {
+        ResumeError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ResumeError {
+    fn from(e: io::Error) -> Self {
+        ResumeError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// First-divergence diffing
+// ---------------------------------------------------------------------------
+
+/// Which recorded component diverged first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// A per-process decision (value or round), or a trace anomaly.
+    Decision,
+    /// Message traffic: broadcast frames, delivery accounting, run shape.
+    MsgStats,
+    /// The fault ledger (dropped / quarantined frames).
+    FaultLedger,
+    /// Recoverable estimator state: snapshot bytes or the rebase limit
+    /// they were cut under.
+    EstimatorBase,
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Component::Decision => "decision",
+            Component::MsgStats => "msg_stats",
+            Component::FaultLedger => "fault-ledger",
+            Component::EstimatorBase => "estimator-base",
+        })
+    }
+}
+
+/// The first point at which two runs disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Round of the first disagreement (0 = initial state / run shape).
+    pub round: Round,
+    /// The process it concerns, if attributable to one.
+    pub process: Option<ProcessId>,
+    /// Which component diverged.
+    pub component: Component,
+    /// The left run's value at that point.
+    pub left: String,
+    /// The right run's value at that point.
+    pub right: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "round {} · process ", self.round)?;
+        match self.process {
+            Some(p) => write!(f, "{p}")?,
+            None => f.write_str("*")?,
+        }
+        write!(f, " · {}: {} vs {}", self.component, self.left, self.right)
+    }
+}
+
+/// Sort key picking the *earliest* divergence: by round, then by process
+/// (run-wide divergences after per-process ones of the same round), then
+/// by component.
+fn divergence_key(d: &Divergence) -> (Round, usize, Component) {
+    (
+        d.round,
+        d.process.map_or(usize::MAX, |p| p.index()),
+        d.component,
+    )
+}
+
+/// Compares two run traces and reports the first divergence, or `None` if
+/// they are identical. The conformance suites print this instead of a
+/// bare `assert_eq!` dump.
+pub fn diff_run_traces(a: &RunTrace, b: &RunTrace) -> Option<Divergence> {
+    if a.n != b.n {
+        return Some(Divergence {
+            round: 0,
+            process: None,
+            component: Component::MsgStats,
+            left: format!("n={}", a.n),
+            right: format!("n={}", b.n),
+        });
+    }
+    let mut found: Vec<Divergence> = Vec::new();
+    for (i, (da, db)) in a.decisions.iter().zip(b.decisions.iter()).enumerate() {
+        if da != db {
+            let round = [da, db]
+                .into_iter()
+                .flatten()
+                .map(|d| d.round)
+                .min()
+                .unwrap_or(0);
+            found.push(Divergence {
+                round,
+                process: Some(ProcessId::new(i as u32)),
+                component: Component::Decision,
+                left: format!("{da:?}"),
+                right: format!("{db:?}"),
+            });
+        }
+    }
+    {
+        let mut ia = a.faults.faults.iter();
+        let mut ib = b.faults.faults.iter();
+        loop {
+            match (ia.next(), ib.next()) {
+                (Some(fa), Some(fb)) if fa == fb => continue,
+                (None, None) => break,
+                (fa, fb) => {
+                    let round = [fa, fb]
+                        .into_iter()
+                        .flatten()
+                        .map(|f| f.round)
+                        .min()
+                        .unwrap_or(0);
+                    let process = [fa, fb]
+                        .into_iter()
+                        .flatten()
+                        .map(|f| f.to)
+                        .min_by_key(|p| p.index());
+                    found.push(Divergence {
+                        round,
+                        process,
+                        component: Component::FaultLedger,
+                        left: fa
+                            .map_or_else(|| "no further faults".to_owned(), |f| format!("{f:?}")),
+                        right: fb
+                            .map_or_else(|| "no further faults".to_owned(), |f| format!("{f:?}")),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    let shape_round = a.rounds_executed.min(b.rounds_executed);
+    if a.rounds_executed != b.rounds_executed {
+        found.push(Divergence {
+            round: shape_round,
+            process: None,
+            component: Component::MsgStats,
+            left: format!("rounds_executed={}", a.rounds_executed),
+            right: format!("rounds_executed={}", b.rounds_executed),
+        });
+    }
+    if a.msg_stats != b.msg_stats {
+        found.push(Divergence {
+            round: shape_round,
+            process: None,
+            component: Component::MsgStats,
+            left: format!("{:?}", a.msg_stats),
+            right: format!("{:?}", b.msg_stats),
+        });
+    }
+    if a.anomalies != b.anomalies {
+        found.push(Divergence {
+            round: shape_round,
+            process: None,
+            component: Component::Decision,
+            left: format!("anomalies={:?}", a.anomalies),
+            right: format!("anomalies={:?}", b.anomalies),
+        });
+    }
+    found.into_iter().min_by_key(divergence_key)
+}
+
+/// FNV-1a digest used to summarize opaque byte strings in diff output
+/// (same function as the frame trailer, computed locally for display).
+fn fnv64_of(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn blob_summary(b: &Bytes) -> String {
+    format!("{} bytes, fnv64 {:#018x}", b.len(), fnv64_of(b.as_slice()))
+}
+
+/// Compares two scanned journals record stream first, header provenance
+/// second, and reports the first divergence.
+///
+/// The record streams are walked in round order — initial snapshot, round
+/// 1, snapshot at cut 1 (if present), round 2, … — so the report names
+/// the *earliest* divergent round. Only when the streams are identical
+/// does header provenance (seed, engine, rebase limit, universe) decide;
+/// two runs differing only in `set_rebase_limit` still diverge in the
+/// record stream itself, because the initial snapshots embed the limit.
+pub fn diff_journals(a: &JournalScan, b: &JournalScan) -> Option<Divergence> {
+    let max_cut = a.rounds.len().max(b.rounds.len());
+    for cut in 0..=max_cut {
+        let cut_round = cut as Round;
+        let sa = a
+            .snapshots
+            .iter()
+            .find(|s| u64::from(s.round) == cut as u64);
+        let sb = b
+            .snapshots
+            .iter()
+            .find(|s| u64::from(s.round) == cut as u64);
+        if let Some(d) = diff_snapshot_pair(cut_round, sa, sb) {
+            return Some(d);
+        }
+        if cut < max_cut {
+            let ra = a.rounds.get(cut);
+            let rb = b.rounds.get(cut);
+            if let Some(d) = diff_round_pair(cut_round + 1, ra, rb) {
+                return Some(d);
+            }
+        }
+    }
+    let (ha, hb) = (&a.header, &b.header);
+    if ha.rebase_limit != hb.rebase_limit {
+        return Some(Divergence {
+            round: 0,
+            process: None,
+            component: Component::EstimatorBase,
+            left: format!("rebase_limit={}", ha.rebase_limit),
+            right: format!("rebase_limit={}", hb.rebase_limit),
+        });
+    }
+    if ha != hb {
+        return Some(Divergence {
+            round: 0,
+            process: None,
+            component: Component::MsgStats,
+            left: format!("{ha:?}"),
+            right: format!("{hb:?}"),
+        });
+    }
+    None
+}
+
+fn diff_snapshot_pair(
+    round: Round,
+    a: Option<&SnapshotRecord>,
+    b: Option<&SnapshotRecord>,
+) -> Option<Divergence> {
+    let (sa, sb) = match (a, b) {
+        (None, None) => return None,
+        (Some(sa), Some(sb)) => (sa, sb),
+        (a, b) => {
+            // One run cut a snapshot here and the other did not: the cut
+            // points themselves (driven by the rebase limit) diverged.
+            let present = |s: Option<&SnapshotRecord>| {
+                s.map_or_else(|| "no snapshot".to_owned(), |_| "snapshot".to_owned())
+            };
+            return Some(Divergence {
+                round,
+                process: None,
+                component: Component::EstimatorBase,
+                left: present(a),
+                right: present(b),
+            });
+        }
+    };
+    for (i, (xa, xb)) in sa.snaps.iter().zip(sb.snaps.iter()).enumerate() {
+        if xa != xb {
+            return Some(Divergence {
+                round,
+                process: Some(ProcessId::new(i as u32)),
+                component: Component::EstimatorBase,
+                left: blob_summary(xa),
+                right: blob_summary(xb),
+            });
+        }
+    }
+    for (i, (da, db)) in sa.decisions.iter().zip(sb.decisions.iter()).enumerate() {
+        if da != db {
+            return Some(Divergence {
+                round,
+                process: Some(ProcessId::new(i as u32)),
+                component: Component::Decision,
+                left: format!("{da:?}"),
+                right: format!("{db:?}"),
+            });
+        }
+    }
+    if sa.snaps.len() != sb.snaps.len() || sa.decisions.len() != sb.decisions.len() {
+        return Some(Divergence {
+            round,
+            process: None,
+            component: Component::EstimatorBase,
+            left: format!("{} processes", sa.snaps.len()),
+            right: format!("{} processes", sb.snaps.len()),
+        });
+    }
+    if sa.anomalies != sb.anomalies {
+        return Some(Divergence {
+            round,
+            process: None,
+            component: Component::Decision,
+            left: format!("anomalies={:?}", sa.anomalies),
+            right: format!("anomalies={:?}", sb.anomalies),
+        });
+    }
+    None
+}
+
+fn diff_round_pair(
+    round: Round,
+    a: Option<&RoundRecord>,
+    b: Option<&RoundRecord>,
+) -> Option<Divergence> {
+    let (ra, rb) = match (a, b) {
+        (None, None) => return None,
+        (Some(ra), Some(rb)) => (ra, rb),
+        (a, b) => {
+            let present = |r: Option<&RoundRecord>| {
+                r.map_or_else(|| "journal ends".to_owned(), |_| "round record".to_owned())
+            };
+            return Some(Divergence {
+                round,
+                process: None,
+                component: Component::MsgStats,
+                left: present(a),
+                right: present(b),
+            });
+        }
+    };
+    for (i, (fa, fb)) in ra.frames.iter().zip(rb.frames.iter()).enumerate() {
+        if fa != fb {
+            return Some(Divergence {
+                round,
+                process: Some(ProcessId::new(i as u32)),
+                component: Component::MsgStats,
+                left: blob_summary(fa),
+                right: blob_summary(fb),
+            });
+        }
+    }
+    if ra.frames.len() != rb.frames.len() {
+        return Some(Divergence {
+            round,
+            process: None,
+            component: Component::MsgStats,
+            left: format!("{} frames", ra.frames.len()),
+            right: format!("{} frames", rb.frames.len()),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultCause;
+    use crate::trace::MsgStats;
+
+    fn header(n: usize) -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            n,
+            seed: 0xfeed,
+            engine: ENGINE_LOCKSTEP_JOURNALED,
+            rebase_limit: 7,
+        }
+    }
+
+    fn snapshot(round: Round, n: usize, tag: u8) -> SnapshotRecord {
+        SnapshotRecord {
+            round,
+            decisions: vec![None; n],
+            anomalies: Vec::new(),
+            snaps: (0..n).map(|i| Bytes::from(vec![tag, i as u8])).collect(),
+        }
+    }
+
+    fn round_rec(round: Round, n: usize) -> RoundRecord {
+        RoundRecord {
+            round,
+            frames: (0..n)
+                .map(|i| crate::fault::seal(&(round as u64 * 100 + i as u64)))
+                .collect(),
+        }
+    }
+
+    fn sample_journal(n: usize, rounds: Round) -> Vec<u8> {
+        let mut w = JournalWriter::create(Vec::new(), &header(n)).unwrap();
+        w.append_snapshot(&snapshot(0, n, 0xaa)).unwrap();
+        for r in 1..=rounds {
+            w.append_round(&round_rec(r, n)).unwrap();
+            if r % 2 == 0 {
+                w.append_snapshot(&snapshot(r, n, 0xbb)).unwrap();
+            }
+        }
+        w.into_inner()
+    }
+
+    #[test]
+    fn records_round_trip_through_the_codec() {
+        let h = header(3);
+        assert_eq!(open::<JournalHeader>(&seal(&h)).unwrap(), h);
+        let s = SnapshotRecord {
+            round: 4,
+            decisions: vec![None, Some(DecisionRecord { value: 9, round: 3 }), None],
+            anomalies: vec!["p1 changed its mind".to_owned()],
+            snaps: vec![
+                Bytes::from(vec![1, 2]),
+                Bytes::from(Vec::new()),
+                Bytes::from(vec![3]),
+            ],
+        };
+        assert_eq!(s.wire_bytes(), s.to_bytes().len());
+        assert_eq!(open::<SnapshotRecord>(&seal(&s)).unwrap(), s);
+        let r = round_rec(2, 3);
+        assert_eq!(r.wire_bytes(), r.to_bytes().len());
+        assert_eq!(open::<RoundRecord>(&seal(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn scan_reads_back_everything_in_order() {
+        let bytes = sample_journal(3, 5);
+        let scan = scan(&bytes).unwrap();
+        assert!(!scan.truncated);
+        assert_eq!(scan.durable_len, bytes.len());
+        assert_eq!(scan.header, header(3));
+        assert_eq!(scan.rounds.len(), 5);
+        for (i, r) in scan.rounds.iter().enumerate() {
+            assert_eq!(r.round as usize, i + 1);
+        }
+        // cuts 0, 2, 4
+        assert_eq!(
+            scan.snapshots.iter().map(|s| s.round).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        assert_eq!(*scan.record_ends.last().unwrap(), bytes.len());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_clean_stop_never_a_panic() {
+        let bytes = sample_journal(2, 4);
+        let full = scan(&bytes).unwrap();
+        let first_end = full.record_ends[0];
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            match scan(prefix) {
+                Ok(s) => {
+                    assert!(cut >= first_end, "header cannot be complete at {cut}");
+                    assert!(
+                        s.truncated || full.record_ends.contains(&cut),
+                        "a clean scan must end on a record boundary (cut {cut})"
+                    );
+                    assert!(s.durable_len <= cut);
+                    // the durable prefix re-scans identically
+                    let again = scan(&bytes[..s.durable_len]).unwrap();
+                    assert_eq!(again.rounds.len(), s.rounds.len());
+                    assert_eq!(again.snapshots.len(), s.snapshots.len());
+                }
+                Err(WireError::UnexpectedEnd) => {
+                    assert!(cut < first_end, "only a headerless prefix errors at {cut}");
+                }
+                Err(e) => panic!("truncation at {cut} must not yield {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn interior_corruption_is_a_typed_rejection() {
+        let bytes = sample_journal(2, 3);
+        // flip one byte in the middle of each record body
+        let scanned = scan(&bytes).unwrap();
+        let mut start = 0usize;
+        for &end in &scanned.record_ends {
+            let mid = (start + end) / 2;
+            let mut bad = bytes.clone();
+            bad[mid] ^= 0x40;
+            match scan(&bad) {
+                Err(_) => {}
+                // A flip in a tag/len byte can re-frame the stream; the
+                // scan may then stop early as truncated, but it must not
+                // invent records beyond the durable data.
+                Ok(s) => assert!(s.truncated || s.durable_len <= bytes.len()),
+            }
+            start = end;
+        }
+    }
+
+    #[test]
+    fn header_validation_is_typed() {
+        // stale version
+        let mut h = header(2);
+        h.version = JOURNAL_VERSION + 1;
+        let mut w = JournalWriter::create(Vec::new(), &h).unwrap();
+        w.append_snapshot(&snapshot(0, 2, 1)).unwrap();
+        assert_eq!(
+            scan(&w.into_inner()).unwrap_err(),
+            WireError::InvalidValue("unsupported journal format version")
+        );
+        // duplicate header
+        let mut w = JournalWriter::create(Vec::new(), &header(2)).unwrap();
+        w.append_record(TAG_HEADER, &seal(&header(2))).unwrap();
+        assert_eq!(
+            scan(&w.into_inner()).unwrap_err(),
+            WireError::InvalidValue("duplicate journal header")
+        );
+        // no header at all
+        let mut w = JournalWriter::resume(Vec::new());
+        w.append_snapshot(&snapshot(0, 2, 1)).unwrap();
+        assert_eq!(
+            scan(&w.into_inner()).unwrap_err(),
+            WireError::InvalidValue("journal record before header")
+        );
+        // record sequencing
+        let mut w = JournalWriter::create(Vec::new(), &header(2)).unwrap();
+        w.append_round(&round_rec(2, 2)).unwrap();
+        assert_eq!(
+            scan(&w.into_inner()).unwrap_err(),
+            WireError::InvalidValue("round record out of sequence")
+        );
+        // universe mismatch inside a record
+        let mut w = JournalWriter::create(Vec::new(), &header(2)).unwrap();
+        w.append_snapshot(&snapshot(0, 3, 1)).unwrap();
+        assert_eq!(
+            scan(&w.into_inner()).unwrap_err(),
+            WireError::InvalidValue("snapshot universe mismatch")
+        );
+    }
+
+    #[test]
+    fn trace_diff_finds_the_earliest_component() {
+        let mk = |decide0: Option<(u64, Round)>| {
+            let mut t = RunTrace::new(2);
+            t.rounds_executed = 5;
+            t.msg_stats = MsgStats {
+                broadcasts: 10,
+                deliveries: 20,
+                broadcast_bytes: 100,
+                delivered_bytes: 200,
+            };
+            if let Some((v, r)) = decide0 {
+                t.decisions[0] = Some(DecisionRecord { value: v, round: r });
+            }
+            t
+        };
+        assert_eq!(diff_run_traces(&mk(Some((4, 2))), &mk(Some((4, 2)))), None);
+        let d = diff_run_traces(&mk(Some((4, 2))), &mk(Some((5, 2)))).unwrap();
+        assert_eq!(d.component, Component::Decision);
+        assert_eq!(d.round, 2);
+        assert_eq!(d.process, Some(ProcessId::new(0)));
+        // an earlier fault-ledger divergence wins over a later decision one
+        let mut a = mk(Some((4, 4)));
+        let mut b = mk(Some((5, 4)));
+        a.faults
+            .record(1, ProcessId::new(1), ProcessId::new(0), FaultCause::Dropped);
+        a.faults.finalize();
+        b.faults.finalize();
+        let d = diff_run_traces(&a, &b).unwrap();
+        assert_eq!(d.component, Component::FaultLedger);
+        assert_eq!(d.round, 1);
+        let shown = d.to_string();
+        assert!(shown.contains("round 1"), "{shown}");
+        assert!(shown.contains("fault-ledger"), "{shown}");
+    }
+
+    #[test]
+    fn journal_diff_compares_streams_then_provenance() {
+        let a = scan(&sample_journal(2, 4)).unwrap();
+        assert!(diff_journals(&a, &a).is_none());
+
+        // different snapshot bytes at cut 0 → estimator-base, round 0
+        let mut w = JournalWriter::create(Vec::new(), &header(2)).unwrap();
+        w.append_snapshot(&snapshot(0, 2, 0xcc)).unwrap();
+        for r in 1..=4 {
+            w.append_round(&round_rec(r, 2)).unwrap();
+            if r % 2 == 0 {
+                w.append_snapshot(&snapshot(r, 2, 0xbb)).unwrap();
+            }
+        }
+        let b = scan(&w.into_inner()).unwrap();
+        let d = diff_journals(&a, &b).unwrap();
+        assert_eq!(d.round, 0);
+        assert_eq!(d.component, Component::EstimatorBase);
+        assert_eq!(d.process, Some(ProcessId::new(0)));
+
+        // identical streams, different header rebase limit → provenance
+        let mut h2 = header(2);
+        h2.rebase_limit = 99;
+        let mut w = JournalWriter::create(Vec::new(), &h2).unwrap();
+        w.append_snapshot(&snapshot(0, 2, 0xaa)).unwrap();
+        for r in 1..=4 {
+            w.append_round(&round_rec(r, 2)).unwrap();
+            if r % 2 == 0 {
+                w.append_snapshot(&snapshot(r, 2, 0xbb)).unwrap();
+            }
+        }
+        let c = scan(&w.into_inner()).unwrap();
+        let d = diff_journals(&a, &c).unwrap();
+        assert_eq!(d.component, Component::EstimatorBase);
+        assert!(d.left.contains("rebase_limit=7"), "{d}");
+
+        // one journal one round shorter → msg_stats at the missing round
+        let short = scan(&sample_journal(2, 3)).unwrap();
+        let d = diff_journals(&a, &short).unwrap();
+        assert_eq!(d.component, Component::MsgStats);
+        assert_eq!(d.round, 4);
+    }
+}

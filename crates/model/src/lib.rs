@@ -44,6 +44,15 @@
 //! recovery from wire-codec snapshots taken at the canonical rebase cut
 //! points.
 //!
+//! [`journal`] is the durable run store: [`engine::run_lockstep_journaled`]
+//! appends an on-disk journal (snapshots at the rebase cut points plus the
+//! sealed broadcast frames of every round) as it executes, and
+//! [`engine::resume_from_journal`] restores a killed process from the last
+//! durable snapshot and replays the logged frames to a trace byte-identical
+//! to the uninterrupted run. [`journal::diff_run_traces`] /
+//! [`journal::diff_journals`] report the *first divergent component* of two
+//! runs instead of a bare inequality.
+//!
 //! [`engine::run_multiplex_codec`] turns the sharded engine into an
 //! *agreement service*: `M` concurrent instances share one worker pool,
 //! inter-shard frames of a tick coalesce into instance-tagged batch
@@ -58,6 +67,7 @@ pub mod algorithm;
 pub mod engine;
 pub mod fault;
 pub mod heard_of;
+pub mod journal;
 pub mod parallel;
 pub mod schedule;
 pub mod skeleton;
@@ -81,6 +91,11 @@ pub use engine::{
 pub use fault::{
     BatchBuilder, BatchFrame, BatchReader, CorruptionOverlay, EdgeFault, EffectiveSchedule,
     FaultCause, FaultPlane, FaultStats, NoFaults, Tamper,
+};
+pub use journal::{
+    diff_journals, diff_run_traces, scan as scan_journal, Component, Divergence, JournalHeader,
+    JournalScan, JournalWriter, ResumeError, RoundRecord, RunMeta, SnapshotRecord,
+    ENGINE_LOCKSTEP_JOURNALED, JOURNAL_VERSION,
 };
 pub use schedule::{validate as validate_schedule, FixedSchedule, Schedule, TableSchedule};
 pub use skeleton::SkeletonTracker;

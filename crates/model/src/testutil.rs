@@ -295,15 +295,21 @@ pub struct AdversaryConfigStrategy {
 
 impl Strategy for AdversaryConfigStrategy {
     type Value = AdversaryConfig;
+    type Seed = AdversaryConfig;
 
-    fn generate(&self, rng: &mut TestRng) -> AdversaryConfig {
+    fn generate_seeded(&self, rng: &mut TestRng) -> (AdversaryConfig, AdversaryConfig) {
         let span = (self.n_range.end - self.n_range.start) as u64;
         let n = self.n_range.start + rng.below(span) as usize;
-        AdversaryConfig {
+        let cfg = AdversaryConfig {
             family: self.family,
             n,
             seed: mix_seed(rng.next_u64()),
-        }
+        };
+        (cfg.clone(), cfg)
+    }
+
+    fn value_of(&self, seed: &AdversaryConfig) -> AdversaryConfig {
+        seed.clone()
     }
 
     fn shrink(&self, value: &AdversaryConfig) -> Vec<AdversaryConfig> {
@@ -380,8 +386,24 @@ pub struct MuxWorkloadStrategy {
 
 impl Strategy for MuxWorkloadStrategy {
     type Value = MuxWorkload;
+    type Seed = MuxWorkload;
 
-    fn generate(&self, rng: &mut TestRng) -> MuxWorkload {
+    fn generate_seeded(&self, rng: &mut TestRng) -> (MuxWorkload, MuxWorkload) {
+        let w = self.generate_inner(rng);
+        (w.clone(), w)
+    }
+
+    fn value_of(&self, seed: &MuxWorkload) -> MuxWorkload {
+        seed.clone()
+    }
+
+    fn shrink(&self, value: &MuxWorkload) -> Vec<MuxWorkload> {
+        self.shrink_inner(value)
+    }
+}
+
+impl MuxWorkloadStrategy {
+    fn generate_inner(&self, rng: &mut TestRng) -> MuxWorkload {
         let m = 1 + rng.below(self.max_instances as u64) as usize;
         let mut instances: Vec<(AdversaryConfig, Round)> = Vec::with_capacity(m);
         for _ in 0..m {
@@ -410,7 +432,7 @@ impl Strategy for MuxWorkloadStrategy {
         MuxWorkload { instances }
     }
 
-    fn shrink(&self, value: &MuxWorkload) -> Vec<MuxWorkload> {
+    fn shrink_inner(&self, value: &MuxWorkload) -> Vec<MuxWorkload> {
         let mut out = Vec::new();
         // 1. fewer instances (smallest counterexamples first)
         if value.instances.len() > 1 {

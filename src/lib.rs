@@ -63,16 +63,18 @@ pub mod prelude {
         InvariantChecker, KSetAgreement, KSetMsg, NaiveMinHorizon, SkeletonEstimator, SpawnError,
         Verdict, VerifySpec,
     };
+    pub use sskel_model::engine::{resume_from_journal, run_lockstep_journaled};
     pub use sskel_model::{
-        run_lockstep, run_lockstep_codec, run_lockstep_observed, run_lockstep_recovering,
-        run_multiplex_codec, run_sharded, run_sharded_codec, run_socket, run_socket_codec,
-        run_threaded, run_threaded_codec, validate_schedule, BatchBuilder, BatchReader,
-        ChurnAdversary, CorruptionOverlay, CrashOverlay, CrashRestartOverlay, EdgeFault,
-        EffectiveSchedule, FaultCause, FaultPlane, FaultStats, FixedSchedule,
-        HealedPartitionAdversary, LowerBoundAdversary, MultiplexPlan, MuxInstance, NoFaults,
-        PartitionEpisode, ProcessCtx, Received, Recoverable, RotatingRootAdversary, RoundAlgorithm,
-        RunTrace, RunUntil, Schedule, ShardPlan, SkeletonTracker, SocketError, SocketPlan,
-        StableRootAdversary, TableSchedule, Tamper, Value,
+        diff_journals, diff_run_traces, run_lockstep, run_lockstep_codec, run_lockstep_observed,
+        run_lockstep_recovering, run_multiplex_codec, run_sharded, run_sharded_codec, run_socket,
+        run_socket_codec, run_threaded, run_threaded_codec, scan_journal, validate_schedule,
+        BatchBuilder, BatchReader, ChurnAdversary, Component, CorruptionOverlay, CrashOverlay,
+        CrashRestartOverlay, Divergence, EdgeFault, EffectiveSchedule, FaultCause, FaultPlane,
+        FaultStats, FixedSchedule, HealedPartitionAdversary, JournalWriter, LowerBoundAdversary,
+        MultiplexPlan, MuxInstance, NoFaults, PartitionEpisode, ProcessCtx, Received, Recoverable,
+        ResumeError, RotatingRootAdversary, RoundAlgorithm, RunMeta, RunTrace, RunUntil, Schedule,
+        ShardPlan, SkeletonTracker, SocketError, SocketPlan, StableRootAdversary, TableSchedule,
+        Tamper, Value,
     };
     pub use sskel_predicates::{
         check_theorem1, check_theorem1_tight, min_k_on_skeleton, planted_psrcs_schedule,

@@ -85,27 +85,11 @@ fn conform(cfg: &AdversaryConfig) -> Result<(), TestCaseError> {
         engines.push(("socket", t));
     }
     for (engine, t) in engines {
-        prop_assert_eq!(
-            &lockstep.decisions,
-            &t.decisions,
-            "{}: lockstep vs {} decisions diverged",
-            cfg,
-            engine
-        );
-        prop_assert_eq!(
-            lockstep.rounds_executed,
-            t.rounds_executed,
-            "{}: lockstep vs {} round counts diverged",
-            cfg,
-            engine
-        );
-        prop_assert_eq!(
-            lockstep.msg_stats,
-            t.msg_stats,
-            "{}: lockstep vs {} wire accounting diverged",
-            cfg,
-            engine
-        );
+        if let Some(d) = diff_run_traces(&lockstep, t) {
+            return Err(TestCaseError::fail(format!(
+                "{cfg}: lockstep vs {engine} diverged — {d}"
+            )));
+        }
         prop_assert!(
             t.anomalies.is_empty(),
             "{}: {} anomalies: {:?}",

@@ -41,16 +41,12 @@ fn distinct_inputs(n: usize) -> Vec<Value> {
 }
 
 /// Asserts two traces are byte-identical in every observable field,
-/// including the fault ledger.
+/// including the fault ledger. On failure, reports the *first* divergent
+/// `round · process · component` instead of a raw struct dump.
 fn assert_identical(a: &RunTrace, b: &RunTrace, ctx: &str) {
-    assert_eq!(a.decisions, b.decisions, "{ctx}: decisions diverged");
-    assert_eq!(
-        a.rounds_executed, b.rounds_executed,
-        "{ctx}: round counts diverged"
-    );
-    assert_eq!(a.msg_stats, b.msg_stats, "{ctx}: wire accounting diverged");
-    assert_eq!(a.faults, b.faults, "{ctx}: fault ledgers diverged");
-    assert_eq!(a.anomalies, b.anomalies, "{ctx}: anomalies diverged");
+    if let Some(d) = diff_run_traces(a, b) {
+        panic!("{ctx}: traces diverged — {d}");
+    }
 }
 
 /// Codec-boundary mode with an inert plane is indistinguishable from the

@@ -52,16 +52,11 @@ fn solo_oracle(cfg: &AdversaryConfig, s: &dyn Schedule) -> RunTrace {
 }
 
 fn assert_identical(mux: &RunTrace, solo: &RunTrace, ctx: &str) -> Result<(), TestCaseError> {
-    prop_assert_eq!(&mux.decisions, &solo.decisions, "{}: decisions", ctx);
-    prop_assert_eq!(
-        mux.rounds_executed,
-        solo.rounds_executed,
-        "{}: round counts",
-        ctx
-    );
-    prop_assert_eq!(mux.msg_stats, solo.msg_stats, "{}: wire accounting", ctx);
-    prop_assert_eq!(&mux.faults, &solo.faults, "{}: fault ledger", ctx);
-    prop_assert_eq!(&mux.anomalies, &solo.anomalies, "{}: anomalies", ctx);
+    if let Some(d) = diff_run_traces(mux, solo) {
+        return Err(TestCaseError::fail(format!(
+            "{ctx}: mux vs solo diverged — {d}"
+        )));
+    }
     Ok(())
 }
 

@@ -7,13 +7,16 @@
 //!
 //! Differences from real proptest: cases are drawn from a fixed
 //! deterministic stream (seeded by the test function's name), so a failing
-//! case reproduces identically on every run. Shrinking is **minimal**:
-//! integer ranges and [`collection::vec`] lengths shrink by binary-search
-//! halving toward their lower bound (and each element of a failing `Vec` is
-//! shrunk in place), tuples shrink component-wise, and `bool` shrinks to
-//! `false`. Strategies built with `prop_map`/`prop_flat_map` do **not**
-//! shrink through the mapping (the generator input is not retained), so
-//! prefer plain range/vec/tuple bindings for inputs you want minimized.
+//! case reproduces identically on every run. Shrinking retains every
+//! generator input (the [`Strategy::Seed`] associated type, a lightweight
+//! value tree): integer ranges and [`collection::vec`] lengths shrink by
+//! binary-search halving toward their lower bound (and each element of a
+//! failing `Vec` is shrunk in place), tuples shrink component-wise, `bool`
+//! shrinks to `false`, and strategies built with
+//! `prop_map`/`prop_flat_map` shrink **through their inputs**: the
+//! retained source value is shrunk and re-mapped (for `prop_flat_map`, the
+//! dependent draw is regenerated from an RNG snapshot taken when the value
+//! was first generated, so dependent bounds stay respected).
 
 use std::ops::Range;
 
@@ -98,23 +101,46 @@ impl Default for ProptestConfig {
 }
 
 /// A generator of random values for one test-case binding.
+///
+/// Every strategy retains the *generator input* of each draw as a
+/// [`Strategy::Seed`]: a lightweight value tree from which the output can
+/// be rematerialized ([`Strategy::value_of`]) and shrunk
+/// ([`Strategy::shrink`]). Source strategies (ranges, [`any`],
+/// [`collection::vec`], tuples) use `Seed = Value` (or the element-wise
+/// composition thereof); `prop_map`/`prop_flat_map` keep their source's
+/// seed, which is what lets mapped outputs shrink through their inputs.
 pub trait Strategy {
     /// The generated type.
     type Value;
 
-    /// Draws one value.
-    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// The retained generator input from which `Value` is rematerialized
+    /// during shrinking.
+    type Seed: Clone;
 
-    /// Candidate simplifications of a failing `value`, most aggressive
+    /// Draws one value, returning the retained seed alongside it.
+    fn generate_seeded(&self, rng: &mut TestRng) -> (Self::Seed, Self::Value);
+
+    /// Rematerializes the value a seed stands for. Must be deterministic:
+    /// `value_of(&s)` equals the value `generate_seeded` paired with `s`.
+    fn value_of(&self, seed: &Self::Seed) -> Self::Value;
+
+    /// Candidate simplifications of a failing draw's seed, most aggressive
     /// first. The default (no candidates) disables shrinking; implementors
-    /// must never yield a candidate equal to `value` (the runner guards
-    /// against cycles only via its attempt budget).
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let _ = value;
+    /// should make repeated candidate adoption terminate (each candidate
+    /// strictly simpler) — the runner additionally guards against cycles
+    /// via its attempt budget.
+    fn shrink(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
+        let _ = seed;
         Vec::new()
     }
 
-    /// Transforms generated values.
+    /// Draws one value, discarding the seed.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.generate_seeded(rng).1
+    }
+
+    /// Transforms generated values. The resulting strategy shrinks by
+    /// shrinking the retained *input* and re-applying `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -123,7 +149,9 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
-    /// Builds a dependent strategy from generated values.
+    /// Builds a dependent strategy from generated values. The resulting
+    /// strategy shrinks both the source (regenerating the dependent draw
+    /// from an RNG snapshot) and the dependent value itself.
     fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
     where
         Self: Sized,
@@ -136,11 +164,15 @@ pub trait Strategy {
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
-    fn generate(&self, rng: &mut TestRng) -> S::Value {
-        (**self).generate(rng)
+    type Seed = S::Seed;
+    fn generate_seeded(&self, rng: &mut TestRng) -> (S::Seed, S::Value) {
+        (**self).generate_seeded(rng)
     }
-    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
-        (**self).shrink(value)
+    fn value_of(&self, seed: &S::Seed) -> S::Value {
+        (**self).value_of(seed)
+    }
+    fn shrink(&self, seed: &S::Seed) -> Vec<S::Seed> {
+        (**self).shrink(seed)
     }
 }
 
@@ -152,10 +184,19 @@ pub struct Map<S, F> {
 
 impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
-    fn generate(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.inner.generate(rng))
+    /// The retained pre-map input: shrinking happens on the source, and
+    /// every candidate is re-mapped through `f`.
+    type Seed = S::Seed;
+    fn generate_seeded(&self, rng: &mut TestRng) -> (S::Seed, O) {
+        let (seed, v) = self.inner.generate_seeded(rng);
+        (seed, (self.f)(v))
     }
-    // No shrink: the pre-map input is not retained, and `f` has no inverse.
+    fn value_of(&self, seed: &S::Seed) -> O {
+        (self.f)(self.inner.value_of(seed))
+    }
+    fn shrink(&self, seed: &S::Seed) -> Vec<S::Seed> {
+        self.inner.shrink(seed)
+    }
 }
 
 /// See [`Strategy::prop_flat_map`].
@@ -166,10 +207,38 @@ pub struct FlatMap<S, F> {
 
 impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
     type Value = S2::Value;
-    fn generate(&self, rng: &mut TestRng) -> S2::Value {
-        (self.f)(self.inner.generate(rng)).generate(rng)
+    /// `(source seed, RNG snapshot, dependent seed)`. The snapshot is the
+    /// RNG state *between* the source and dependent draws: when a source
+    /// candidate changes the dependent strategy, the dependent draw is
+    /// regenerated from it — deterministically, and within the new
+    /// strategy's bounds.
+    type Seed = (S::Seed, TestRng, S2::Seed);
+    fn generate_seeded(&self, rng: &mut TestRng) -> (Self::Seed, S2::Value) {
+        let (src_seed, src_val) = self.inner.generate_seeded(rng);
+        let snapshot = rng.clone();
+        let (dep_seed, dep_val) = (self.f)(src_val).generate_seeded(rng);
+        ((src_seed, snapshot, dep_seed), dep_val)
     }
-    // No shrink: the dependent strategy that produced the value is unknown.
+    fn value_of(&self, seed: &Self::Seed) -> S2::Value {
+        (self.f)(self.inner.value_of(&seed.0)).value_of(&seed.2)
+    }
+    fn shrink(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
+        let mut out = Vec::new();
+        // Source candidates first (they simplify the whole shape): the
+        // dependent draw is regenerated from the retained RNG snapshot.
+        for src_cand in self.inner.shrink(&seed.0) {
+            let dep = (self.f)(self.inner.value_of(&src_cand));
+            let mut rng = seed.1.clone();
+            let (dep_seed, _) = dep.generate_seeded(&mut rng);
+            out.push((src_cand, seed.1.clone(), dep_seed));
+        }
+        // Then dependent candidates under the unchanged source.
+        let dep = (self.f)(self.inner.value_of(&seed.0));
+        for dep_cand in dep.shrink(&seed.2) {
+            out.push((seed.0.clone(), seed.1.clone(), dep_cand));
+        }
+        out
+    }
 }
 
 /// Always generates a clone of the given value.
@@ -177,7 +246,11 @@ pub struct Just<T>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
-    fn generate(&self, _rng: &mut TestRng) -> T {
+    type Seed = ();
+    fn generate_seeded(&self, _rng: &mut TestRng) -> ((), T) {
+        ((), self.0.clone())
+    }
+    fn value_of(&self, _seed: &()) -> T {
         self.0.clone()
     }
 }
@@ -186,16 +259,21 @@ macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut TestRng) -> $t {
+            type Seed = $t;
+            fn generate_seeded(&self, rng: &mut TestRng) -> ($t, $t) {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
-                (self.start as u64).wrapping_add(rng.below(span)) as $t
+                let v = (self.start as u64).wrapping_add(rng.below(span)) as $t;
+                (v, v)
             }
-            fn shrink(&self, value: &$t) -> Vec<$t> {
+            fn value_of(&self, seed: &$t) -> $t {
+                *seed
+            }
+            fn shrink(&self, seed: &$t) -> Vec<$t> {
                 // Binary-search halving toward the lower bound: jumping to
                 // `start` first, then to the midpoint, then one step down
                 // converges in O(log span) adopted candidates.
-                let v = *value;
+                let v = *seed;
                 let mut out = Vec::new();
                 if v > self.start {
                     out.push(self.start);
@@ -217,13 +295,18 @@ impl_range_strategy!(u8, u16, u32, u64, usize);
 
 impl Strategy for Range<i32> {
     type Value = i32;
-    fn generate(&self, rng: &mut TestRng) -> i32 {
+    type Seed = i32;
+    fn generate_seeded(&self, rng: &mut TestRng) -> (i32, i32) {
         assert!(self.start < self.end, "empty range strategy");
         let span = (self.end as i64 - self.start as i64) as u64;
-        (self.start as i64 + rng.below(span) as i64) as i32
+        let v = (self.start as i64 + rng.below(span) as i64) as i32;
+        (v, v)
     }
-    fn shrink(&self, value: &i32) -> Vec<i32> {
-        let v = *value;
+    fn value_of(&self, seed: &i32) -> i32 {
+        *seed
+    }
+    fn shrink(&self, seed: &i32) -> Vec<i32> {
+        let v = *seed;
         let mut out = Vec::new();
         if v > self.start {
             out.push(self.start);
@@ -247,18 +330,23 @@ macro_rules! impl_tuple_strategy {
             $($name::Value: Clone,)+
         {
             type Value = ($($name::Value,)+);
+            type Seed = ($($name::Seed,)+);
             #[allow(non_snake_case)]
-            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            fn generate_seeded(&self, rng: &mut TestRng) -> (Self::Seed, Self::Value) {
                 let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                $(let $name = $name.generate_seeded(rng);)+
+                (($($name.0,)+), ($($name.1,)+))
             }
-            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            fn value_of(&self, seed: &Self::Seed) -> Self::Value {
+                ($(self.$idx.value_of(&seed.$idx),)+)
+            }
+            fn shrink(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
                 // Component-wise: each candidate shrinks exactly one
                 // position while cloning the rest.
                 let mut out = Vec::new();
                 $(
-                    for cand in self.$idx.shrink(&value.$idx) {
-                        let mut t = value.clone();
+                    for cand in self.$idx.shrink(&seed.$idx) {
+                        let mut t = seed.clone();
                         t.$idx = cand;
                         out.push(t);
                     }
@@ -329,17 +417,22 @@ impl Arbitrary for bool {
 pub struct Any<T>(std::marker::PhantomData<T>);
 
 /// Whole-domain strategy constructor.
-pub fn any<T: Arbitrary>() -> Any<T> {
+pub fn any<T: Arbitrary + Clone>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
-impl<T: Arbitrary> Strategy for Any<T> {
+impl<T: Arbitrary + Clone> Strategy for Any<T> {
     type Value = T;
-    fn generate(&self, rng: &mut TestRng) -> T {
-        T::arbitrary(rng)
+    type Seed = T;
+    fn generate_seeded(&self, rng: &mut TestRng) -> (T, T) {
+        let v = T::arbitrary(rng);
+        (v.clone(), v)
     }
-    fn shrink(&self, value: &T) -> Vec<T> {
-        T::shrink(value)
+    fn value_of(&self, seed: &T) -> T {
+        seed.clone()
+    }
+    fn shrink(&self, seed: &T) -> Vec<T> {
+        T::shrink(seed)
     }
 }
 
@@ -366,29 +459,40 @@ pub mod collection {
         S::Value: Clone,
     {
         type Value = Vec<S::Value>;
-        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        type Seed = Vec<S::Seed>;
+        fn generate_seeded(&self, rng: &mut TestRng) -> (Vec<S::Seed>, Vec<S::Value>) {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
-            (0..n).map(|_| self.element.generate(rng)).collect()
+            let mut seeds = Vec::with_capacity(n);
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (s, v) = self.element.generate_seeded(rng);
+                seeds.push(s);
+                vals.push(v);
+            }
+            (seeds, vals)
         }
-        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        fn value_of(&self, seed: &Vec<S::Seed>) -> Vec<S::Value> {
+            seed.iter().map(|s| self.element.value_of(s)).collect()
+        }
+        fn shrink(&self, seed: &Vec<S::Seed>) -> Vec<Vec<S::Seed>> {
             // Length first (halving toward the minimum, then dropping one
             // element), then each element in place.
             let mut out = Vec::new();
             let min = self.len.start;
-            if value.len() > min {
-                let half = (value.len() / 2).max(min);
-                if half < value.len() {
-                    out.push(value[..half].to_vec());
+            if seed.len() > min {
+                let half = (seed.len() / 2).max(min);
+                if half < seed.len() {
+                    out.push(seed[..half].to_vec());
                 }
-                if value.len() - 1 > half || value.len() - 1 == min {
-                    out.push(value[..value.len() - 1].to_vec());
+                if seed.len() - 1 > half || seed.len() - 1 == min {
+                    out.push(seed[..seed.len() - 1].to_vec());
                 }
-                out.push(value[1..].to_vec());
+                out.push(seed[1..].to_vec());
             }
-            for (i, v) in value.iter().enumerate() {
-                for cand in self.element.shrink(v) {
-                    let mut t = value.clone();
+            for (i, s) in seed.iter().enumerate() {
+                for cand in self.element.shrink(s) {
+                    let mut t = seed.clone();
                     t[i] = cand;
                     out.push(t);
                 }
@@ -559,20 +663,22 @@ where
 {
     for case in 0..cases {
         let mut rng = TestRng::for_case(name, case);
-        let vals = strat.generate(&mut rng);
+        let (seed, vals) = strat.generate_seeded(&mut rng);
         if let Err(e) = __run_case(&run, &vals) {
-            __shrink_and_report(name, case, &strat, vals, e, &run);
+            __shrink_and_report(name, case, &strat, seed, vals, e, &run);
         }
     }
 }
 
-/// Greedily shrinks a failing input and reports the minimal one found.
+/// Greedily shrinks a failing input (by shrinking its retained seed and
+/// rematerializing candidate values) and reports the minimal one found.
 /// Panic output of intermediate shrink attempts is suppressed (the default
 /// panic hook is restored before the final report).
 fn __shrink_and_report<S, F>(
     name: &str,
     case: u32,
     strat: &S,
+    initial_seed: S::Seed,
     initial: S::Value,
     initial_err: TestCaseError,
     run: &F,
@@ -582,22 +688,25 @@ where
     S::Value: std::fmt::Debug,
     F: Fn(&S::Value) -> Result<(), TestCaseError>,
 {
+    let mut best_seed = initial_seed;
     let mut best = initial;
     let mut best_err = initial_err;
     let mut shrinks = 0usize;
     let mut attempts = 0usize;
     let quiet = QuietPanicsGuard::new();
     'outer: loop {
-        let candidates = strat.shrink(&best);
+        let candidates = strat.shrink(&best_seed);
         if candidates.is_empty() {
             break;
         }
-        for cand in candidates {
+        for cand_seed in candidates {
             attempts += 1;
             if attempts > SHRINK_ATTEMPT_BUDGET {
                 break 'outer;
             }
+            let cand = strat.value_of(&cand_seed);
             if let Err(e) = __run_case(run, &cand) {
+                best_seed = cand_seed;
                 best = cand;
                 best_err = e;
                 shrinks += 1;
@@ -686,8 +795,28 @@ mod tests {
         assert_ne!(a.next_u64(), c.next_u64());
     }
 
-    /// The runner's shrink loop, driven directly: a predicate failing for
-    /// all values ≥ 17 must shrink a large failing draw down to exactly 17.
+    /// `generate` and `generate_seeded` consume the RNG identically, and
+    /// the retained seed rematerializes the exact generated value — the
+    /// two invariants that keep seed-pinned generation streams stable
+    /// across the seeded-shrinking redesign.
+    #[test]
+    fn seeded_generation_preserves_the_draw_stream() {
+        let strat =
+            (3usize..10).prop_flat_map(|n| (Just(n), crate::collection::vec(0..50u64, 1..4)));
+        for case in 0..32 {
+            let mut a = TestRng::for_case("stream", case);
+            let mut b = TestRng::for_case("stream", case);
+            let plain = strat.generate(&mut a);
+            let (seed, seeded) = strat.generate_seeded(&mut b);
+            assert_eq!(plain, seeded, "same stream, same value");
+            assert_eq!(a.next_u64(), b.next_u64(), "same RNG state afterwards");
+            assert_eq!(strat.value_of(&seed), seeded, "seed rematerializes");
+        }
+    }
+
+    /// Drives the runner's shrink loop directly (seed-based): a predicate
+    /// failing for all values ≥ 17 must shrink a large failing draw down
+    /// to exactly 17.
     #[test]
     fn shrinking_converges_to_the_boundary() {
         let strat = (0u32..1000,);
@@ -703,7 +832,8 @@ mod tests {
         assert!(crate::__run_case(&run, &best).is_err());
         'outer: loop {
             for cand in Strategy::shrink(&strat, &best) {
-                if crate::__run_case(&run, &cand).is_err() {
+                let val = Strategy::value_of(&strat, &cand);
+                if crate::__run_case(&run, &val).is_err() {
                     best = cand;
                     continue 'outer;
                 }
@@ -727,7 +857,7 @@ mod tests {
         assert!(run(&best).is_err());
         'outer: loop {
             for cand in Strategy::shrink(&strat, &best) {
-                if run(&cand).is_err() {
+                if run(&Strategy::value_of(&strat, &cand)).is_err() {
                     best = cand;
                     continue 'outer;
                 }
@@ -755,6 +885,80 @@ mod tests {
         assert!(cands.iter().any(|&(a, b)| a < 9 && b == 7));
         assert!(cands.iter().any(|&(a, b)| a == 9 && b < 7));
         assert!(cands.iter().all(|&c| c != (9, 7)));
+    }
+
+    /// The PR-10 bugfix, pinned: `prop_map` outputs shrink through their
+    /// retained inputs. A strategy mapping a range into a struct-like
+    /// tuple must shrink a failing draw to the boundary of the *source*
+    /// range, exactly as the unmapped range would.
+    #[test]
+    fn map_shrinks_through_the_source() {
+        let strat = (0u32..1000).prop_map(|x| ("wrapped", x * 2));
+        let run = |v: &(&str, u32)| -> Result<(), TestCaseError> {
+            if v.1 >= 34 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let mut rng = TestRng::for_case("map_shrinks", 0);
+        let (mut seed, mut best) = strat.generate_seeded(&mut rng);
+        while run(&best).is_ok() {
+            let (s, v) = strat.generate_seeded(&mut rng);
+            seed = s;
+            best = v;
+        }
+        'outer: loop {
+            for cand in Strategy::shrink(&strat, &seed) {
+                let val = Strategy::value_of(&strat, &cand);
+                if run(&val).is_err() {
+                    seed = cand;
+                    best = val;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        assert_eq!(best, ("wrapped", 34), "shrunk through the mapped source");
+        assert_eq!(seed, 17, "the retained source value reached its boundary");
+    }
+
+    /// `prop_flat_map` shrinks both the source (regenerating the dependent
+    /// draw from the RNG snapshot, so bounds stay valid) and the dependent
+    /// value itself.
+    #[test]
+    fn flat_map_shrinks_source_and_dependent() {
+        let strat = (1usize..64).prop_flat_map(|n| (Just(n), 0..n));
+        let run = |v: &(usize, usize)| -> Result<(), TestCaseError> {
+            if v.0 >= 5 && v.1 >= 3 {
+                Err(TestCaseError::fail("big pair"))
+            } else {
+                Ok(())
+            }
+        };
+        // Find a failing draw, then shrink it to the (5, 3) boundary.
+        let mut case = 0;
+        let (mut seed, mut best) = loop {
+            let mut rng = TestRng::for_case("flat_map_shrinks", case);
+            let (s, v) = strat.generate_seeded(&mut rng);
+            if run(&v).is_err() {
+                break (s, v);
+            }
+            case += 1;
+        };
+        'outer: loop {
+            for cand in Strategy::shrink(&strat, &seed) {
+                let val = Strategy::value_of(&strat, &cand);
+                assert!(val.1 < val.0, "dependent bound violated: {val:?}");
+                if run(&val).is_err() {
+                    seed = cand;
+                    best = val;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        assert_eq!(best, (5, 3), "both the source and dependent draw shrank");
     }
 
     /// A deliberately failing body exercised through `__run_case`: panics
